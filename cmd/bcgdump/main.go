@@ -1,0 +1,66 @@
+// Command bcgdump runs a program under the profiler and writes the final
+// branch correlation graph as Graphviz DOT.
+//
+// Usage:
+//
+//	bcgdump -workload compress -min 100 > bcg.dot
+//	bcgdump prog.mj > bcg.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	workloadName := flag.String("workload", "", "profile a built-in workload")
+	minTotal := flag.Int("min", 16, "omit nodes executed fewer than this many times (decayed)")
+	threshold := flag.Float64("threshold", 0.97, "correlation threshold")
+	delay := flag.Int("delay", 64, "start-state delay")
+	flag.Parse()
+
+	if err := run(*workloadName, *minTotal, *threshold, *delay, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "bcgdump: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadName string, minTotal int, threshold float64, delay int, args []string) error {
+	var src string
+	switch {
+	case workloadName != "":
+		s, err := repro.WorkloadSource(workloadName)
+		if err != nil {
+			return err
+		}
+		src = s
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("expected one source file or -workload")
+	}
+	prog, err := repro.CompileMiniJava(src)
+	if err != nil {
+		return err
+	}
+	vm, err := repro.NewVM(prog,
+		repro.WithMode(repro.ModeProfile),
+		repro.WithThreshold(threshold),
+		repro.WithStartDelay(int32(delay)),
+	)
+	if err != nil {
+		return err
+	}
+	if err := vm.Run(); err != nil {
+		return err
+	}
+	fmt.Print(vm.DumpBCG(minTotal))
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDumpWorkload(t *testing.T) {
+	// soot is the fastest workload; the DOT goes to stdout, so this test
+	// only asserts success.
+	if err := run("soot", 1000, 0.97, 64, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestDumpFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.mj")
+	if err := os.WriteFile(src, []byte(`class Main { static void main() {
+        int s = 0;
+        for (int i = 0; i < 1000; i = i + 1) { s = s + i; }
+        Sys.printlnInt(s);
+    } }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 1, 0.97, 1, []string{src}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	if err := run("", 1, 0.97, 64, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("nope", 1, 0.97, 64, nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command jasm assembles the textual assembler format into a module file,
+// or disassembles a module back to a listing.
+//
+// Usage:
+//
+//	jasm -o prog.jtm prog.jasm
+//	jasm -d prog.jtm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/bytecode"
+)
+
+func main() {
+	out := flag.String("o", "", "output module file (.jtm)")
+	dis := flag.Bool("d", false, "disassemble a module file")
+	flag.Parse()
+
+	if err := run(*out, *dis, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "jasm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, dis bool, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected one input file")
+	}
+	if dis {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog, err := repro.LoadModule(f)
+		if err != nil {
+			return err
+		}
+		for _, c := range prog.Classes {
+			fmt.Printf(".class %s\n", c.Name)
+			if c.SuperName != "" {
+				fmt.Printf(".super %s\n", c.SuperName)
+			}
+			for _, fd := range c.Fields {
+				if fd.Static {
+					fmt.Printf(".field static %s %s\n", fd.Name, fd.Type)
+				} else {
+					fmt.Printf(".field %s %s\n", fd.Name, fd.Type)
+				}
+			}
+			for _, m := range c.Methods {
+				fmt.Printf("; method %s locals=%d\n", m.QName(), m.MaxLocals)
+				if len(m.Code) > 0 {
+					listing, err := bytecode.Disassemble(m.Code)
+					if err != nil {
+						return err
+					}
+					fmt.Print(listing)
+				}
+			}
+			fmt.Println(".end")
+		}
+		return nil
+	}
+
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	prog, err := repro.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		return fmt.Errorf("use -o file.jtm")
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return repro.SaveModule(f, prog)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAssembleAndDisassembleModule(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.jasm")
+	if err := os.WriteFile(src, []byte(`
+.class Main
+.field static counter int
+.native static p ( int ) void println_int
+.method static main ( ) void
+    iconst 3 putstatic Main.counter
+    getstatic Main.counter invokestatic Main.p
+    return
+.end
+.end
+.entry Main main
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "p.jtm")
+	if err := run(out, false, []string{src}); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := run("", true, []string{out}); err != nil {
+		t.Fatalf("disassemble: %v", err)
+	}
+}
+
+func TestJasmErrors(t *testing.T) {
+	if err := run("", false, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("", false, []string{"/does/not/exist.jasm"}); err == nil {
+		t.Error("missing input accepted")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.jasm")
+	if err := os.WriteFile(src, []byte(".class A\n.end"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", false, []string{src}); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := run("", true, []string{src}); err == nil {
+		t.Error("disassembling non-module accepted")
+	}
+}

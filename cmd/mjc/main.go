@@ -1,0 +1,127 @@
+// Command mjc compiles MiniJava to a serialized module (.jtm) or a
+// disassembly listing.
+//
+// Usage:
+//
+//	mjc -o prog.jtm prog.mj        # compile to a module file
+//	mjc -S prog.mj                 # print the disassembly
+//	mjc -workload compress -S      # disassemble a built-in workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+	"repro/internal/minijava"
+	"repro/internal/opt"
+)
+
+func main() {
+	out := flag.String("o", "", "output module file (.jtm)")
+	asm := flag.Bool("S", false, "print disassembly instead of writing a module")
+	optimize := flag.Bool("O", false, "run the static bytecode optimizer")
+	workloadName := flag.String("workload", "", "compile a built-in workload instead of a file")
+	entry := flag.String("entry", "", "entry class (when several declare main)")
+	flag.Parse()
+
+	if err := run(*out, *asm, *optimize, *workloadName, *entry, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "mjc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, asm, optimize bool, workloadName, entry string, args []string) error {
+	var src string
+	switch {
+	case workloadName != "":
+		s, err := repro.WorkloadSource(workloadName)
+		if err != nil {
+			return err
+		}
+		src = s
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("expected one source file or -workload")
+	}
+
+	var prog *repro.Program
+	var err error
+	if entry != "" {
+		prog, err = compileWithEntry(src, entry)
+	} else {
+		prog, err = repro.CompileMiniJava(src)
+	}
+	if err != nil {
+		return err
+	}
+	if optimize {
+		st, err := opt.Program(prog)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mjc: %s\n", st)
+	}
+
+	if asm {
+		return disassemble(os.Stdout, prog)
+	}
+	if out == "" {
+		return fmt.Errorf("use -o file.jtm or -S")
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return repro.SaveModule(f, prog)
+}
+
+func compileWithEntry(src, entry string) (*repro.Program, error) {
+	return minijava.CompileWithEntry(src, entry)
+}
+
+func disassemble(w *os.File, prog *classfile.Program) error {
+	for _, c := range prog.Classes {
+		fmt.Fprintf(w, "class %s", c.Name)
+		if c.SuperName != "" {
+			fmt.Fprintf(w, " extends %s", c.SuperName)
+		}
+		fmt.Fprintln(w)
+		for _, f := range c.Fields {
+			static := ""
+			if f.Static {
+				static = "static "
+			}
+			fmt.Fprintf(w, "  field %s%s %s\n", static, f.Name, f.Type)
+		}
+		for _, m := range c.Methods {
+			static := ""
+			if m.Static {
+				static = "static "
+			}
+			fmt.Fprintf(w, "  method %s%s/%d -> %s (locals %d)\n", static, m.Name, len(m.Params), m.Ret, m.MaxLocals)
+			switch {
+			case m.Native != "":
+				fmt.Fprintf(w, "    <native %s>\n", m.Native)
+			case m.Abstract:
+				fmt.Fprintf(w, "    <abstract>\n")
+			default:
+				listing, err := bytecode.Disassemble(m.Code)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(w, listing)
+			}
+		}
+	}
+	return nil
+}

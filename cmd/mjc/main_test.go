@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompileToModuleAndDisassemble(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.mj")
+	if err := os.WriteFile(src, []byte(`
+class Point {
+    int x;
+    void init(int v) { x = v; }
+    int get() { return x; }
+}
+class Main {
+    static void main() { Sys.printlnInt(new Point(4).get()); }
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "p.jtm")
+	if err := run(out, false, false, "", "", []string{src}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("module not written: %v", err)
+	}
+
+	// -S prints a listing to stdout; just confirm it does not error for a
+	// file and for a built-in workload.
+	if err := run("", true, false, "", "", []string{src}); err != nil {
+		t.Errorf("disassemble file: %v", err)
+	}
+	if err := run("", true, false, "scimark", "", nil); err != nil {
+		t.Errorf("disassemble workload: %v", err)
+	}
+}
+
+func TestExplicitEntry(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.mj")
+	if err := os.WriteFile(src, []byte(`
+class A { static void main() { Sys.printlnInt(1); } }
+class B { static void main() { Sys.printlnInt(2); } }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "p.jtm")
+	// Ambiguous entry without -entry.
+	if err := run(out, false, false, "", "", []string{src}); err == nil {
+		t.Error("ambiguous main accepted")
+	}
+	if err := run(out, false, false, "", "B", []string{src}); err != nil {
+		t.Errorf("explicit entry failed: %v", err)
+	}
+}
+
+func TestOptimizedCompile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.mj")
+	if err := os.WriteFile(src, []byte(`class Main { static void main() { Sys.printlnInt(6 * 7); } }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "p.jtm")
+	if err := run(out, false, true, "", "", []string{src}); err != nil {
+		t.Fatalf("optimized compile: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", false, false, "", "", nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("", false, false, "nope-workload", "", nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.mj")
+	if err := os.WriteFile(src, []byte(`class A { static void main() {} }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", false, false, "", "", []string{src}); err == nil {
+		t.Error("missing -o and -S accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Command tracebench regenerates the paper's evaluation: Tables I–VII, the
+// dispatch-granularity figure data, and the baseline comparison.
+//
+// Usage:
+//
+//	tracebench                 # everything, in paper order
+//	tracebench -table 3        # one table (1..7)
+//	tracebench -figures        # dispatch-granularity figure data
+//	tracebench -baselines      # Dynamo-NET / rePLay / Whaley comparison
+//	tracebench -repeats 5      # wall-clock repetitions for Tables VI/VII
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a single table (1..7); 0 = all")
+	figures := flag.Bool("figures", false, "print only the figure data")
+	baselines := flag.Bool("baselines", false, "print only the baseline comparison")
+	optim := flag.Bool("optimizability", false, "print only the trace optimizability study")
+	ablations := flag.Bool("ablations", false, "print the decay-interval and max-trace-length ablations")
+	stability := flag.Bool("stability", false, "print the phase-change cache stability experiment")
+	repeats := flag.Int("repeats", 3, "wall-clock repetitions for overhead tables")
+	maxSteps := flag.Int64("maxsteps", 0, "instruction budget per run (0 = unlimited)")
+	flag.Parse()
+
+	s := harness.NewSuite()
+	s.Repeats = *repeats
+	s.MaxSteps = *maxSteps
+
+	if err := run(s, *table, *figures, *baselines, *optim, *ablations, *stability); err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *harness.Suite, table int, figures, baselines, optim, ablations, stability bool) error {
+	out := os.Stdout
+	switch {
+	case stability:
+		t, err := s.Stability()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.Format())
+		return nil
+	case ablations:
+		ad, err := s.AblationDecay()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ad.Format())
+		for _, name := range []string{"compress", "scimark"} {
+			am, err := s.AblationMaxBlocks(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, am.Format())
+		}
+		return nil
+	case figures:
+		t, err := s.Figures()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.Format())
+		return nil
+	case baselines:
+		t, err := s.Baselines()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.Format())
+		return nil
+	case optim:
+		t, err := s.Optimizability()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.Format())
+		return nil
+	case table == 0:
+		return s.RunAll(out)
+	}
+
+	var t harness.Table
+	var err error
+	switch table {
+	case 1:
+		t, err = s.TableI()
+	case 2:
+		t, err = s.TableII()
+	case 3:
+		t, err = s.TableIII()
+	case 4:
+		t, err = s.TableIV()
+	case 5:
+		t, err = s.TableV()
+	case 6:
+		t, _, err = s.TableVI()
+	case 7:
+		var measured []harness.Overhead
+		_, measured, err = s.TableVI()
+		if err == nil {
+			t = s.TableVII(measured)
+		}
+	default:
+		return fmt.Errorf("no such table %d (1..7)", table)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, t.Format())
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command tracevm runs a program under the trace-cache virtual machine.
+//
+// The program is a MiniJava source file (.mj), a jasm assembly file (.jasm),
+// a serialized module (.jtm), or a built-in workload named with -workload.
+//
+// Usage:
+//
+//	tracevm -workload compress -mode trace -threshold 0.97 -delay 64 -stats
+//	tracevm -mode profile -dot bcg.dot prog.mj
+//	tracevm prog.jasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	workloadName := flag.String("workload", "", "run a built-in workload (compress, javac, raytrace, mpegaudio, soot, scimark)")
+	mode := flag.String("mode", "trace", "dispatch mode: plain, profile, trace, trace-deploy")
+	threshold := flag.Float64("threshold", 0.97, "trace completion threshold (0..1]")
+	delay := flag.Int("delay", 64, "start-state delay in executions")
+	maxSteps := flag.Int64("maxsteps", 0, "instruction budget (0 = unlimited)")
+	showStats := flag.Bool("stats", false, "print execution statistics after the run")
+	showTraces := flag.Bool("traces", false, "print the live trace cache contents after the run")
+	dotFile := flag.String("dot", "", "write the branch correlation graph as DOT to this file")
+	flag.Parse()
+
+	if err := run(*workloadName, *mode, *threshold, *delay, *maxSteps, *showStats, *showTraces, *dotFile, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "tracevm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (repro.Mode, error) {
+	switch s {
+	case "plain":
+		return repro.ModePlain, nil
+	case "instr":
+		return repro.ModeInstr, nil
+	case "profile":
+		return repro.ModeProfile, nil
+	case "trace":
+		return repro.ModeTrace, nil
+	case "trace-deploy":
+		return repro.ModeTraceDeploy, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (plain, profile, trace, trace-deploy)", s)
+}
+
+func loadProgram(workloadName string, args []string) (*repro.Program, error) {
+	if workloadName != "" {
+		src, err := repro.WorkloadSource(workloadName)
+		if err != nil {
+			return nil, err
+		}
+		return repro.CompileMiniJava(src)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected one program file or -workload (available: %s)",
+			strings.Join(repro.WorkloadNames(), ", "))
+	}
+	path := args[0]
+	switch {
+	case strings.HasSuffix(path, ".jtm"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.LoadModule(f)
+	case strings.HasSuffix(path, ".jasm"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return repro.Assemble(string(src))
+	default:
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return repro.CompileMiniJava(string(src))
+	}
+}
+
+func run(workloadName, modeStr string, threshold float64, delay int, maxSteps int64, showStats, showTraces bool, dotFile string, args []string) error {
+	mode, err := parseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(workloadName, args)
+	if err != nil {
+		return err
+	}
+	vm, err := repro.NewVM(prog,
+		repro.WithMode(mode),
+		repro.WithThreshold(threshold),
+		repro.WithStartDelay(int32(delay)),
+		repro.WithOutput(os.Stdout),
+		repro.WithMaxSteps(maxSteps),
+	)
+	if err != nil {
+		return err
+	}
+	if err := vm.Run(); err != nil {
+		return err
+	}
+
+	if showStats {
+		c := vm.Counters()
+		m := vm.Metrics()
+		fmt.Fprintf(os.Stderr, "instructions:        %d\n", c.Instrs)
+		fmt.Fprintf(os.Stderr, "block dispatches:    %d\n", c.BlockDispatches)
+		fmt.Fprintf(os.Stderr, "trace dispatches:    %d\n", c.TraceDispatches)
+		fmt.Fprintf(os.Stderr, "traces entered:      %d\n", c.TracesEntered)
+		fmt.Fprintf(os.Stderr, "traces completed:    %d\n", c.TracesCompleted)
+		fmt.Fprintf(os.Stderr, "avg trace length:    %.2f blocks\n", m.AvgTraceLength)
+		fmt.Fprintf(os.Stderr, "coverage:            %.1f%%\n", m.Coverage*100)
+		fmt.Fprintf(os.Stderr, "in-cache coverage:   %.1f%%\n", m.CacheCoverage*100)
+		fmt.Fprintf(os.Stderr, "completion rate:     %.2f%%\n", m.CompletionRate*100)
+		fmt.Fprintf(os.Stderr, "signals:             %d\n", c.Signals)
+		fmt.Fprintf(os.Stderr, "traces built:        %d\n", c.TracesBuilt)
+		fmt.Fprintf(os.Stderr, "BCG nodes:           %d\n", vm.NumBCGNodes())
+	}
+	if showTraces {
+		for _, t := range vm.Traces() {
+			fmt.Fprintf(os.Stderr, "trace %d: %d blocks, p=%.3f, entered %d, completed %d\n",
+				t.ID, t.Blocks, t.ExpectedCompletion, t.Entered, t.Completed)
+		}
+	}
+	if dotFile != "" {
+		if err := os.WriteFile(dotFile, []byte(vm.DumpBCG(2)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

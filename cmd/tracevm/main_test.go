@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]repro.Mode{
+		"plain":        repro.ModePlain,
+		"instr":        repro.ModeInstr,
+		"profile":      repro.ModeProfile,
+		"trace":        repro.ModeTrace,
+		"trace-deploy": repro.ModeTraceDeploy,
+	}
+	for s, want := range cases {
+		got, err := parseMode(s)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseMode("warp"); err == nil {
+		t.Error("parseMode(warp) succeeded")
+	}
+}
+
+func TestLoadProgramFromFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	mj := filepath.Join(dir, "p.mj")
+	if err := os.WriteFile(mj, []byte(`class Main { static void main() { Sys.printlnInt(1); } }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadProgram("", []string{mj}); err != nil {
+		t.Errorf("load .mj: %v", err)
+	}
+
+	jasmFile := filepath.Join(dir, "p.jasm")
+	jasmSrc := `
+.class Main
+.method static main ( ) void
+    return
+.end
+.end
+.entry Main main
+`
+	if err := os.WriteFile(jasmFile, []byte(jasmSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loadProgram("", []string{jasmFile})
+	if err != nil {
+		t.Fatalf("load .jasm: %v", err)
+	}
+
+	jtm := filepath.Join(dir, "p.jtm")
+	f, err := os.Create(jtm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.SaveModule(f, prog); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := loadProgram("", []string{jtm}); err != nil {
+		t.Errorf("load .jtm: %v", err)
+	}
+
+	if _, err := loadProgram("compress", nil); err != nil {
+		t.Errorf("load workload: %v", err)
+	}
+	if _, err := loadProgram("", nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if _, err := loadProgram("", []string{filepath.Join(dir, "missing.mj")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mj := filepath.Join(dir, "p.mj")
+	if err := os.WriteFile(mj, []byte(`class Main { static void main() { Sys.printlnInt(7); } }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dot := filepath.Join(dir, "bcg.dot")
+	if err := run("", "trace", 0.97, 64, 0, true, true, dot, []string{mj}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatalf("dot file: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty DOT output")
+	}
+	if err := run("", "warp", 0.97, 64, 0, false, false, "", []string{mj}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}

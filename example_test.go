@@ -1,0 +1,111 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleCompileMiniJava compiles and runs a program under the full
+// trace-dispatching VM.
+func ExampleCompileMiniJava() {
+	prog, err := repro.CompileMiniJava(`
+class Main {
+    static void main() {
+        int sum = 0;
+        for (int i = 1; i <= 100; i = i + 1) { sum = sum + i; }
+        Sys.printlnInt(sum);
+    }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := repro.NewVM(prog, repro.WithOutput(exampleStdout{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		log.Fatal(err)
+	}
+	// Output: 5050
+}
+
+// exampleStdout routes VM output through fmt so the example harness sees it.
+type exampleStdout struct{}
+
+func (exampleStdout) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}
+
+// ExampleNewVM_metrics shows the paper's dependent values after a run.
+func ExampleNewVM_metrics() {
+	prog, err := repro.CompileMiniJava(`
+class Main {
+    static void main() {
+        int acc = 0;
+        for (int i = 0; i < 100000; i = i + 1) { acc = acc + i % 3; }
+        Sys.printlnInt(acc);
+    }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := repro.NewVM(prog,
+		repro.WithMode(repro.ModeTrace),
+		repro.WithThreshold(0.97),
+		repro.WithStartDelay(64),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		log.Fatal(err)
+	}
+	m := vm.Metrics()
+	fmt.Printf("high coverage: %v\n", m.Coverage > 0.9)
+	fmt.Printf("completion above threshold: %v\n", m.CompletionRate >= 0.97)
+	// Output:
+	// high coverage: true
+	// completion above threshold: true
+}
+
+// ExampleAssemble runs a hand-written bytecode module.
+func ExampleAssemble() {
+	prog, err := repro.Assemble(`
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+    iconst 6 iconst 7 imul invokestatic Main.p
+    return
+.end
+.end
+.entry Main main
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := repro.NewVM(prog, repro.WithMode(repro.ModePlain), repro.WithOutput(exampleStdout{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		log.Fatal(err)
+	}
+	// Output: 42
+}
+
+// ExampleWorkloadNames lists the built-in benchmark suite.
+func ExampleWorkloadNames() {
+	for _, name := range repro.WorkloadNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// compress
+	// javac
+	// raytrace
+	// mpegaudio
+	// soot
+	// scimark
+}

@@ -1,0 +1,81 @@
+// Baselines: run the soot workload under the three trace/hot-code selectors
+// the paper compares against — the branch-correlation-graph system, Dynamo's
+// NET scheme, and rePLay-style frame construction — and print their trace
+// quality side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/cfg"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func main() {
+	src, err := repro.WorkloadSource("soot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := repro.CompileMiniJava(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// BCG (this paper) through the public API.
+	bcgVM, err := repro.NewVM(prog, repro.WithMode(repro.ModeTrace))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bcgVM.Run(); err != nil {
+		log.Fatal(err)
+	}
+	bm := bcgVM.Metrics()
+	fmt.Printf("%-12s coverage=%5.1f%%  completion=%6.2f%%  avgLen=%4.1f  traces=%d\n",
+		"bcg", bm.Coverage*100, bm.CompletionRate*100, bm.AvgTraceLength, len(bcgVM.Traces()))
+
+	// The baselines plug into the same engine through its hook and
+	// trace-source interfaces, so the metrics are directly comparable.
+	runBaseline(prog, "dynamo-net")
+	runBaseline(prog, "replay")
+
+	fmt.Println("\nshape check: the BCG selector should match or beat the baselines on")
+	fmt.Println("completion rate at comparable coverage — that is the paper's core claim.")
+}
+
+func runBaseline(prog *repro.Program, which string) {
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctr := &stats.Counters{}
+	var hook vm.DispatchHook
+	var src trace.Source
+	switch which {
+	case "dynamo-net":
+		d := baseline.NewDynamo(pcfg, baseline.DefaultDynamoConfig(), ctr)
+		hook, src = d, d
+	case "replay":
+		r := baseline.NewReplay(pcfg, baseline.DefaultReplayConfig(), ctr)
+		hook, src = r, r
+	}
+	m, err := vm.New(prog, pcfg, vm.Options{
+		Hook:             hook,
+		Traces:           src,
+		HookInsideTraces: true,
+		Counters:         ctr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	met := ctr.Derive()
+	fmt.Printf("%-12s coverage=%5.1f%%  completion=%6.2f%%  avgLen=%4.1f  built=%d\n",
+		which, met.Coverage*100, met.CompletionRate*100, met.AvgTraceLength, ctr.TracesBuilt)
+}

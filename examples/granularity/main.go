@@ -1,0 +1,57 @@
+// Granularity: the Figure 1 / Figure 2 / trace-dispatch comparison on one
+// program — run the same workload under per-instruction dispatch, threaded
+// block dispatch, and trace dispatch, and contrast dispatch counts and wall
+// time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	src, err := repro.WorkloadSource("scimark")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := repro.CompileMiniJava(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name       string
+		mode       repro.Mode
+		dispatches func(*repro.Counters) int64
+	}
+	rows := []row{
+		{"per-instruction (Fig. 1)", repro.ModeInstr, func(c *repro.Counters) int64 { return c.InstrDispatches }},
+		{"per-block / threaded (Fig. 2)", repro.ModePlain, func(c *repro.Counters) int64 { return c.BlockDispatches }},
+		{"trace dispatch (this paper)", repro.ModeTraceDeploy, func(c *repro.Counters) int64 { return c.TraceDispatches }},
+	}
+
+	fmt.Printf("%-32s %15s %12s\n", "engine", "dispatches", "wall")
+	var instrBaseline int64
+	for _, r := range rows {
+		vm, err := repro.NewVM(prog, repro.WithMode(r.mode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := vm.Run(); err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(start)
+		d := r.dispatches(vm.Counters())
+		if instrBaseline == 0 {
+			instrBaseline = d
+		}
+		fmt.Printf("%-32s %15d %12s   (%5.1fx fewer dispatches)\n",
+			r.name, d, wall.Round(time.Millisecond), float64(instrBaseline)/float64(d))
+	}
+	fmt.Println("\neach engine executes the identical instruction stream; only the")
+	fmt.Println("dispatch unit changes — instruction, basic block, then trace.")
+}

@@ -1,0 +1,75 @@
+// Quickstart: compile a MiniJava program, run it under trace dispatch, and
+// inspect what the trace cache learned.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+const src = `
+class Main {
+    static int collatzLen(int n) {
+        int steps = 0;
+        while (n != 1) {
+            if (n % 2 == 0) { n = n / 2; }
+            else { n = 3 * n + 1; }
+            steps = steps + 1;
+        }
+        return steps;
+    }
+    static void main() {
+        int best = 0;
+        int bestN = 0;
+        for (int n = 1; n <= 20000; n = n + 1) {
+            int l = collatzLen(n);
+            if (l > best) { best = l; bestN = n; }
+        }
+        Sys.printStr("longest Collatz chain under 20000: n=");
+        Sys.printInt(bestN);
+        Sys.printStr(" with ");
+        Sys.printInt(best);
+        Sys.printlnStr(" steps");
+    }
+}
+`
+
+func main() {
+	prog, err := repro.CompileMiniJava(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vm, err := repro.NewVM(prog,
+		repro.WithMode(repro.ModeTrace),
+		repro.WithThreshold(0.97),
+		repro.WithStartDelay(64),
+		repro.WithOutput(os.Stdout),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	c := vm.Counters()
+	m := vm.Metrics()
+	fmt.Println()
+	fmt.Printf("executed %d bytecode instructions in %d basic-block dispatches\n", c.Instrs, c.BlockDispatches)
+	fmt.Printf("trace dispatch needed only %d dispatches (%.1fx fewer)\n",
+		c.TraceDispatches, float64(c.BlockDispatches)/float64(c.TraceDispatches))
+	fmt.Printf("the trace cache covered %.1f%% of the instruction stream with completed traces\n", m.Coverage*100)
+	fmt.Printf("average completed trace: %.1f blocks; completion rate %.2f%%\n",
+		m.AvgTraceLength, m.CompletionRate*100)
+	fmt.Printf("profiler state-change signals: %d; traces built: %d\n", c.Signals, c.TracesBuilt)
+
+	fmt.Println("\nlive traces:")
+	for _, t := range vm.Traces() {
+		fmt.Printf("  trace %2d: %2d blocks, expected completion %.3f, entered %7d, completed %7d\n",
+			t.ID, t.Blocks, t.ExpectedCompletion, t.Entered, t.Completed)
+	}
+}

@@ -1,0 +1,275 @@
+package baseline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cfg"
+	"repro/internal/minijava"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+const loopProg = `
+class Main {
+    static int step(int acc, int i) {
+        if (i % 16 == 0) { return acc + 3; }
+        return acc + 1;
+    }
+    static void main() {
+        int acc = 0;
+        for (int i = 0; i < 50000; i = i + 1) {
+            acc = step(acc, i);
+        }
+        Sys.printlnInt(acc);
+    }
+}`
+
+func compile(t *testing.T, src string) (*cfg.ProgramCFG, string) {
+	t.Helper()
+	prog, err := minijava.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	// Reference output under the plain engine.
+	var out bytes.Buffer
+	m, err := vm.New(prog, pcfg, vm.Options{Out: &out, MaxSteps: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pcfg, out.String()
+}
+
+func runWith(t *testing.T, pcfg *cfg.ProgramCFG, hook vm.DispatchHook, src trace.Source, ctr *stats.Counters) string {
+	t.Helper()
+	var out bytes.Buffer
+	m, err := vm.New(pcfg.Program, pcfg, vm.Options{
+		Out:              &out,
+		Hook:             hook,
+		Traces:           src,
+		HookInsideTraces: true,
+		Counters:         ctr,
+		MaxSteps:         100_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+func TestDynamoBuildsAndDispatchesTraces(t *testing.T) {
+	pcfg, want := compile(t, loopProg)
+	ctr := &stats.Counters{}
+	d := baseline.NewDynamo(pcfg, baseline.DefaultDynamoConfig(), ctr)
+	got := runWith(t, pcfg, d, d, ctr)
+	if got != want {
+		t.Errorf("dynamo changed output: %q vs %q", got, want)
+	}
+	if d.NumTraces() == 0 {
+		t.Fatal("NET built no traces on a hot loop")
+	}
+	if ctr.TracesEntered == 0 {
+		t.Error("NET traces never dispatched")
+	}
+	m := ctr.Derive()
+	if m.CacheCoverage == 0 {
+		t.Error("NET in-cache coverage is zero")
+	}
+	t.Logf("dynamo: %d traces, coverage %.1f%%, completion %.1f%%",
+		d.NumTraces(), m.Coverage*100, m.CompletionRate*100)
+}
+
+func TestDynamoTracesEndAtBackEdges(t *testing.T) {
+	pcfg, _ := compile(t, loopProg)
+	ctr := &stats.Counters{}
+	d := baseline.NewDynamo(pcfg, baseline.DefaultDynamoConfig(), ctr)
+	runWith(t, pcfg, d, nil, ctr) // observe only, no dispatch
+	// Every recorded trace must contain at most one backward intra-method
+	// transition (the closing edge of a cycle back to its head).
+	checked := 0
+	for from := cfg.BlockID(0); int(from) < pcfg.NumBlocks(); from++ {
+		tr := d.Lookup(cfg.NoBlock, from)
+		if tr == nil {
+			continue
+		}
+		checked++
+		back := 0
+		for i := 1; i < len(tr.Blocks); i++ {
+			a, b := pcfg.Block(tr.Blocks[i-1]), pcfg.Block(tr.Blocks[i])
+			if a.Method == b.Method && b.Index <= a.Index {
+				back++
+			}
+		}
+		if back > 1 {
+			t.Errorf("trace %v crosses %d back edges", tr.Blocks, back)
+		}
+	}
+	if checked == 0 {
+		t.Error("no traces to check")
+	}
+}
+
+func TestReplayPromotionAndFrames(t *testing.T) {
+	pcfg, want := compile(t, loopProg)
+	ctr := &stats.Counters{}
+	r := baseline.NewReplay(pcfg, baseline.DefaultReplayConfig(), ctr)
+	got := runWith(t, pcfg, r, r, ctr)
+	if got != want {
+		t.Errorf("replay changed output: %q vs %q", got, want)
+	}
+	if r.NumFrames() == 0 {
+		t.Fatal("replay built no frames on a hot loop")
+	}
+	if ctr.TracesEntered == 0 {
+		t.Error("frames never dispatched")
+	}
+	t.Logf("replay: %d frames, completion %.1f%%", r.NumFrames(), ctr.Derive().CompletionRate*100)
+}
+
+func TestReplayRetiresFailingFrames(t *testing.T) {
+	// A branch that is biased for a while then alternates: the promoted
+	// frame starts failing and must be retired by the completion check.
+	src := `
+class Main {
+    static int f(int i, int phase) {
+        if (phase == 0) { return i + 1; }
+        if (i % 2 == 0) { return i + 2; }
+        return i + 3;
+    }
+    static void main() {
+        int acc = 0;
+        for (int i = 0; i < 3000; i = i + 1) { acc = acc + f(i, 0); }
+        for (int i = 0; i < 60000; i = i + 1) { acc = acc + f(i, 1); }
+        Sys.printlnInt(acc);
+    }
+}`
+	pcfg, want := compile(t, src)
+	ctr := &stats.Counters{}
+	conf := baseline.DefaultReplayConfig()
+	r := baseline.NewReplay(pcfg, conf, ctr)
+	got := runWith(t, pcfg, r, r, ctr)
+	if got != want {
+		t.Errorf("output changed: %q vs %q", got, want)
+	}
+	if ctr.TracesRetired == 0 {
+		t.Log("no frames retired; acceptable if none straddled the flip, counters:", ctr)
+	}
+}
+
+func TestWhaleyPhases(t *testing.T) {
+	pcfg, _ := compile(t, loopProg)
+	w := baseline.NewWhaley(pcfg, baseline.WhaleyConfig{HotThreshold: 50, OptThreshold: 500})
+	ctr := &stats.Counters{}
+	runWith(t, pcfg, w, nil, ctr)
+	instrumented, optimized := w.HotMethods()
+	if optimized == 0 {
+		t.Fatalf("no methods optimized (instrumented=%d)", instrumented)
+	}
+	if w.NotRareBlocks() == 0 {
+		t.Error("no not-rare blocks recorded")
+	}
+	if cov := w.Coverage(); cov < 0.5 {
+		t.Errorf("coverage = %.2f, want most of a loop-dominated program", cov)
+	}
+	t.Logf("whaley: %d optimized methods, %d not-rare blocks, coverage %.1f%%",
+		optimized, w.NotRareBlocks(), w.Coverage()*100)
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	pcfg, _ := compile(t, loopProg)
+	d := baseline.NewDynamo(pcfg, baseline.DynamoConfig{}, nil)
+	if d == nil {
+		t.Fatal("nil dynamo")
+	}
+	r := baseline.NewReplay(pcfg, baseline.ReplayConfig{}, nil)
+	if r == nil {
+		t.Fatal("nil replay")
+	}
+	w := baseline.NewWhaley(pcfg, baseline.WhaleyConfig{})
+	if w == nil {
+		t.Fatal("nil whaley")
+	}
+}
+
+func TestDynamoFlushOnRapidCreation(t *testing.T) {
+	// Many distinct hot loops in succession force rapid trace creation;
+	// with a tight flush configuration the cache must be flushed.
+	src := `
+class Main {
+    static int spin(int which, int n) {
+        int acc = 0;
+        if (which == 0) { for (int i = 0; i < n; i = i + 1) { acc = acc + 1; } }
+        if (which == 1) { for (int i = 0; i < n; i = i + 1) { acc = acc + 2; } }
+        if (which == 2) { for (int i = 0; i < n; i = i + 1) { acc = acc + 3; } }
+        if (which == 3) { for (int i = 0; i < n; i = i + 1) { acc = acc ^ i; } }
+        if (which == 4) { for (int i = 0; i < n; i = i + 1) { acc = acc - i; } }
+        return acc;
+    }
+    static void main() {
+        int s = 0;
+        for (int round = 0; round < 20; round = round + 1) {
+            for (int w = 0; w < 5; w = w + 1) { s = s + spin(w, 500); }
+        }
+        Sys.printlnInt(s);
+    }
+}`
+	pcfg, want := compile(t, src)
+	ctr := &stats.Counters{}
+	conf := baseline.DynamoConfig{
+		HotThreshold:   20,
+		MaxBlocks:      64,
+		FlushWindow:    1 << 62, // effectively unbounded window
+		FlushCreations: 4,       // flush after a handful of creations
+	}
+	d := baseline.NewDynamo(pcfg, conf, ctr)
+	got := runWith(t, pcfg, d, d, ctr)
+	if got != want {
+		t.Errorf("output changed: %q vs %q", got, want)
+	}
+	if d.Flushes() == 0 {
+		t.Errorf("no flushes despite rapid creation (built %d, retired %d)",
+			ctr.TracesBuilt, ctr.TracesRetired)
+	}
+	if ctr.TracesRetired == 0 {
+		t.Error("flush retired nothing")
+	}
+}
+
+func TestDynamoExitCountersGrowCoverage(t *testing.T) {
+	// A branchy loop body: the first trace records one path; exits from it
+	// must seed counters so further traces cover the other paths.
+	src := `
+class Main {
+    static void main() {
+        int acc = 0;
+        for (int i = 0; i < 60000; i = i + 1) {
+            if (i % 3 == 0) { acc = acc + 1; }
+            else if (i % 3 == 1) { acc = acc + 2; }
+            else { acc = acc ^ i; }
+        }
+        Sys.printlnInt(acc);
+    }
+}`
+	pcfg, _ := compile(t, src)
+	ctr := &stats.Counters{}
+	d := baseline.NewDynamo(pcfg, baseline.DefaultDynamoConfig(), ctr)
+	runWith(t, pcfg, d, d, ctr)
+	if d.NumTraces() < 2 {
+		t.Errorf("only %d traces; exit counters should spawn more", d.NumTraces())
+	}
+	if m := ctr.Derive(); m.CacheCoverage < 0.5 {
+		t.Errorf("in-cache coverage %.2f; want the loop mostly covered", m.CacheCoverage)
+	}
+}

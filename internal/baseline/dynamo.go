@@ -1,0 +1,205 @@
+// Package baseline implements the three hot-code selectors the paper
+// compares against, adapted to the same block-dispatch engine so their
+// trace quality can be measured with identical metrics:
+//
+//   - Dynamo's NET (next-executing-tail) scheme: counters on loop headers;
+//     when a counter crosses the hot threshold, the blocks executed
+//     immediately afterwards are recorded as a trace until a backward taken
+//     branch or a cycle (Bala, Duesterwald, Banerjia, PLDI 2000).
+//   - rePLay's frame construction: per-branch bias detection correlated with
+//     a 6-bit path history; a branch seen 32 consecutive times in the same
+//     direction under the same history is promoted to an assertion, and
+//     frames follow promoted branches only (Patel & Lumetta, IEEE TC 2001).
+//   - Whaley's two-phase selector: method entry/backedge counters trigger
+//     per-block flagging inside hot methods, and a second threshold freezes
+//     the not-rare block set (Whaley, OOPSLA 2001).
+//
+// Dynamo and rePLay produce dispatchable traces (trace.Source); Whaley
+// classifies blocks and reports coverage.
+package baseline
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// DynamoConfig tunes the NET selector.
+type DynamoConfig struct {
+	// HotThreshold is the execution count that makes a start-of-trace
+	// candidate hot (Dynamo used ~50).
+	HotThreshold int
+	// MaxBlocks caps recorded trace length.
+	MaxBlocks int
+	// FlushWindow and FlushCreations implement Dynamo's stability
+	// mechanism: if more than FlushCreations traces are created within
+	// FlushWindow dispatches, the whole cache is flushed ("detects the
+	// rapid creation of new traces and simply flushes the trace cache",
+	// paper §3.6). Zero disables flushing.
+	FlushWindow    int64
+	FlushCreations int
+}
+
+// DefaultDynamoConfig mirrors the published defaults.
+func DefaultDynamoConfig() DynamoConfig {
+	return DynamoConfig{HotThreshold: 50, MaxBlocks: 64, FlushWindow: 50_000, FlushCreations: 16}
+}
+
+// Dynamo implements NET trace selection as a dispatch hook plus trace
+// source. Traces are keyed by entry block, as Dynamo keys by entry PC.
+type Dynamo struct {
+	conf DynamoConfig
+	cfg  *cfg.ProgramCFG
+	ctr  *stats.Counters
+
+	counters map[cfg.BlockID]int
+	traces   map[cfg.BlockID]*trace.Trace
+	nextID   int
+
+	recording bool
+	rec       []cfg.BlockID
+
+	// Exit-point detection: inTrace marks blocks that belong to some live
+	// trace, traceEdge the intra-trace (from, to) successions. A dispatch
+	// leaving a trace's recorded path is a trace exit, and Dynamo places
+	// counters at exit targets as well as at backward-branch targets.
+	inTrace   map[cfg.BlockID]bool
+	traceEdge map[uint64]bool
+
+	// Flush-mechanism state.
+	dispatches      int64
+	recentCreations []int64 // dispatch timestamps of recent trace creations
+	flushes         int
+}
+
+// Flushes reports how many times the cache was flushed wholesale.
+func (d *Dynamo) Flushes() int { return d.flushes }
+
+// NewDynamo creates a NET selector over the program's CFGs.
+func NewDynamo(pcfg *cfg.ProgramCFG, conf DynamoConfig, ctr *stats.Counters) *Dynamo {
+	if conf.HotThreshold <= 0 {
+		conf.HotThreshold = DefaultDynamoConfig().HotThreshold
+	}
+	if conf.MaxBlocks <= 0 {
+		conf.MaxBlocks = DefaultDynamoConfig().MaxBlocks
+	}
+	if ctr == nil {
+		ctr = &stats.Counters{}
+	}
+	return &Dynamo{
+		conf:      conf,
+		cfg:       pcfg,
+		ctr:       ctr,
+		counters:  make(map[cfg.BlockID]int),
+		traces:    make(map[cfg.BlockID]*trace.Trace),
+		inTrace:   make(map[cfg.BlockID]bool),
+		traceEdge: make(map[uint64]bool),
+	}
+}
+
+// Lookup implements trace.Source; Dynamo dispatches whenever control
+// reaches a trace head, regardless of the arrival edge.
+func (d *Dynamo) Lookup(_, to cfg.BlockID) *trace.Trace { return d.traces[to] }
+
+// NumTraces returns the number of recorded traces.
+func (d *Dynamo) NumTraces() int { return len(d.traces) }
+
+// isBackEdge reports a backward intra-method transition, Dynamo's trace
+// terminator and hot-point definition.
+func (d *Dynamo) isBackEdge(from, to cfg.BlockID) bool {
+	bf, bt := d.cfg.Block(from), d.cfg.Block(to)
+	if bf == nil || bt == nil {
+		return false
+	}
+	return bf.Method == bt.Method && bt.Index <= bf.Index
+}
+
+// OnDispatch implements vm.DispatchHook.
+func (d *Dynamo) OnDispatch(from, to cfg.BlockID) {
+	d.dispatches++
+	if d.recording {
+		// Stop conditions: cycle back to the head, an existing trace head,
+		// a backward taken branch, or length cap.
+		switch {
+		case to == d.rec[0], d.traces[to] != nil:
+			d.emit()
+		case d.isBackEdge(from, to):
+			d.emit()
+			d.bump(to)
+		case len(d.rec) >= d.conf.MaxBlocks:
+			d.emit()
+		default:
+			d.rec = append(d.rec, to)
+		}
+		return
+	}
+	// Counters live at potential hot points: backward-branch targets and
+	// trace-exit targets (a dispatch leaving a recorded trace path).
+	if d.isBackEdge(from, to) {
+		d.bump(to)
+		return
+	}
+	if d.inTrace[from] && !d.traceEdge[trace.EdgeKey(from, to)] && !d.inTrace[to] {
+		d.bump(to)
+	}
+}
+
+func (d *Dynamo) bump(to cfg.BlockID) {
+	if d.traces[to] != nil {
+		return
+	}
+	d.counters[to]++
+	if d.counters[to] >= d.conf.HotThreshold {
+		delete(d.counters, to)
+		d.recording = true
+		d.rec = append(d.rec[:0], to)
+	}
+}
+
+func (d *Dynamo) emit() {
+	d.recording = false
+	if len(d.rec) < 2 {
+		return
+	}
+	blocks := make([]cfg.BlockID, len(d.rec))
+	copy(blocks, d.rec)
+	t := trace.New(d.nextID, blocks, 0)
+	d.nextID++
+	d.traces[blocks[0]] = t
+	d.ctr.TracesBuilt++
+	for i, b := range blocks {
+		d.inTrace[b] = true
+		if i > 0 {
+			d.traceEdge[trace.EdgeKey(blocks[i-1], b)] = true
+		}
+	}
+	d.noteCreation()
+}
+
+// noteCreation implements the flush heuristic: rapid creation of new traces
+// (a phase change invalidating the working set) flushes the whole cache.
+func (d *Dynamo) noteCreation() {
+	if d.conf.FlushWindow <= 0 || d.conf.FlushCreations <= 0 {
+		return
+	}
+	d.recentCreations = append(d.recentCreations, d.dispatches)
+	cutoff := d.dispatches - d.conf.FlushWindow
+	keep := d.recentCreations[:0]
+	for _, ts := range d.recentCreations {
+		if ts >= cutoff {
+			keep = append(keep, ts)
+		}
+	}
+	d.recentCreations = keep
+	if len(d.recentCreations) > d.conf.FlushCreations {
+		for entry, t := range d.traces {
+			t.Retired = true
+			delete(d.traces, entry)
+			d.ctr.TracesRetired++
+		}
+		d.inTrace = make(map[cfg.BlockID]bool)
+		d.traceEdge = make(map[uint64]bool)
+		d.recentCreations = d.recentCreations[:0]
+		d.flushes++
+	}
+}

@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ReplayConfig tunes the frame constructor.
+type ReplayConfig struct {
+	// PromoteRun is the consecutive same-direction run length (correlated
+	// with the path history) that promotes a branch to an assertion
+	// (rePLay used 32).
+	PromoteRun int
+	// HistoryBits is the path-history depth (rePLay used 6).
+	HistoryBits int
+	// HotThreshold triggers frame construction at a start point.
+	HotThreshold int
+	// MaxBlocks caps frame length.
+	MaxBlocks int
+	// MinCompletion retires frames whose observed completion rate drops
+	// below this after a settling period (the software stand-in for
+	// rePLay's rollback-pressure heuristics).
+	MinCompletion float64
+}
+
+// DefaultReplayConfig mirrors the published parameters.
+func DefaultReplayConfig() ReplayConfig {
+	return ReplayConfig{PromoteRun: 32, HistoryBits: 6, HotThreshold: 50, MaxBlocks: 64, MinCompletion: 0.5}
+}
+
+type biasEntry struct {
+	succ     cfg.BlockID
+	run      int
+	promoted bool
+}
+
+// Replay implements rePLay-style frame construction in software: per
+// (branch, history) bias tracking with promotion, and frames that follow
+// only promoted branches.
+type Replay struct {
+	conf ReplayConfig
+	cfg  *cfg.ProgramCFG
+	ctr  *stats.Counters
+
+	history  uint32
+	histMask uint32
+	bias     map[uint64]*biasEntry
+	counters map[cfg.BlockID]int
+	frames   map[cfg.BlockID]*trace.Trace
+	nextID   int
+}
+
+// NewReplay creates a frame constructor over the program's CFGs.
+func NewReplay(pcfg *cfg.ProgramCFG, conf ReplayConfig, ctr *stats.Counters) *Replay {
+	d := DefaultReplayConfig()
+	if conf.PromoteRun <= 0 {
+		conf.PromoteRun = d.PromoteRun
+	}
+	if conf.HistoryBits <= 0 || conf.HistoryBits > 16 {
+		conf.HistoryBits = d.HistoryBits
+	}
+	if conf.HotThreshold <= 0 {
+		conf.HotThreshold = d.HotThreshold
+	}
+	if conf.MaxBlocks <= 0 {
+		conf.MaxBlocks = d.MaxBlocks
+	}
+	if conf.MinCompletion <= 0 {
+		conf.MinCompletion = d.MinCompletion
+	}
+	if ctr == nil {
+		ctr = &stats.Counters{}
+	}
+	return &Replay{
+		conf:     conf,
+		cfg:      pcfg,
+		ctr:      ctr,
+		histMask: 1<<uint(conf.HistoryBits) - 1,
+		bias:     make(map[uint64]*biasEntry),
+		counters: make(map[cfg.BlockID]int),
+		frames:   make(map[cfg.BlockID]*trace.Trace),
+	}
+}
+
+// Lookup implements trace.Source, with lazy retirement of frames whose
+// assertions fail too often.
+func (r *Replay) Lookup(_, to cfg.BlockID) *trace.Trace {
+	t := r.frames[to]
+	if t == nil {
+		return nil
+	}
+	if t.Entered >= 64 && t.CompletionRate() < r.conf.MinCompletion {
+		t.Retired = true
+		delete(r.frames, to)
+		r.ctr.TracesRetired++
+		return nil
+	}
+	return t
+}
+
+// NumFrames returns the number of live frames.
+func (r *Replay) NumFrames() int { return len(r.frames) }
+
+func (r *Replay) key(from cfg.BlockID) uint64 {
+	return uint64(from)<<16 | uint64(r.history)
+}
+
+// OnDispatch implements vm.DispatchHook.
+func (r *Replay) OnDispatch(from, to cfg.BlockID) {
+	// Bias tracking under the current history.
+	k := r.key(from)
+	e := r.bias[k]
+	if e == nil {
+		e = &biasEntry{succ: to, run: 1}
+		r.bias[k] = e
+	} else if e.succ == to {
+		e.run++
+		if e.run >= r.conf.PromoteRun {
+			e.promoted = true
+		}
+	} else {
+		e.succ = to
+		e.run = 1
+		e.promoted = false
+	}
+
+	// Update the path history with the branch direction.
+	bf := r.cfg.Block(from)
+	if bf != nil && bf.Taken != cfg.NoBlock && bf.FallThrough != cfg.NoBlock {
+		bit := uint32(0)
+		if to == bf.Taken {
+			bit = 1
+		}
+		r.history = (r.history<<1 | bit) & r.histMask
+	}
+
+	// Hot-point detection at backward-branch targets, as in NET.
+	if bf != nil {
+		bt := r.cfg.Block(to)
+		if bt != nil && bf.Method == bt.Method && bt.Index <= bf.Index && r.frames[to] == nil {
+			r.counters[to]++
+			if r.counters[to] >= r.conf.HotThreshold {
+				delete(r.counters, to)
+				r.construct(to)
+			}
+		}
+	}
+}
+
+// construct builds a frame from the recorded bias data: starting at the hot
+// block, follow promoted branches under the simulated history.
+func (r *Replay) construct(start cfg.BlockID) {
+	blocks := []cfg.BlockID{start}
+	seen := map[cfg.BlockID]bool{start: true}
+	hist := r.history
+	cur := start
+	for len(blocks) < r.conf.MaxBlocks {
+		e := r.bias[uint64(cur)<<16|uint64(hist)]
+		if e == nil || !e.promoted {
+			break
+		}
+		next := e.succ
+		b := r.cfg.Block(cur)
+		if b != nil && b.Taken != cfg.NoBlock && b.FallThrough != cfg.NoBlock {
+			bit := uint32(0)
+			if next == b.Taken {
+				bit = 1
+			}
+			hist = (hist<<1 | bit) & r.histMask
+		}
+		if seen[next] {
+			break
+		}
+		seen[next] = true
+		blocks = append(blocks, next)
+		cur = next
+	}
+	if len(blocks) < 2 {
+		return
+	}
+	t := trace.New(r.nextID, blocks, 0)
+	r.nextID++
+	r.frames[start] = t
+	r.ctr.TracesBuilt++
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"repro/internal/cfg"
+)
+
+// WhaleyConfig tunes the two-phase method selector.
+type WhaleyConfig struct {
+	// HotThreshold triggers phase 1 (baseline compile + instrument blocks).
+	HotThreshold int
+	// OptThreshold triggers phase 2 (optimize the flagged not-rare blocks).
+	OptThreshold int
+}
+
+// DefaultWhaleyConfig returns plausible thresholds.
+func DefaultWhaleyConfig() WhaleyConfig { return WhaleyConfig{HotThreshold: 100, OptThreshold: 1000} }
+
+type methodPhase uint8
+
+const (
+	phaseCold methodPhase = iota
+	phaseInstrumented
+	phaseOptimized
+)
+
+type whaleyMethod struct {
+	phase   methodPhase
+	counter int
+}
+
+// Whaley implements the two-phase hot-method/not-rare-block selector. It is
+// an observer only (no trace dispatch): its product is the classification
+// of blocks, reported as coverage of the instruction stream.
+type Whaley struct {
+	conf WhaleyConfig
+	cfg  *cfg.ProgramCFG
+
+	methods []whaleyMethod // by method ID
+	flagged []bool         // by block ID: executed while instrumented
+	opt     []bool         // by block ID: member of an optimized set
+
+	// Coverage accounting.
+	TotalInstrs     int64
+	OptimizedInstrs int64 // instructions executed in optimized blocks
+	FlaggedInstrs   int64 // instructions in flagged blocks of phase>=1 methods
+}
+
+// NewWhaley creates the selector over the program's CFGs.
+func NewWhaley(pcfg *cfg.ProgramCFG, conf WhaleyConfig) *Whaley {
+	d := DefaultWhaleyConfig()
+	if conf.HotThreshold <= 0 {
+		conf.HotThreshold = d.HotThreshold
+	}
+	if conf.OptThreshold <= conf.HotThreshold {
+		conf.OptThreshold = conf.HotThreshold * 10
+	}
+	return &Whaley{
+		conf:    conf,
+		cfg:     pcfg,
+		methods: make([]whaleyMethod, len(pcfg.Methods)),
+		flagged: make([]bool, pcfg.NumBlocks()),
+		opt:     make([]bool, pcfg.NumBlocks()),
+	}
+}
+
+// OnDispatch implements vm.DispatchHook.
+func (w *Whaley) OnDispatch(from, to cfg.BlockID) {
+	bt := w.cfg.Block(to)
+	if bt == nil {
+		return
+	}
+	w.TotalInstrs += int64(bt.NumInstrs())
+	mID := bt.Method.ID
+	m := &w.methods[mID]
+
+	// Counters at method entries and backedges.
+	bf := w.cfg.Block(from)
+	entry := bt.Index == 0 && (bf == nil || bf.Method != bt.Method)
+	backedge := bf != nil && bf.Method == bt.Method && bt.Index <= bf.Index
+	if entry || backedge {
+		m.counter++
+		switch {
+		case m.phase == phaseCold && m.counter >= w.conf.HotThreshold:
+			m.phase = phaseInstrumented
+		case m.phase == phaseInstrumented && m.counter >= w.conf.OptThreshold:
+			m.phase = phaseOptimized
+			w.freeze(mID)
+		}
+	}
+
+	switch m.phase {
+	case phaseInstrumented:
+		w.flagged[to] = true
+		w.FlaggedInstrs += int64(bt.NumInstrs())
+	case phaseOptimized:
+		if w.opt[to] {
+			w.OptimizedInstrs += int64(bt.NumInstrs())
+		} else {
+			// A rare block executed after optimization: Whaley's system
+			// would recompile; we flag it for the coverage report.
+			w.flagged[to] = true
+		}
+	}
+}
+
+// freeze captures the not-rare set of a method when it reaches phase 2.
+func (w *Whaley) freeze(methodID int) {
+	mc := w.cfg.Methods[methodID]
+	if mc == nil {
+		return
+	}
+	for _, b := range mc.Blocks {
+		if w.flagged[b.ID] {
+			w.opt[b.ID] = true
+		}
+	}
+}
+
+// HotMethods returns how many methods reached each phase.
+func (w *Whaley) HotMethods() (instrumented, optimized int) {
+	for _, m := range w.methods {
+		switch m.phase {
+		case phaseInstrumented:
+			instrumented++
+		case phaseOptimized:
+			optimized++
+		}
+	}
+	return
+}
+
+// NotRareBlocks returns the number of blocks in optimized sets.
+func (w *Whaley) NotRareBlocks() int {
+	n := 0
+	for _, v := range w.opt {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the fraction of the observed instruction stream executed
+// inside optimized not-rare blocks.
+func (w *Whaley) Coverage() float64 {
+	if w.TotalInstrs == 0 {
+		return 0
+	}
+	return float64(w.OptimizedInstrs) / float64(w.TotalInstrs)
+}

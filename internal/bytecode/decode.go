@@ -1,0 +1,132 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// maxSwitchTargets bounds the decoded size of a switch so a corrupted count
+// cannot force a huge allocation.
+const maxSwitchTargets = 1 << 20
+
+// DecodeAt decodes the single instruction at byte offset pc of code.
+func DecodeAt(code []byte, pc uint32) (Instr, error) {
+	if int(pc) >= len(code) {
+		return Instr{}, fmt.Errorf("bytecode: decode: pc %d out of range (code len %d)", pc, len(code))
+	}
+	op := Op(code[pc])
+	if !Valid(op) {
+		return Instr{}, fmt.Errorf("bytecode: decode: invalid opcode %d at pc %d", code[pc], pc)
+	}
+	in := Instr{PC: pc, Op: op}
+	rest := code[pc+1:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("bytecode: decode: truncated %s at pc %d", op, pc)
+		}
+		return nil
+	}
+	switch InfoOf(op).Operand {
+	case KindNone:
+	case KindU16:
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		in.A = int32(binary.LittleEndian.Uint16(rest))
+	case KindI32, KindBranch:
+		if err := need(4); err != nil {
+			return Instr{}, err
+		}
+		in.A = int32(binary.LittleEndian.Uint32(rest))
+	case KindF64:
+		if err := need(8); err != nil {
+			return Instr{}, err
+		}
+		in.F = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	case KindIInc:
+		if err := need(4); err != nil {
+			return Instr{}, err
+		}
+		in.A = int32(binary.LittleEndian.Uint16(rest))
+		in.B = int32(int16(binary.LittleEndian.Uint16(rest[2:])))
+	case KindElem:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		in.A = int32(rest[0])
+		if in.A < ElemInt || in.A > ElemByte {
+			return Instr{}, fmt.Errorf("bytecode: decode: invalid array element kind %d at pc %d", in.A, pc)
+		}
+	case KindTableSwitch:
+		if err := need(12); err != nil {
+			return Instr{}, err
+		}
+		in.A = int32(binary.LittleEndian.Uint32(rest))
+		in.Dflt = binary.LittleEndian.Uint32(rest[4:])
+		n := binary.LittleEndian.Uint32(rest[8:])
+		if n > maxSwitchTargets {
+			return Instr{}, fmt.Errorf("bytecode: decode: tableswitch at pc %d has implausible target count %d", pc, n)
+		}
+		if err := need(12 + 4*int(n)); err != nil {
+			return Instr{}, err
+		}
+		in.Targets = make([]uint32, n)
+		for i := range in.Targets {
+			in.Targets[i] = binary.LittleEndian.Uint32(rest[12+4*i:])
+		}
+	case KindLookupSwitch:
+		if err := need(8); err != nil {
+			return Instr{}, err
+		}
+		in.Dflt = binary.LittleEndian.Uint32(rest)
+		n := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxSwitchTargets {
+			return Instr{}, fmt.Errorf("bytecode: decode: lookupswitch at pc %d has implausible pair count %d", pc, n)
+		}
+		if err := need(8 + 8*int(n)); err != nil {
+			return Instr{}, err
+		}
+		in.Keys = make([]int32, n)
+		in.Targets = make([]uint32, n)
+		for i := 0; i < int(n); i++ {
+			in.Keys[i] = int32(binary.LittleEndian.Uint32(rest[8+8*i:]))
+			in.Targets[i] = binary.LittleEndian.Uint32(rest[8+8*i+4:])
+		}
+	default:
+		return Instr{}, fmt.Errorf("bytecode: decode: unhandled operand kind for %s", op)
+	}
+	return in, nil
+}
+
+// Decode decodes an entire code stream into its instruction sequence. It
+// validates that instructions tile the stream exactly and that every branch
+// target lands on an instruction boundary.
+func Decode(code []byte) ([]Instr, error) {
+	var ins []Instr
+	starts := make(map[uint32]bool)
+	pc := uint32(0)
+	for int(pc) < len(code) {
+		in, err := DecodeAt(code, pc)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, in)
+		starts[pc] = true
+		pc = in.Next()
+	}
+	if int(pc) != len(code) {
+		return nil, fmt.Errorf("bytecode: decode: instructions overrun code stream (pc %d, len %d)", pc, len(code))
+	}
+	for _, in := range ins {
+		for _, t := range in.BranchTargets() {
+			if !starts[t] {
+				return nil, fmt.Errorf("bytecode: decode: %s at pc %d targets %d, which is not an instruction boundary", in.Op, in.PC, t)
+			}
+		}
+		if InfoOf(in.Op).Flow == FlowCond && !starts[in.Next()] && int(in.Next()) != len(code) {
+			return nil, fmt.Errorf("bytecode: decode: conditional at pc %d falls through off the code stream", in.PC)
+		}
+	}
+	return ins, nil
+}

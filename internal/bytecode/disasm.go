@@ -1,0 +1,31 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a code stream as one instruction per line, each
+// prefixed with its PC. It is tolerant of nothing: a malformed stream
+// returns an error rather than partial output.
+func Disassemble(code []byte) (string, error) {
+	ins, err := Decode(code)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, in := range ins {
+		fmt.Fprintf(&b, "%6d: %s\n", in.PC, in)
+	}
+	return b.String(), nil
+}
+
+// MustEncode encodes instructions and panics on error. It is intended for
+// tests and for statically known-good code such as the bootstrap method.
+func MustEncode(ins []Instr) []byte {
+	code, err := Encode(ins)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

@@ -1,0 +1,148 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder assembles instructions into a binary code stream. Branch targets
+// are absolute byte offsets, so callers that do not know target offsets in
+// advance should emit placeholder targets and patch them (the jasm assembler
+// and the MiniJava code generator both do this via Fixup).
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// PC returns the byte offset at which the next instruction will be encoded.
+func (e *Encoder) PC() uint32 { return uint32(len(e.buf)) }
+
+// Bytes returns the encoded code stream. The returned slice aliases the
+// encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Emit appends one instruction and returns its PC.
+func (e *Encoder) Emit(in Instr) (uint32, error) {
+	pc := e.PC()
+	info := InfoOf(in.Op)
+	if !Valid(in.Op) {
+		return 0, fmt.Errorf("bytecode: encode: invalid opcode %d", in.Op)
+	}
+	e.buf = append(e.buf, byte(in.Op))
+	switch info.Operand {
+	case KindNone:
+	case KindU16:
+		if in.A < 0 || in.A > math.MaxUint16 {
+			return 0, fmt.Errorf("bytecode: encode %s: operand %d out of u16 range", info.Name, in.A)
+		}
+		e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(in.A))
+	case KindI32:
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(in.A))
+	case KindF64:
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(in.F))
+	case KindBranch:
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(in.A))
+	case KindIInc:
+		if in.A < 0 || in.A > math.MaxUint16 {
+			return 0, fmt.Errorf("bytecode: encode iinc: slot %d out of u16 range", in.A)
+		}
+		if in.B < math.MinInt16 || in.B > math.MaxInt16 {
+			return 0, fmt.Errorf("bytecode: encode iinc: delta %d out of i16 range", in.B)
+		}
+		e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(in.A))
+		e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(int16(in.B)))
+	case KindElem:
+		if in.A < ElemInt || in.A > ElemByte {
+			return 0, fmt.Errorf("bytecode: encode newarray: invalid element kind %d", in.A)
+		}
+		e.buf = append(e.buf, byte(in.A))
+	case KindTableSwitch:
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(in.A)) // low
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, in.Dflt)
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(in.Targets)))
+		for _, t := range in.Targets {
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, t)
+		}
+	case KindLookupSwitch:
+		if len(in.Keys) != len(in.Targets) {
+			return 0, fmt.Errorf("bytecode: encode lookupswitch: %d keys but %d targets", len(in.Keys), len(in.Targets))
+		}
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, in.Dflt)
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(in.Targets)))
+		for i := range in.Targets {
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(in.Keys[i]))
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, in.Targets[i])
+		}
+	default:
+		return 0, fmt.Errorf("bytecode: encode %s: unhandled operand kind", info.Name)
+	}
+	return pc, nil
+}
+
+// Fixup rewrites the branch target of the KindBranch instruction encoded at
+// pc. It is the mechanism label-based emitters use for forward references.
+func (e *Encoder) Fixup(pc, target uint32) error {
+	if int(pc) >= len(e.buf) {
+		return fmt.Errorf("bytecode: fixup: pc %d out of range", pc)
+	}
+	op := Op(e.buf[pc])
+	if InfoOf(op).Operand != KindBranch {
+		return fmt.Errorf("bytecode: fixup: instruction at pc %d (%s) is not a branch", pc, op)
+	}
+	if int(pc)+5 > len(e.buf) {
+		return fmt.Errorf("bytecode: fixup: truncated branch at pc %d", pc)
+	}
+	binary.LittleEndian.PutUint32(e.buf[pc+1:], target)
+	return nil
+}
+
+// FixupSwitchTarget rewrites the i'th target (or the default when i == -1)
+// of the switch instruction encoded at pc.
+func (e *Encoder) FixupSwitchTarget(pc uint32, i int, target uint32) error {
+	if int(pc) >= len(e.buf) {
+		return fmt.Errorf("bytecode: fixup switch: pc %d out of range", pc)
+	}
+	op := Op(e.buf[pc])
+	switch InfoOf(op).Operand {
+	case KindTableSwitch:
+		base := pc + 1 + 4 // skip op + low
+		if i == -1 {
+			binary.LittleEndian.PutUint32(e.buf[base:], target)
+			return nil
+		}
+		n := binary.LittleEndian.Uint32(e.buf[base+4:])
+		if i < 0 || uint32(i) >= n {
+			return fmt.Errorf("bytecode: fixup tableswitch: target index %d out of range (n=%d)", i, n)
+		}
+		binary.LittleEndian.PutUint32(e.buf[base+8+4*uint32(i):], target)
+		return nil
+	case KindLookupSwitch:
+		base := pc + 1
+		if i == -1 {
+			binary.LittleEndian.PutUint32(e.buf[base:], target)
+			return nil
+		}
+		n := binary.LittleEndian.Uint32(e.buf[base+4:])
+		if i < 0 || uint32(i) >= n {
+			return fmt.Errorf("bytecode: fixup lookupswitch: target index %d out of range (n=%d)", i, n)
+		}
+		binary.LittleEndian.PutUint32(e.buf[base+8+8*uint32(i)+4:], target)
+		return nil
+	}
+	return fmt.Errorf("bytecode: fixup switch: instruction at pc %d (%s) is not a switch", pc, op)
+}
+
+// Encode encodes a full instruction sequence. Branch targets in the input
+// must already be resolved to absolute byte offsets.
+func Encode(ins []Instr) ([]byte, error) {
+	e := NewEncoder()
+	for i, in := range ins {
+		if _, err := e.Emit(in); err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+	}
+	return e.Bytes(), nil
+}

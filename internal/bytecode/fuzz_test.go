@@ -1,0 +1,41 @@
+package bytecode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic, and
+// whatever it accepts must re-encode to the identical stream (the decoder
+// and encoder agree on the wire format).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(ReturnVoid)})
+	f.Add(MustEncode([]Instr{
+		{Op: IConst, A: 42},
+		{Op: IConst, A: 1},
+		{Op: IAdd},
+		{Op: Pop},
+		{Op: ReturnVoid},
+	}))
+	f.Add(MustEncode([]Instr{
+		{Op: TableSwitch, A: 0, Dflt: 13, Targets: []uint32{13}},
+		{Op: ReturnVoid},
+	}))
+	f.Add([]byte{byte(FConst), 1, 2, 3})
+	f.Add([]byte{200, 200, 200})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("decoded stream failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instr is one decoded instruction. The operand fields used depend on the
+// opcode's OperandKind:
+//
+//	KindU16, KindI32, KindElem:  A
+//	KindF64:                     F
+//	KindBranch:                  A (absolute target PC)
+//	KindIInc:                    A (slot), B (delta)
+//	KindTableSwitch:             A (low key), Dflt, Targets
+//	KindLookupSwitch:            Dflt, Keys, Targets (parallel slices)
+type Instr struct {
+	PC      uint32 // byte offset of this instruction in the method's code
+	Op      Op
+	A       int32
+	B       int32
+	F       float64
+	Dflt    uint32
+	Keys    []int32
+	Targets []uint32
+}
+
+// Size returns the encoded byte length of the instruction.
+func (in Instr) Size() uint32 {
+	switch InfoOf(in.Op).Operand {
+	case KindNone:
+		return 1
+	case KindU16:
+		return 3
+	case KindI32, KindBranch, KindIInc:
+		return 5
+	case KindF64:
+		return 9
+	case KindElem:
+		return 2
+	case KindTableSwitch:
+		return 1 + 4 + 4 + 4 + 4*uint32(len(in.Targets))
+	case KindLookupSwitch:
+		return 1 + 4 + 4 + 8*uint32(len(in.Targets))
+	}
+	return 1
+}
+
+// Next returns the PC of the instruction that follows this one in the
+// encoded stream.
+func (in Instr) Next() uint32 { return in.PC + in.Size() }
+
+// BranchTargets returns every possible intraprocedural control transfer
+// target of the instruction: branch targets, switch targets and the switch
+// default. Fallthrough successors are not included.
+func (in Instr) BranchTargets() []uint32 {
+	switch InfoOf(in.Op).Operand {
+	case KindBranch:
+		return []uint32{uint32(in.A)}
+	case KindTableSwitch, KindLookupSwitch:
+		out := make([]uint32, 0, len(in.Targets)+1)
+		out = append(out, in.Dflt)
+		out = append(out, in.Targets...)
+		return out
+	}
+	return nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	info := InfoOf(in.Op)
+	switch info.Operand {
+	case KindNone:
+		return info.Name
+	case KindU16:
+		return fmt.Sprintf("%s %d", info.Name, uint16(in.A))
+	case KindI32:
+		return fmt.Sprintf("%s %d", info.Name, in.A)
+	case KindF64:
+		return fmt.Sprintf("%s %g", info.Name, in.F)
+	case KindBranch:
+		return fmt.Sprintf("%s @%d", info.Name, uint32(in.A))
+	case KindIInc:
+		return fmt.Sprintf("%s %d %d", info.Name, uint16(in.A), in.B)
+	case KindElem:
+		return fmt.Sprintf("%s %s", info.Name, ElemKindName(in.A))
+	case KindTableSwitch:
+		s := fmt.Sprintf("%s low=%d default=@%d [", info.Name, in.A, in.Dflt)
+		for i, t := range in.Targets {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("@%d", t)
+		}
+		return s + "]"
+	case KindLookupSwitch:
+		s := fmt.Sprintf("%s default=@%d [", info.Name, in.Dflt)
+		for i, t := range in.Targets {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%d:@%d", in.Keys[i], t)
+		}
+		return s + "]"
+	}
+	return info.Name
+}
+
+// Equal reports whether two instructions are identical, including operands.
+// PC is ignored: two instructions at different offsets can still be equal.
+func (in Instr) Equal(o Instr) bool {
+	if in.Op != o.Op || in.A != o.A || in.B != o.B || in.Dflt != o.Dflt {
+		return false
+	}
+	if math.Float64bits(in.F) != math.Float64bits(o.F) {
+		return false
+	}
+	if len(in.Keys) != len(o.Keys) || len(in.Targets) != len(o.Targets) {
+		return false
+	}
+	for i := range in.Keys {
+		if in.Keys[i] != o.Keys[i] {
+			return false
+		}
+	}
+	for i := range in.Targets {
+		if in.Targets[i] != o.Targets[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,227 @@
+package bytecode
+
+// OperandKind describes how an opcode's operands are encoded in the
+// instruction stream.
+type OperandKind uint8
+
+const (
+	// KindNone: no operands.
+	KindNone OperandKind = iota
+	// KindU16: one 2-byte unsigned operand (local slot or table index) in A.
+	KindU16
+	// KindI32: one 4-byte signed operand in A.
+	KindI32
+	// KindF64: one 8-byte float operand in F.
+	KindF64
+	// KindBranch: one 4-byte absolute target PC in A.
+	KindBranch
+	// KindIInc: 2-byte unsigned slot in A, 2-byte signed delta in B.
+	KindIInc
+	// KindElem: one 1-byte array element kind in A.
+	KindElem
+	// KindTableSwitch: i32 low (A), u32 default (Dflt), u32 count, then
+	// count u32 targets.
+	KindTableSwitch
+	// KindLookupSwitch: u32 default (Dflt), u32 count, then count
+	// (i32 key, u32 target) pairs.
+	KindLookupSwitch
+)
+
+// Flow describes an opcode's role in control flow; the CFG builder and the
+// dispatch engines use it to delimit basic blocks.
+type Flow uint8
+
+const (
+	// FlowNext: falls through to the next instruction.
+	FlowNext Flow = iota
+	// FlowGoto: unconditional intraprocedural jump.
+	FlowGoto
+	// FlowCond: two-way conditional branch (taken target + fallthrough).
+	FlowCond
+	// FlowSwitch: multiway branch.
+	FlowSwitch
+	// FlowCall: method invocation; control enters the callee and resumes at
+	// the following instruction. Calls terminate basic blocks because the
+	// direct-threaded-inlining model treats invokes as non-inlinable.
+	FlowCall
+	// FlowReturn: returns to the caller.
+	FlowReturn
+	// FlowHalt: stops the machine.
+	FlowHalt
+	// FlowThrow: raises an exception; the successor is the dynamically
+	// resolved handler (or program termination), never a static edge.
+	FlowThrow
+)
+
+// Info is the static metadata for one opcode.
+type Info struct {
+	Name    string
+	Operand OperandKind
+	Flow    Flow
+	// Pop and Push give the operand-stack effect. Pop == -1 means the
+	// effect is variable (calls, which pop their arguments).
+	Pop  int8
+	Push int8
+}
+
+var infos = [NumOps]Info{
+	Nop:        {"nop", KindNone, FlowNext, 0, 0},
+	IConst:     {"iconst", KindI32, FlowNext, 0, 1},
+	FConst:     {"fconst", KindF64, FlowNext, 0, 1},
+	SConst:     {"sconst", KindU16, FlowNext, 0, 1},
+	AConstNull: {"aconst_null", KindNone, FlowNext, 0, 1},
+
+	ILoad:  {"iload", KindU16, FlowNext, 0, 1},
+	IStore: {"istore", KindU16, FlowNext, 1, 0},
+	FLoad:  {"fload", KindU16, FlowNext, 0, 1},
+	FStore: {"fstore", KindU16, FlowNext, 1, 0},
+	ALoad:  {"aload", KindU16, FlowNext, 0, 1},
+	AStore: {"astore", KindU16, FlowNext, 1, 0},
+	IInc:   {"iinc", KindIInc, FlowNext, 0, 0},
+
+	Pop:   {"pop", KindNone, FlowNext, 1, 0},
+	Dup:   {"dup", KindNone, FlowNext, 1, 2},
+	DupX1: {"dup_x1", KindNone, FlowNext, 2, 3},
+	Swap:  {"swap", KindNone, FlowNext, 2, 2},
+
+	IAdd:  {"iadd", KindNone, FlowNext, 2, 1},
+	ISub:  {"isub", KindNone, FlowNext, 2, 1},
+	IMul:  {"imul", KindNone, FlowNext, 2, 1},
+	IDiv:  {"idiv", KindNone, FlowNext, 2, 1},
+	IRem:  {"irem", KindNone, FlowNext, 2, 1},
+	INeg:  {"ineg", KindNone, FlowNext, 1, 1},
+	IShl:  {"ishl", KindNone, FlowNext, 2, 1},
+	IShr:  {"ishr", KindNone, FlowNext, 2, 1},
+	IUshr: {"iushr", KindNone, FlowNext, 2, 1},
+	IAnd:  {"iand", KindNone, FlowNext, 2, 1},
+	IOr:   {"ior", KindNone, FlowNext, 2, 1},
+	IXor:  {"ixor", KindNone, FlowNext, 2, 1},
+
+	FAdd: {"fadd", KindNone, FlowNext, 2, 1},
+	FSub: {"fsub", KindNone, FlowNext, 2, 1},
+	FMul: {"fmul", KindNone, FlowNext, 2, 1},
+	FDiv: {"fdiv", KindNone, FlowNext, 2, 1},
+	FRem: {"frem", KindNone, FlowNext, 2, 1},
+	FNeg: {"fneg", KindNone, FlowNext, 1, 1},
+
+	I2F: {"i2f", KindNone, FlowNext, 1, 1},
+	F2I: {"f2i", KindNone, FlowNext, 1, 1},
+
+	FCmpL: {"fcmpl", KindNone, FlowNext, 2, 1},
+	FCmpG: {"fcmpg", KindNone, FlowNext, 2, 1},
+
+	Goto:      {"goto", KindBranch, FlowGoto, 0, 0},
+	IfEq:      {"ifeq", KindBranch, FlowCond, 1, 0},
+	IfNe:      {"ifne", KindBranch, FlowCond, 1, 0},
+	IfLt:      {"iflt", KindBranch, FlowCond, 1, 0},
+	IfGe:      {"ifge", KindBranch, FlowCond, 1, 0},
+	IfGt:      {"ifgt", KindBranch, FlowCond, 1, 0},
+	IfLe:      {"ifle", KindBranch, FlowCond, 1, 0},
+	IfICmpEq:  {"if_icmpeq", KindBranch, FlowCond, 2, 0},
+	IfICmpNe:  {"if_icmpne", KindBranch, FlowCond, 2, 0},
+	IfICmpLt:  {"if_icmplt", KindBranch, FlowCond, 2, 0},
+	IfICmpGe:  {"if_icmpge", KindBranch, FlowCond, 2, 0},
+	IfICmpGt:  {"if_icmpgt", KindBranch, FlowCond, 2, 0},
+	IfICmpLe:  {"if_icmple", KindBranch, FlowCond, 2, 0},
+	IfACmpEq:  {"if_acmpeq", KindBranch, FlowCond, 2, 0},
+	IfACmpNe:  {"if_acmpne", KindBranch, FlowCond, 2, 0},
+	IfNull:    {"ifnull", KindBranch, FlowCond, 1, 0},
+	IfNonNull: {"ifnonnull", KindBranch, FlowCond, 1, 0},
+
+	TableSwitch:  {"tableswitch", KindTableSwitch, FlowSwitch, 1, 0},
+	LookupSwitch: {"lookupswitch", KindLookupSwitch, FlowSwitch, 1, 0},
+
+	InvokeStatic:  {"invokestatic", KindU16, FlowCall, -1, 0},
+	InvokeVirtual: {"invokevirtual", KindU16, FlowCall, -1, 0},
+	InvokeSpecial: {"invokespecial", KindU16, FlowCall, -1, 0},
+	ReturnVoid:    {"return", KindNone, FlowReturn, 0, 0},
+	IReturn:       {"ireturn", KindNone, FlowReturn, 1, 0},
+	FReturn:       {"freturn", KindNone, FlowReturn, 1, 0},
+	AReturn:       {"areturn", KindNone, FlowReturn, 1, 0},
+
+	New:        {"new", KindU16, FlowNext, 0, 1},
+	GetField:   {"getfield", KindU16, FlowNext, 1, 1},
+	PutField:   {"putfield", KindU16, FlowNext, 2, 0},
+	GetStatic:  {"getstatic", KindU16, FlowNext, 0, 1},
+	PutStatic:  {"putstatic", KindU16, FlowNext, 1, 0},
+	InstanceOf: {"instanceof", KindU16, FlowNext, 1, 1},
+	CheckCast:  {"checkcast", KindU16, FlowNext, 1, 1},
+
+	NewArray:    {"newarray", KindElem, FlowNext, 1, 1},
+	ArrayLength: {"arraylength", KindNone, FlowNext, 1, 1},
+	IALoad:      {"iaload", KindNone, FlowNext, 2, 1},
+	IAStore:     {"iastore", KindNone, FlowNext, 3, 0},
+	FALoad:      {"faload", KindNone, FlowNext, 2, 1},
+	FAStore:     {"fastore", KindNone, FlowNext, 3, 0},
+	AALoad:      {"aaload", KindNone, FlowNext, 2, 1},
+	AAStore:     {"aastore", KindNone, FlowNext, 3, 0},
+	BALoad:      {"baload", KindNone, FlowNext, 2, 1},
+	BAStore:     {"bastore", KindNone, FlowNext, 3, 0},
+
+	Halt:  {"halt", KindNone, FlowHalt, 0, 0},
+	Throw: {"throw", KindNone, FlowThrow, 1, 0},
+}
+
+// InfoOf returns the metadata for op. It returns a zero Info with an empty
+// name for out-of-range opcodes.
+func InfoOf(op Op) Info {
+	if int(op) >= NumOps {
+		return Info{}
+	}
+	return infos[op]
+}
+
+// Valid reports whether op is a defined opcode.
+func Valid(op Op) bool {
+	return int(op) < NumOps && infos[op].Name != ""
+}
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if !Valid(op) {
+		return "invalid"
+	}
+	return infos[op].Name
+}
+
+// IsTerminator reports whether op ends a basic block under the
+// direct-threaded-inlining model (branches, switches, calls, returns, halt).
+func (op Op) IsTerminator() bool {
+	switch InfoOf(op).Flow {
+	case FlowGoto, FlowCond, FlowSwitch, FlowCall, FlowReturn, FlowHalt, FlowThrow:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether op is an intraprocedural branch (conditional,
+// goto, or switch).
+func (op Op) IsBranch() bool {
+	switch InfoOf(op).Flow {
+	case FlowGoto, FlowCond, FlowSwitch:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether op invokes a method.
+func (op Op) IsCall() bool { return InfoOf(op).Flow == FlowCall }
+
+// IsReturn reports whether op returns from a method.
+func (op Op) IsReturn() bool { return InfoOf(op).Flow == FlowReturn }
+
+// OpByName resolves a mnemonic to its opcode. The boolean reports success.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op, in := range infos {
+		if in.Name != "" {
+			m[in.Name] = Op(op)
+		}
+	}
+	return m
+}()

@@ -1,0 +1,163 @@
+// Package bytecode defines the instruction set of the virtual machine: a
+// JVM-inspired, stack-based bytecode with typed arithmetic, object and array
+// operations, and symbolic call/field references resolved at link time.
+//
+// The package provides the opcode enumeration, per-opcode metadata (operand
+// encoding, stack effect, control-flow role), a binary encoder and decoder,
+// and a disassembler. Higher layers (assembler, MiniJava code generator,
+// interpreter, CFG builder) all speak in terms of this package's Instr type.
+package bytecode
+
+// Op identifies a bytecode operation.
+type Op uint8
+
+// The instruction set. Operand layouts are described by the OperandKind in
+// each opcode's Info entry; see meta.go.
+const (
+	// Nop does nothing.
+	Nop Op = iota
+
+	// Constants.
+	IConst     // push int constant (i32 operand, sign-extended)
+	FConst     // push float constant (f64 operand)
+	SConst     // push interned string (u16 constant-pool index)
+	AConstNull // push null reference
+
+	// Local variable access.
+	ILoad  // push int local (u16 slot)
+	IStore // pop int into local (u16 slot)
+	FLoad  // push float local
+	FStore // pop float into local
+	ALoad  // push reference local
+	AStore // pop reference into local
+	IInc   // add i16 immediate to int local (u16 slot, i16 delta)
+
+	// Operand-stack manipulation.
+	Pop
+	Dup
+	DupX1
+	Swap
+
+	// Integer arithmetic and bitwise logic (operands are 64-bit ints).
+	IAdd
+	ISub
+	IMul
+	IDiv
+	IRem
+	INeg
+	IShl
+	IShr
+	IUshr
+	IAnd
+	IOr
+	IXor
+
+	// Float arithmetic (64-bit floats).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FRem
+	FNeg
+
+	// Numeric conversions.
+	I2F
+	F2I
+
+	// Float comparison: push -1, 0, or 1. FCmpL orders NaN low, FCmpG high.
+	FCmpL
+	FCmpG
+
+	// Unconditional and conditional branches (u32 absolute target PC).
+	// The IfXX forms pop one int and compare against zero; the IfICmpXX
+	// forms pop two ints; IfACmp forms pop two references.
+	Goto
+	IfEq
+	IfNe
+	IfLt
+	IfGe
+	IfGt
+	IfLe
+	IfICmpEq
+	IfICmpNe
+	IfICmpLt
+	IfICmpGe
+	IfICmpGt
+	IfICmpLe
+	IfACmpEq
+	IfACmpNe
+	IfNull
+	IfNonNull
+
+	// Multiway branches.
+	TableSwitch  // contiguous key range: low, high, default, targets
+	LookupSwitch // sparse keys: default, (key, target) pairs
+
+	// Calls and returns. Call operands are u16 indexes into the program's
+	// method-reference table (resolved by the linker).
+	InvokeStatic
+	InvokeVirtual // receiver-polymorphic, dispatched through the vtable
+	InvokeSpecial // direct call: constructors, super calls, private methods
+	ReturnVoid
+	IReturn
+	FReturn
+	AReturn
+
+	// Object operations. Field operands are u16 indexes into the program's
+	// field-reference table; New takes a u16 class index.
+	New
+	GetField
+	PutField
+	GetStatic
+	PutStatic
+	InstanceOf // u16 class index; pushes 0/1
+	CheckCast  // u16 class index; traps on failure
+
+	// Array operations. NewArray takes a one-byte element kind.
+	NewArray
+	ArrayLength
+	IALoad
+	IAStore
+	FALoad
+	FAStore
+	AALoad
+	AAStore
+	BALoad // byte arrays: load sign-extends to int
+	BAStore
+
+	// Halt stops the machine; only valid in the synthetic bootstrap method.
+	Halt
+
+	// Throw pops a reference and raises it as an exception; control
+	// transfers to the innermost matching handler (possibly unwinding
+	// frames) or terminates the program with an uncaught-exception trap.
+	Throw
+
+	numOps // sentinel; must be last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Array element kinds used by NewArray and checked by the typed array ops.
+const (
+	ElemInt   = 0
+	ElemFloat = 1
+	ElemRef   = 2
+	ElemByte  = 3
+)
+
+// ElemKindName returns a human-readable name for an array element kind.
+func ElemKindName(k int32) string {
+	switch k {
+	case ElemInt:
+		return "int"
+	case ElemFloat:
+		return "float"
+	case ElemRef:
+		return "ref"
+	case ElemByte:
+		return "byte"
+	}
+	return "invalid"
+}

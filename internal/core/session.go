@@ -1,0 +1,120 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Mode selects the dispatch/profiling configuration of a Session.
+type Mode uint8
+
+const (
+	// ModePlain runs the threaded interpreter with no profiler — the
+	// baseline of Table VI.
+	ModePlain Mode = iota
+	// ModeInstr runs the per-instruction dispatch engine (Figure 1): one
+	// dispatch per bytecode instruction, no profiler, no traces. It exists
+	// for the dispatch-granularity comparison.
+	ModeInstr
+	// ModeProfile runs the threaded interpreter with the BCG profiler but
+	// never dispatches traces (the cache still constructs them) — the
+	// "profiler" column of Table VI and the measurement substrate of the
+	// trace-quality tables when trace dispatch should not perturb anything.
+	ModeProfile
+	// ModeTrace runs the full system: profiling, trace construction, and
+	// trace dispatch with full in-trace profiling (measurement mode).
+	ModeTrace
+	// ModeTraceDeploy is ModeTrace with a single profiler hook per trace
+	// dispatch (deployment mode), the configuration Table VII models.
+	ModeTraceDeploy
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePlain:
+		return "plain"
+	case ModeInstr:
+		return "instr"
+	case ModeProfile:
+		return "profile"
+	case ModeTrace:
+		return "trace"
+	case ModeTraceDeploy:
+		return "trace-deploy"
+	}
+	return "invalid"
+}
+
+// Session assembles the full system around one program run: the execution
+// engine, the branch correlation graph profiler, and the trace cache.
+type Session struct {
+	Mode     Mode
+	Machine  *vm.Machine
+	Graph    *profile.Graph
+	Cache    *Cache
+	Counters *stats.Counters
+}
+
+// SessionOptions configures NewSession.
+type SessionOptions struct {
+	Mode     Mode
+	Params   profile.Params // profiler parameters (zero value: DefaultParams)
+	Config   Config         // trace constructor configuration
+	Out      io.Writer      // program output (default: discard)
+	MaxSteps int64          // instruction budget, 0 = unlimited
+}
+
+// NewSession builds a session over a linked program and its CFGs.
+func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptions) (*Session, error) {
+	if opts.Params == (profile.Params{}) {
+		opts.Params = profile.DefaultParams()
+	}
+	ctr := &stats.Counters{}
+	s := &Session{Mode: opts.Mode, Counters: ctr}
+
+	mopts := vm.Options{
+		Out:      opts.Out,
+		Counters: ctr,
+		MaxSteps: opts.MaxSteps,
+	}
+	if opts.Mode != ModePlain && opts.Mode != ModeInstr {
+		cache := NewCache(opts.Config, ctr)
+		g, err := profile.New(opts.Params, ctr, cache)
+		if err != nil {
+			return nil, err
+		}
+		cache.Bind(g)
+		s.Graph = g
+		s.Cache = cache
+		mopts.Hook = g
+		if opts.Mode == ModeTrace || opts.Mode == ModeTraceDeploy {
+			mopts.Traces = cache
+			mopts.HookInsideTraces = opts.Mode == ModeTrace
+		}
+	}
+	m, err := vm.New(prog, pcfg, mopts)
+	if err != nil {
+		return nil, err
+	}
+	s.Machine = m
+	return s, nil
+}
+
+// Run executes the program.
+func (s *Session) Run() error {
+	if s.Graph != nil {
+		s.Graph.ResetContext()
+	}
+	if s.Mode == ModeInstr {
+		return s.Machine.RunInstrMode()
+	}
+	return s.Machine.Run()
+}
+
+// Metrics returns the derived dependent values of the run so far.
+func (s *Session) Metrics() stats.Metrics { return s.Counters.Derive() }

@@ -1,0 +1,29 @@
+package jasm_test
+
+import (
+	"testing"
+
+	"repro/internal/jasm"
+)
+
+// FuzzAssemble: arbitrary text must assemble or error, never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add(".class A\n.method static main ( ) void\nreturn\n.end\n.end\n.entry A main")
+	f.Add(".class A\n.method static main ( ) void\niconst 1 pop return\n.end\n.end")
+	f.Add(`.class A
+.method static m ( int float ref ) int
+l: iload 0 tableswitch 0 l l l
+.end
+.end`)
+	f.Add(".catch X from a to b using c")
+	f.Add("garbage ; with comment")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := jasm.Assemble(src)
+		if err != nil {
+			return
+		}
+		if prog == nil || !prog.Linked() {
+			t.Fatal("Assemble returned an unlinked program without error")
+		}
+	})
+}

@@ -1,0 +1,341 @@
+package jasm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+	"repro/internal/jasm"
+	"repro/internal/vm"
+)
+
+func exec(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := jasm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	var out bytes.Buffer
+	m, err := vm.New(prog, pcfg, vm.Options{Out: &out, MaxSteps: 1_000_000})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	out := exec(t, `
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+    iconst 5
+    invokestatic Main.p
+    return
+.end
+.end
+.entry Main main
+`)
+	if out != "5\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLabelsForwardAndBackward(t *testing.T) {
+	out := exec(t, `
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+.locals 1
+    iconst 0 istore 0
+    goto fwd            ; forward reference
+back:
+    iload 0 invokestatic Main.p
+    return
+fwd:
+    iconst 9 istore 0
+    goto back           ; backward reference
+.end
+.end
+.entry Main main
+`)
+	if out != "9\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCommentsAndStringEscapes(t *testing.T) {
+	out := exec(t, `
+.class Main
+.native static ps ( ref ) void println_str   ; trailing directive comment
+.method static main ( ) void
+    sconst "semi ; inside // string"  // a comment
+    invokestatic Main.ps
+    sconst "tab\tnl\nq\"end"
+    invokestatic Main.ps
+    return
+.end
+.end
+.entry Main main
+`)
+	want := "semi ; inside // string\ntab\tnl\nq\"end\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestMultipleInstructionsPerLine(t *testing.T) {
+	out := exec(t, `
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+    iconst 2 iconst 3 imul iconst 4 iadd invokestatic Main.p
+    return
+.end
+.end
+.entry Main main
+`)
+	if out != "10\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLocalsGrowAutomatically(t *testing.T) {
+	prog, err := jasm.Assemble(`
+.class Main
+.method static main ( ) void
+    iconst 1 istore 7
+    return
+.end
+.end
+.entry Main main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.ClassNamed("Main").MethodNamed("main")
+	if m.MaxLocals < 8 {
+		t.Errorf("MaxLocals = %d, want >= 8", m.MaxLocals)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown instruction", ".class A\n.method static main ( ) void\nbogus\n.end\n.end", "unknown instruction"},
+		{"undefined label", ".class A\n.method static main ( ) void\ngoto nowhere\nreturn\n.end\n.end", "undefined label"},
+		{"duplicate label", ".class A\n.method static main ( ) void\nx:\nx: return\n.end\n.end", "duplicate label"},
+		{"instruction outside method", ".class A\niconst 1\n.end", "outside method"},
+		{"label outside method", "x:\n", "outside method"},
+		{"unterminated method", ".class A\n.method static main ( ) void\nreturn\n", "unterminated method"},
+		{"unterminated class", ".class A\n", "unterminated class"},
+		{"bad slot", ".class A\n.method static main ( ) void\niload -1\nreturn\n.end\n.end", "bad slot"},
+		{"bad string", `.class A
+.method static main ( ) void
+sconst notastring
+return
+.end
+.end`, "string literal"},
+		{"bad member", ".class A\n.method static main ( ) void\ninvokestatic nodot\nreturn\n.end\n.end", "Class.member"},
+		{"bad elem kind", ".class A\n.method static main ( ) void\niconst 1\nnewarray weird\npop\nreturn\n.end\n.end", "element kind"},
+		{"bad type", ".class A\n.field x bogus\n.end", "bad type"},
+		{"abstract static", ".class A\n.abstract static f ( ) void\n.end", "cannot be static"},
+		{"unterminated string", ".class A\n.method static main ( ) void\nsconst \"oops\nreturn\n.end\n.end", "unterminated string"},
+		{"double class", ".class A\n.class B\n.end\n.end", ".class inside class"},
+		{"end nothing", ".end", "nothing open"},
+		{"iinc arity", ".class A\n.method static main ( ) void\niinc 1\nreturn\n.end\n.end", "needs 2 operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := jasm.Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("assemble succeeded, want error with %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAssembleUnlinkedSkipsLink(t *testing.T) {
+	// References an undefined class: Assemble must fail, AssembleUnlinked
+	// must succeed (the error is a link-time one).
+	src := `
+.class A
+.method static main ( ) void
+    invokestatic Ghost.f
+    return
+.end
+.end
+.entry A main
+`
+	if _, err := jasm.Assemble(src); err == nil {
+		t.Error("Assemble resolved a ghost class")
+	}
+	if _, err := jasm.AssembleUnlinked(src); err != nil {
+		t.Errorf("AssembleUnlinked failed: %v", err)
+	}
+}
+
+func TestRoundTripThroughDisassembler(t *testing.T) {
+	// Assemble, disassemble every method, and confirm instruction streams
+	// decode to the same mnemonics.
+	prog, err := jasm.Assemble(`
+.class Main
+.native static p ( int ) void println_int
+.method static sum ( int ) int
+.locals 2
+    iconst 0 istore 1
+loop:
+    iload 0 ifle done
+    iload 1 iload 0 iadd istore 1
+    iinc 0 -1
+    goto loop
+done:
+    iload 1 ireturn
+.end
+.method static main ( ) void
+    iconst 10 invokestatic Main.sum invokestatic Main.p
+    return
+.end
+.end
+.entry Main main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.ClassNamed("Main").MethodNamed("sum")
+	listing, err := bytecode.Disassemble(m.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mn := range []string{"iconst 0", "ifle", "iinc 0 -1", "goto", "ireturn"} {
+		if !strings.Contains(listing, mn) {
+			t.Errorf("listing missing %q:\n%s", mn, listing)
+		}
+	}
+}
+
+func TestFieldsAndInheritanceDirectives(t *testing.T) {
+	out := exec(t, `
+.class Base
+.field x int
+.field static s int
+.method getx ( ) int
+    aload 0 getfield Base.x ireturn
+.end
+.end
+.class Derived
+.super Base
+.end
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+.locals 1
+    new Derived astore 0
+    aload 0 iconst 5 putfield Base.x
+    aload 0 invokevirtual Base.getx invokestatic Main.p
+    iconst 7 putstatic Base.s
+    getstatic Base.s invokestatic Main.p
+    return
+.end
+.end
+.entry Main main
+`)
+	if out != "5\n7\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCatchDirective(t *testing.T) {
+	out := exec(t, `
+.class Boom
+.end
+.class Main
+.native static p ( int ) void println_int
+.method static risky ( int ) int
+    iload 0 ifne ok
+    new Boom throw
+ok:
+    iload 0 ireturn
+.end
+.method static main ( ) void
+tryStart:
+    iconst 0 invokestatic Main.risky invokestatic Main.p
+tryEnd:
+    goto done
+handler:
+    pop
+    iconst -1 invokestatic Main.p
+done:
+    iconst 9 invokestatic Main.p
+    return
+.catch Boom from tryStart to tryEnd using handler
+.end
+.end
+.entry Main main
+`)
+	if out != "-1\n9\n" {
+		t.Errorf("output = %q, want -1 then 9", out)
+	}
+}
+
+func TestCatchAllDirective(t *testing.T) {
+	out := exec(t, `
+.class Boom
+.end
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+a:
+    new Boom throw
+b:
+handler:
+    pop
+    iconst 5 invokestatic Main.p
+    return
+.catch * from a to b using handler
+.end
+.end
+.entry Main main
+`)
+	if out != "5\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCatchDirectiveErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"outside method", ".catch X from a to b using c", "outside method"},
+		{"bad syntax", `.class A
+.method static main ( ) void
+.catch X a b c
+return
+.end
+.end`, ".catch"},
+		{"undefined label", `.class A
+.method static main ( ) void
+x: return
+.catch * from x to nowhere using x
+.end
+.end`, "undefined label"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := jasm.Assemble(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}

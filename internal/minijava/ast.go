@@ -1,0 +1,373 @@
+package minijava
+
+// TypeExpr is a syntactic type: a base name plus array dimensions.
+// Name is one of the builtin type names ("int", "float", "boolean", "byte",
+// "String", "void") or a class name.
+type TypeExpr struct {
+	Pos  Pos
+	Name string
+	Dims int
+}
+
+// File is a parsed compilation unit.
+type File struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is one class declaration.
+type ClassDecl struct {
+	Pos     Pos
+	Name    string
+	Super   string // empty if none
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+}
+
+// FieldDecl is a field declaration.
+type FieldDecl struct {
+	Pos    Pos
+	Static bool
+	Type   TypeExpr
+	Name   string
+}
+
+// Param is a method parameter.
+type Param struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+}
+
+// MethodDecl is a method declaration with a body.
+type MethodDecl struct {
+	Pos    Pos
+	Static bool
+	Ret    TypeExpr
+	Name   string
+	Params []Param
+	Body   *Block
+
+	maxSlots int // frame size, set by the checker
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list and scope.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDecl declares (and optionally initializes) a local variable.
+type VarDecl struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+
+	local *localVar // set by the checker
+}
+
+// If is a conditional statement.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// For is a C-style for loop. Init and Post may be nil; Cond may be nil
+// (infinite loop).
+type For struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// Return returns from the enclosing method. Val is nil for void returns.
+type Return struct {
+	Pos Pos
+	Val Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ Pos Pos }
+
+// Continue jumps to the innermost loop's next iteration.
+type Continue struct{ Pos Pos }
+
+// SwitchCase is one case group: one or more integer labels sharing a body.
+// Java fallthrough semantics apply: a body without break continues into the
+// next group.
+type SwitchCase struct {
+	Pos  Pos
+	Vals []int64
+	Body []Stmt
+}
+
+// Switch is a Java-style switch over an int expression with fallthrough.
+// The default group, when present, must be the final group (a MiniJava
+// simplification of Java's anywhere-default).
+type Switch struct {
+	Pos     Pos
+	Tag     Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil when absent
+}
+
+// Throw raises an exception object.
+type Throw struct {
+	Pos Pos
+	X   Expr
+}
+
+// Try guards Body with a single catch clause binding the caught exception
+// (of class CatchClass or a subclass) to CatchVar inside Catch.
+type Try struct {
+	Pos        Pos
+	Body       *Block
+	CatchClass string
+	CatchVar   string
+	Catch      *Block
+
+	catchSym   *classSym // resolved by the checker
+	catchLocal *localVar
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+// Assign stores RHS into an lvalue (identifier, field access, or index).
+type Assign struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Throw) stmtNode()    {}
+func (*Try) stmtNode()      {}
+func (*Switch) stmtNode()   {}
+func (*ExprStmt) stmtNode() {}
+func (*Assign) stmtNode()   {}
+
+// Expr is an expression node. The checker annotates nodes with their
+// semantic type and resolution results.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// Ident names a local, parameter, field (implicit this), or class (as a
+// call/field qualifier).
+type Ident struct {
+	Pos  Pos
+	Name string
+
+	// Resolution (set by the checker).
+	Local *localVar // non-nil if a local/parameter
+	Field *fieldSym // non-nil if an (implicit this or static) field
+	Class *classSym // non-nil if the identifier names a class
+	typ   *Type
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+	typ *Type
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Pos Pos
+	Val float64
+	typ *Type
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	Val string
+	typ *Type
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+	typ *Type
+}
+
+// NullLit is the null reference.
+type NullLit struct {
+	Pos Pos
+	typ *Type
+}
+
+// This is the receiver reference.
+type This struct {
+	Pos Pos
+	typ *Type
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+	typ *Type
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Pos Pos
+	Op  TokKind
+	L   Expr
+	R   Expr
+	typ *Type
+}
+
+// InstanceOf tests the dynamic class of a reference.
+type InstanceOf struct {
+	Pos   Pos
+	X     Expr
+	Class string
+
+	classSym *classSym
+	typ      *Type
+}
+
+// Call invokes a method. Recv is nil for a bare call (current class); a
+// Recv that names a class makes it a static call.
+type Call struct {
+	Pos  Pos
+	Recv Expr // may be nil
+	Name string
+	Args []Expr
+
+	// Resolution.
+	method  *methodSym
+	static  bool
+	builtin *builtinFn // non-nil for Sys.* builtins and len-like intrinsics
+	typ     *Type
+}
+
+// FieldAccess reads obj.name, ClassName.name (static), or arr.length.
+type FieldAccess struct {
+	Pos  Pos
+	X    Expr
+	Name string
+
+	field    *fieldSym
+	isLength bool // arr.length / str.length
+	typ      *Type
+}
+
+// Index reads arr[i].
+type Index struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+	typ *Type
+}
+
+// New allocates an object (Len == nil) or an array (Len != nil). ExtraDims
+// counts trailing "[]" pairs on array allocations: new float[n][] has
+// ExtraDims 1 and allocates an array of n float-array references.
+type New struct {
+	Pos       Pos
+	TypeName  string
+	Len       Expr
+	ExtraDims int
+	Args      []Expr // constructor arguments (object form)
+
+	classSym *classSym
+	ctor     *methodSym
+	typ      *Type
+}
+
+func (*Ident) exprNode()       {}
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*StrLit) exprNode()      {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*This) exprNode()        {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*InstanceOf) exprNode()  {}
+func (*Call) exprNode()        {}
+func (*FieldAccess) exprNode() {}
+func (*Index) exprNode()       {}
+func (*New) exprNode()         {}
+
+func (e *Ident) Position() Pos       { return e.Pos }
+func (e *IntLit) Position() Pos      { return e.Pos }
+func (e *FloatLit) Position() Pos    { return e.Pos }
+func (e *StrLit) Position() Pos      { return e.Pos }
+func (e *BoolLit) Position() Pos     { return e.Pos }
+func (e *NullLit) Position() Pos     { return e.Pos }
+func (e *This) Position() Pos        { return e.Pos }
+func (e *Unary) Position() Pos       { return e.Pos }
+func (e *Binary) Position() Pos      { return e.Pos }
+func (e *InstanceOf) Position() Pos  { return e.Pos }
+func (e *Call) Position() Pos        { return e.Pos }
+func (e *FieldAccess) Position() Pos { return e.Pos }
+func (e *Index) Position() Pos       { return e.Pos }
+func (e *New) Position() Pos         { return e.Pos }
+
+// TypeOf returns the checked type of an expression (nil before checking).
+func TypeOf(e Expr) *Type {
+	switch x := e.(type) {
+	case *Ident:
+		return x.typ
+	case *IntLit:
+		return x.typ
+	case *FloatLit:
+		return x.typ
+	case *StrLit:
+		return x.typ
+	case *BoolLit:
+		return x.typ
+	case *NullLit:
+		return x.typ
+	case *This:
+		return x.typ
+	case *Unary:
+		return x.typ
+	case *Binary:
+		return x.typ
+	case *InstanceOf:
+		return x.typ
+	case *Call:
+		return x.typ
+	case *FieldAccess:
+		return x.typ
+	case *Index:
+		return x.typ
+	case *New:
+		return x.typ
+	}
+	return nil
+}

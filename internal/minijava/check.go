@@ -1,0 +1,881 @@
+package minijava
+
+// Semantic analysis: builds the class symbol table, resolves identifiers,
+// checks types, and annotates the AST for code generation. The checker
+// fails fast on the first error, which keeps workload authoring pleasant
+// (the error points at the precise token) without diagnostic machinery.
+
+type checker struct {
+	classes map[string]*classSym
+
+	curClass    *classSym
+	curMethod   *methodSym
+	scopes      []map[string]*localVar
+	nextSlot    int
+	maxSlots    int
+	loopDepth   int
+	switchDepth int
+}
+
+// analyze runs the full semantic pass over a parsed file.
+func analyze(f *File) (map[string]*classSym, error) {
+	c := &checker{classes: make(map[string]*classSym)}
+	if err := c.collectClasses(f); err != nil {
+		return nil, err
+	}
+	if err := c.collectMembers(f); err != nil {
+		return nil, err
+	}
+	for _, cd := range f.Classes {
+		for _, md := range cd.Methods {
+			if err := c.checkMethod(c.classes[cd.Name], md); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c.classes, nil
+}
+
+func (c *checker) collectClasses(f *File) error {
+	for _, cd := range f.Classes {
+		if cd.Name == sysClassName {
+			return errf(cd.Pos, "class name %q is reserved for builtins", sysClassName)
+		}
+		if _, dup := c.classes[cd.Name]; dup {
+			return errf(cd.Pos, "duplicate class %q", cd.Name)
+		}
+		cs := &classSym{
+			name:    cd.Name,
+			decl:    cd,
+			fields:  make(map[string]*fieldSym),
+			methods: make(map[string]*methodSym),
+		}
+		cs.typ = &Type{Kind: KClass, Class: cs}
+		c.classes[cd.Name] = cs
+	}
+	for _, cd := range f.Classes {
+		if cd.Super == "" {
+			continue
+		}
+		sup, ok := c.classes[cd.Super]
+		if !ok {
+			return errf(cd.Pos, "class %q extends undefined class %q", cd.Name, cd.Super)
+		}
+		c.classes[cd.Name].super = sup
+	}
+	// Cycle check.
+	for _, cs := range c.classes {
+		slow, fast := cs, cs
+		for fast != nil && fast.super != nil {
+			slow, fast = slow.super, fast.super.super
+			if slow == fast {
+				return errf(cs.decl.Pos, "inheritance cycle through class %q", cs.name)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) collectMembers(f *File) error {
+	for _, cd := range f.Classes {
+		cs := c.classes[cd.Name]
+		for _, fd := range cd.Fields {
+			t, err := c.resolveType(fd.Type)
+			if err != nil {
+				return err
+			}
+			if t.Kind == KVoid {
+				return errf(fd.Pos, "field %s cannot be void", fd.Name)
+			}
+			if t.Kind == KByte {
+				return errf(fd.Pos, "scalar byte fields are not supported; use byte[] or int")
+			}
+			if _, dup := cs.fields[fd.Name]; dup {
+				return errf(fd.Pos, "duplicate field %q in class %q", fd.Name, cd.Name)
+			}
+			cs.fields[fd.Name] = &fieldSym{name: fd.Name, typ: t, static: fd.Static, class: cs}
+		}
+		for _, md := range cd.Methods {
+			ret, err := c.resolveType(md.Ret)
+			if err != nil {
+				return err
+			}
+			if ret.Kind == KByte {
+				return errf(md.Pos, "methods cannot return scalar byte; use int")
+			}
+			ms := &methodSym{name: md.Name, ret: ret, static: md.Static, class: cs, decl: md}
+			for _, p := range md.Params {
+				pt, err := c.resolveType(p.Type)
+				if err != nil {
+					return err
+				}
+				if pt.Kind == KVoid || pt.Kind == KByte {
+					return errf(p.Pos, "parameter %q has invalid type %s", p.Name, pt)
+				}
+				ms.params = append(ms.params, pt)
+			}
+			if _, dup := cs.methods[md.Name]; dup {
+				return errf(md.Pos, "duplicate method %q in class %q (no overloading)", md.Name, cd.Name)
+			}
+			cs.methods[md.Name] = ms
+		}
+	}
+	// Override compatibility.
+	for _, cd := range f.Classes {
+		cs := c.classes[cd.Name]
+		if cs.super == nil {
+			continue
+		}
+		for name, ms := range cs.methods {
+			sup := cs.super.methodNamed(name)
+			if sup == nil {
+				continue
+			}
+			if sup.static != ms.static {
+				return errf(ms.decl.Pos, "method %s changes staticness of inherited %s", ms.qname(), sup.qname())
+			}
+			if !ms.static && !ms.sameSignature(sup) {
+				return errf(ms.decl.Pos, "method %s overrides %s with a different signature", ms.qname(), sup.qname())
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) resolveType(te TypeExpr) (*Type, error) {
+	var base *Type
+	switch te.Name {
+	case "int":
+		base = tInt
+	case "float":
+		base = tFloat
+	case "boolean":
+		base = tBool
+	case "byte":
+		base = tByte
+	case "String":
+		base = tString
+	case "void":
+		base = tVoid
+	default:
+		cs, ok := c.classes[te.Name]
+		if !ok {
+			return nil, errf(te.Pos, "undefined type %q", te.Name)
+		}
+		base = cs.typ
+	}
+	if te.Dims > 0 {
+		if base.Kind == KVoid {
+			return nil, errf(te.Pos, "array of void")
+		}
+		for i := 0; i < te.Dims; i++ {
+			base = arrayOf(base)
+		}
+	} else if base.Kind == KByte {
+		return base, nil // scalar byte rejected at use sites
+	}
+	return base, nil
+}
+
+// Scope management. Slots are assigned linearly and never reused; the frame
+// is small and the simplicity pays for itself.
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*localVar)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, name string, t *Type) (*localVar, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return nil, errf(pos, "variable %q redeclared in this scope", name)
+	}
+	lv := &localVar{name: name, typ: t, slot: c.nextSlot}
+	c.nextSlot++
+	if c.nextSlot > c.maxSlots {
+		c.maxSlots = c.nextSlot
+	}
+	top[name] = lv
+	return lv, nil
+}
+
+func (c *checker) lookupLocal(name string) *localVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if lv, ok := c.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkMethod(cs *classSym, md *MethodDecl) error {
+	ms := cs.methods[md.Name]
+	c.curClass = cs
+	c.curMethod = ms
+	c.scopes = nil
+	c.nextSlot = 0
+	c.maxSlots = 0
+	c.loopDepth = 0
+	c.pushScope()
+	if !ms.static {
+		if _, err := c.declare(md.Pos, "this", cs.typ); err != nil {
+			return err
+		}
+	}
+	for i, p := range md.Params {
+		if _, err := c.declare(p.Pos, p.Name, ms.params[i]); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(md.Body); err != nil {
+		return err
+	}
+	c.popScope()
+	md.maxSlots = c.maxSlots
+	if ms.ret.Kind != KVoid && !alwaysReturns(md.Body) {
+		return errf(md.Pos, "method %s may finish without returning a value", ms.qname())
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.checkBlock(st)
+	case *VarDecl:
+		t, err := c.resolveType(st.Type)
+		if err != nil {
+			return err
+		}
+		if t.Kind == KVoid || t.Kind == KByte {
+			return errf(st.Pos, "variable %q has invalid type %s", st.Name, t)
+		}
+		if st.Init != nil {
+			it, err := c.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if !it.assignableTo(t) {
+				return errf(st.Pos, "cannot initialize %s %q with %s", t, st.Name, it)
+			}
+		}
+		lv, err := c.declare(st.Pos, st.Name, t)
+		if err != nil {
+			return err
+		}
+		st.local = lv
+		return nil
+	case *If:
+		ct, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != KBool {
+			return errf(st.Pos, "if condition must be boolean, got %s", ct)
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *While:
+		ct, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != KBool {
+			return errf(st.Pos, "while condition must be boolean, got %s", ct)
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkStmt(st.Body)
+	case *For:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			ct, err := c.checkExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if ct.Kind != KBool {
+				return errf(st.Pos, "for condition must be boolean, got %s", ct)
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkStmt(st.Body)
+	case *Return:
+		want := c.curMethod.ret
+		if st.Val == nil {
+			if want.Kind != KVoid {
+				return errf(st.Pos, "method %s must return %s", c.curMethod.qname(), want)
+			}
+			return nil
+		}
+		if want.Kind == KVoid {
+			return errf(st.Pos, "void method %s returns a value", c.curMethod.qname())
+		}
+		vt, err := c.checkExpr(st.Val)
+		if err != nil {
+			return err
+		}
+		if !vt.assignableTo(want) {
+			return errf(st.Pos, "cannot return %s from method returning %s", vt, want)
+		}
+		return nil
+	case *Break:
+		if c.loopDepth == 0 && c.switchDepth == 0 {
+			return errf(st.Pos, "break outside loop or switch")
+		}
+		return nil
+	case *Switch:
+		return c.checkSwitch(st)
+	case *Continue:
+		if c.loopDepth == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	case *Throw:
+		xt, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		if xt.Kind != KClass {
+			return errf(st.Pos, "can only throw class instances, got %s", xt)
+		}
+		return nil
+	case *Try:
+		if err := c.checkBlock(st.Body); err != nil {
+			return err
+		}
+		cs, ok := c.classes[st.CatchClass]
+		if !ok {
+			return errf(st.Pos, "undefined class %q in catch", st.CatchClass)
+		}
+		st.catchSym = cs
+		c.pushScope()
+		defer c.popScope()
+		lv, err := c.declare(st.Pos, st.CatchVar, cs.typ)
+		if err != nil {
+			return err
+		}
+		st.catchLocal = lv
+		return c.checkBlock(st.Catch)
+	case *ExprStmt:
+		_, err := c.checkExpr(st.E)
+		if err != nil {
+			return err
+		}
+		if _, ok := st.E.(*Call); !ok {
+			if _, ok := st.E.(*New); !ok {
+				return errf(st.Pos, "expression statement must be a call or allocation")
+			}
+		}
+		return nil
+	case *Assign:
+		lt, err := c.checkLValue(st.LHS)
+		if err != nil {
+			return err
+		}
+		rt, err := c.checkExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if !rt.assignableTo(lt) {
+			return errf(st.Pos, "cannot assign %s to %s", rt, lt)
+		}
+		return nil
+	}
+	return errf(Pos{}, "internal: unknown statement %T", s)
+}
+
+func (c *checker) checkSwitch(st *Switch) error {
+	tt, err := c.checkExpr(st.Tag)
+	if err != nil {
+		return err
+	}
+	if tt.Kind != KInt {
+		return errf(st.Pos, "switch tag must be int, got %s", tt)
+	}
+	seen := make(map[int64]bool)
+	for _, g := range st.Cases {
+		if len(g.Vals) == 0 {
+			return errf(g.Pos, "case group with no labels")
+		}
+		for _, v := range g.Vals {
+			if v < -1<<31 || v >= 1<<31 {
+				return errf(g.Pos, "case value %d outside 32-bit range", v)
+			}
+			if seen[v] {
+				return errf(g.Pos, "duplicate case value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	c.switchDepth++
+	defer func() { c.switchDepth-- }()
+	for _, g := range st.Cases {
+		c.pushScope()
+		for _, s := range g.Body {
+			if err := c.checkStmt(s); err != nil {
+				c.popScope()
+				return err
+			}
+		}
+		c.popScope()
+	}
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range st.Default {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLValue checks the assignable forms: identifier, field access, index.
+func (c *checker) checkLValue(e Expr) (*Type, error) {
+	switch lv := e.(type) {
+	case *Ident:
+		t, err := c.checkExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		if lv.Class != nil {
+			return nil, errf(lv.Pos, "cannot assign to class %q", lv.Name)
+		}
+		return t, nil
+	case *FieldAccess:
+		t, err := c.checkExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		if lv.isLength {
+			return nil, errf(lv.Pos, "cannot assign to length")
+		}
+		return t, nil
+	case *Index:
+		return c.checkExpr(e)
+	}
+	return nil, errf(e.Position(), "not an assignable expression")
+}
+
+func (c *checker) checkExpr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.typ = tInt
+		return tInt, nil
+	case *FloatLit:
+		x.typ = tFloat
+		return tFloat, nil
+	case *StrLit:
+		x.typ = tString
+		return tString, nil
+	case *BoolLit:
+		x.typ = tBool
+		return tBool, nil
+	case *NullLit:
+		x.typ = tNull
+		return tNull, nil
+	case *This:
+		if c.curMethod.static {
+			return nil, errf(x.Pos, "'this' in static method %s", c.curMethod.qname())
+		}
+		x.typ = c.curClass.typ
+		return x.typ, nil
+	case *Ident:
+		return c.checkIdent(x)
+	case *Unary:
+		return c.checkUnary(x)
+	case *Binary:
+		return c.checkBinary(x)
+	case *InstanceOf:
+		xt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != KClass && xt.Kind != KNull {
+			return nil, errf(x.Pos, "instanceof requires a class reference, got %s", xt)
+		}
+		cs, ok := c.classes[x.Class]
+		if !ok {
+			return nil, errf(x.Pos, "undefined class %q in instanceof", x.Class)
+		}
+		x.classSym = cs
+		x.typ = tBool
+		return tBool, nil
+	case *Call:
+		return c.checkCall(x)
+	case *FieldAccess:
+		return c.checkFieldAccess(x)
+	case *Index:
+		xt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != KArray {
+			return nil, errf(x.Pos, "indexing non-array type %s", xt)
+		}
+		it, err := c.checkExpr(x.I)
+		if err != nil {
+			return nil, err
+		}
+		if it.Kind != KInt {
+			return nil, errf(x.Pos, "array index must be int, got %s", it)
+		}
+		// Byte elements surface as int.
+		if xt.Elem.Kind == KByte {
+			x.typ = tInt
+		} else {
+			x.typ = xt.Elem
+		}
+		return x.typ, nil
+	case *New:
+		return c.checkNew(x)
+	}
+	return nil, errf(e.Position(), "internal: unknown expression %T", e)
+}
+
+func (c *checker) checkIdent(x *Ident) (*Type, error) {
+	if lv := c.lookupLocal(x.Name); lv != nil {
+		x.Local = lv
+		x.typ = lv.typ
+		return lv.typ, nil
+	}
+	if f := c.curClass.fieldNamed(x.Name); f != nil {
+		if !f.static && c.curMethod.static {
+			return nil, errf(x.Pos, "instance field %q used in static method", x.Name)
+		}
+		x.Field = f
+		x.typ = f.typ
+		return f.typ, nil
+	}
+	if cs, ok := c.classes[x.Name]; ok {
+		x.Class = cs
+		x.typ = cs.typ // only usable as a qualifier; assignments reject it
+		return x.typ, nil
+	}
+	if x.Name == sysClassName {
+		return nil, errf(x.Pos, "Sys has no fields; call Sys.<fn>(...)")
+	}
+	return nil, errf(x.Pos, "undefined identifier %q", x.Name)
+}
+
+func (c *checker) checkUnary(x *Unary) (*Type, error) {
+	t, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case TokMinus:
+		if !t.IsNumeric() {
+			return nil, errf(x.Pos, "unary - on %s", t)
+		}
+		x.typ = t
+		return t, nil
+	case TokNot:
+		if t.Kind != KBool {
+			return nil, errf(x.Pos, "! on %s", t)
+		}
+		x.typ = tBool
+		return tBool, nil
+	}
+	return nil, errf(x.Pos, "internal: unknown unary op")
+}
+
+func (c *checker) checkBinary(x *Binary) (*Type, error) {
+	lt, err := c.checkExpr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.checkExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			return nil, errf(x.Pos, "%s on %s and %s", x.Op, lt, rt)
+		}
+		if lt.Kind == KFloat || rt.Kind == KFloat {
+			x.typ = tFloat
+		} else {
+			x.typ = tInt
+		}
+		return x.typ, nil
+	case TokShl, TokShr, TokUshr, TokAmp, TokPipe, TokCaret:
+		if lt.Kind != KInt || rt.Kind != KInt {
+			return nil, errf(x.Pos, "%s requires int operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.typ = tInt
+		return tInt, nil
+	case TokLt, TokLe, TokGt, TokGe:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			return nil, errf(x.Pos, "%s on %s and %s", x.Op, lt, rt)
+		}
+		x.typ = tBool
+		return tBool, nil
+	case TokEq, TokNe:
+		ok := (lt.IsNumeric() && rt.IsNumeric()) ||
+			(lt.Kind == KBool && rt.Kind == KBool) ||
+			(lt.IsRef() && rt.IsRef() && (lt.assignableTo(rt) || rt.assignableTo(lt)))
+		if !ok {
+			return nil, errf(x.Pos, "%s on incompatible types %s and %s", x.Op, lt, rt)
+		}
+		x.typ = tBool
+		return tBool, nil
+	case TokAndAnd, TokOrOr:
+		if lt.Kind != KBool || rt.Kind != KBool {
+			return nil, errf(x.Pos, "%s requires boolean operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.typ = tBool
+		return tBool, nil
+	}
+	return nil, errf(x.Pos, "internal: unknown binary op %s", x.Op)
+}
+
+func (c *checker) checkCall(x *Call) (*Type, error) {
+	// Sys builtins.
+	if id, ok := x.Recv.(*Ident); ok && id.Name == sysClassName {
+		fn, ok := sysBuiltins[x.Name]
+		if !ok {
+			return nil, errf(x.Pos, "unknown builtin Sys.%s", x.Name)
+		}
+		if err := c.checkArgs(x.Pos, "Sys."+x.Name, fn.params, x.Args); err != nil {
+			return nil, err
+		}
+		x.builtin = fn
+		x.typ = fn.ret
+		return fn.ret, nil
+	}
+
+	var ms *methodSym
+	switch {
+	case x.Recv == nil:
+		// Bare call: method of the current class (static, or instance via
+		// implicit this).
+		ms = c.curClass.methodNamed(x.Name)
+		if ms == nil {
+			return nil, errf(x.Pos, "class %q has no method %q", c.curClass.name, x.Name)
+		}
+		if !ms.static && c.curMethod.static {
+			return nil, errf(x.Pos, "instance method %s called from static context", ms.qname())
+		}
+		x.static = ms.static
+	default:
+		// Qualified call: a class name makes it static, otherwise virtual.
+		if id, ok := x.Recv.(*Ident); ok {
+			if cs, isClass := c.classes[id.Name]; isClass && c.lookupLocal(id.Name) == nil && c.curClass.fieldNamed(id.Name) == nil {
+				ms = cs.methodNamed(x.Name)
+				if ms == nil {
+					return nil, errf(x.Pos, "class %q has no method %q", id.Name, x.Name)
+				}
+				if !ms.static {
+					return nil, errf(x.Pos, "instance method %s called via class name", ms.qname())
+				}
+				id.Class = cs
+				id.typ = cs.typ
+				x.static = true
+				break
+			}
+		}
+		rt, err := c.checkExpr(x.Recv)
+		if err != nil {
+			return nil, err
+		}
+		if rt.Kind != KClass {
+			return nil, errf(x.Pos, "method call on non-object type %s", rt)
+		}
+		ms = rt.Class.methodNamed(x.Name)
+		if ms == nil {
+			return nil, errf(x.Pos, "class %q has no method %q", rt.Class.name, x.Name)
+		}
+		if ms.static {
+			return nil, errf(x.Pos, "static method %s called on an instance", ms.qname())
+		}
+	}
+	if err := c.checkArgs(x.Pos, ms.qname(), ms.params, x.Args); err != nil {
+		return nil, err
+	}
+	x.method = ms
+	x.typ = ms.ret
+	return ms.ret, nil
+}
+
+func (c *checker) checkArgs(pos Pos, what string, params []*Type, args []Expr) error {
+	if len(args) != len(params) {
+		return errf(pos, "%s expects %d arguments %s, got %d", what, len(params), describeParams(params), len(args))
+	}
+	for i, a := range args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return err
+		}
+		if !at.assignableTo(params[i]) {
+			return errf(a.Position(), "argument %d of %s: cannot use %s as %s", i+1, what, at, params[i])
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFieldAccess(x *FieldAccess) (*Type, error) {
+	// ClassName.field for statics.
+	if id, ok := x.X.(*Ident); ok {
+		if cs, isClass := c.classes[id.Name]; isClass && c.lookupLocal(id.Name) == nil && c.curClass.fieldNamed(id.Name) == nil {
+			f := cs.fieldNamed(x.Name)
+			if f == nil {
+				return nil, errf(x.Pos, "class %q has no field %q", id.Name, x.Name)
+			}
+			if !f.static {
+				return nil, errf(x.Pos, "instance field %s.%s accessed via class name", cs.name, x.Name)
+			}
+			id.Class = cs
+			id.typ = cs.typ
+			x.field = f
+			x.typ = f.typ
+			return f.typ, nil
+		}
+	}
+	xt, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	if x.Name == "length" && (xt.Kind == KArray || xt.Kind == KString) {
+		x.isLength = true
+		x.typ = tInt
+		return tInt, nil
+	}
+	if xt.Kind != KClass {
+		return nil, errf(x.Pos, "field access on non-object type %s", xt)
+	}
+	f := xt.Class.fieldNamed(x.Name)
+	if f == nil {
+		return nil, errf(x.Pos, "class %q has no field %q", xt.Class.name, x.Name)
+	}
+	if f.static {
+		return nil, errf(x.Pos, "static field %s.%s accessed via an instance", f.class.name, x.Name)
+	}
+	x.field = f
+	x.typ = f.typ
+	return f.typ, nil
+}
+
+func (c *checker) checkNew(x *New) (*Type, error) {
+	if x.Len != nil {
+		// Array allocation.
+		lt, err := c.checkExpr(x.Len)
+		if err != nil {
+			return nil, err
+		}
+		if lt.Kind != KInt {
+			return nil, errf(x.Pos, "array length must be int, got %s", lt)
+		}
+		elem, err := c.resolveType(TypeExpr{Pos: x.Pos, Name: x.TypeName, Dims: x.ExtraDims})
+		if err != nil {
+			return nil, err
+		}
+		if elem.Kind == KVoid {
+			return nil, errf(x.Pos, "array of void")
+		}
+		x.typ = arrayOf(elem)
+		return x.typ, nil
+	}
+	// Object allocation.
+	cs, ok := c.classes[x.TypeName]
+	if !ok {
+		return nil, errf(x.Pos, "undefined class %q", x.TypeName)
+	}
+	x.classSym = cs
+	ctor := cs.methodNamed("init")
+	if ctor != nil && !ctor.static {
+		if err := c.checkArgs(x.Pos, cs.name+".init", ctor.params, x.Args); err != nil {
+			return nil, err
+		}
+		x.ctor = ctor
+	} else if len(x.Args) > 0 {
+		return nil, errf(x.Pos, "class %q has no init method but new was given arguments", cs.name)
+	}
+	x.typ = cs.typ
+	return x.typ, nil
+}
+
+// alwaysReturns conservatively reports whether every path through the
+// statement ends in a return.
+func alwaysReturns(s Stmt) bool {
+	switch st := s.(type) {
+	case *Return:
+		return true
+	case *Throw:
+		// A throw never falls through; either a handler takes over or the
+		// program terminates.
+		return true
+	case *Try:
+		return alwaysReturns(st.Body) && alwaysReturns(st.Catch)
+	case *Block:
+		for _, inner := range st.Stmts {
+			if alwaysReturns(inner) {
+				return true
+			}
+		}
+		return false
+	case *If:
+		return st.Else != nil && alwaysReturns(st.Then) && alwaysReturns(st.Else)
+	case *While:
+		// "while (true)" with no break is treated as returning (the method
+		// cannot fall off its end); anything else may exit the loop.
+		if b, ok := st.Cond.(*BoolLit); ok && b.Val {
+			return !hasBreak(st.Body)
+		}
+		return false
+	case *For:
+		if st.Cond == nil {
+			return !hasBreak(st.Body)
+		}
+		return false
+	}
+	return false
+}
+
+func hasBreak(s Stmt) bool {
+	switch st := s.(type) {
+	case *Break:
+		return true
+	case *Block:
+		for _, inner := range st.Stmts {
+			if hasBreak(inner) {
+				return true
+			}
+		}
+	case *If:
+		if hasBreak(st.Then) {
+			return true
+		}
+		if st.Else != nil {
+			return hasBreak(st.Else)
+		}
+	}
+	// Nested loops own their breaks.
+	return false
+}

@@ -1,0 +1,929 @@
+package minijava
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bytecode"
+	"repro/internal/classfile"
+)
+
+// Compile compiles MiniJava source to a linked program. The entry point is
+// the unique static void main() method; use CompileWithEntry when several
+// classes declare one.
+func Compile(src string) (*classfile.Program, error) {
+	return compile(src, "")
+}
+
+// CompileWithEntry compiles with an explicit entry class.
+func CompileWithEntry(src, entryClass string) (*classfile.Program, error) {
+	return compile(src, entryClass)
+}
+
+func compile(src, entryClass string) (*classfile.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := analyze(file)
+	if err != nil {
+		return nil, err
+	}
+	if entryClass == "" {
+		entryClass, err = findEntry(file, classes)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cs := classes[entryClass]
+		if cs == nil {
+			return nil, fmt.Errorf("minijava: entry class %q not found", entryClass)
+		}
+		if !isMain(cs.methods["main"]) {
+			return nil, fmt.Errorf("minijava: class %q has no static void main()", entryClass)
+		}
+	}
+
+	g := &codegen{b: classfile.NewBuilder(), classes: classes}
+	g.emitSysClass()
+	// Declare classes in source order for deterministic output.
+	for _, cd := range file.Classes {
+		g.declareClass(cd)
+	}
+	for _, cd := range file.Classes {
+		for _, md := range cd.Methods {
+			if err := g.genMethod(classes[cd.Name], md); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g.b.SetEntry(entryClass, "main")
+	return g.b.Build()
+}
+
+func isMain(ms *methodSym) bool {
+	return ms != nil && ms.static && ms.ret.Kind == KVoid && len(ms.params) == 0 && ms.name == "main"
+}
+
+func findEntry(file *File, classes map[string]*classSym) (string, error) {
+	var found []string
+	for _, cd := range file.Classes {
+		if isMain(classes[cd.Name].methods["main"]) {
+			found = append(found, cd.Name)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return "", fmt.Errorf("minijava: no class declares static void main()")
+	case 1:
+		return found[0], nil
+	}
+	sort.Strings(found)
+	return "", fmt.Errorf("minijava: multiple main methods (%v); use CompileWithEntry", found)
+}
+
+type codegen struct {
+	b       *classfile.Builder
+	classes map[string]*classSym
+
+	// Per-method state.
+	enc               *bytecode.Encoder
+	cur               *methodSym
+	out               *classfile.Method // the method object being filled
+	breakLbl          []*label
+	contLbl           []*label
+	lastWasTerminator bool
+}
+
+// method returns the classfile method under construction.
+func (g *codegen) method() *classfile.Method { return g.out }
+
+// label supports forward branch references.
+type label struct {
+	bound  bool
+	pc     uint32
+	fixups []uint32
+}
+
+func (g *codegen) newLabel() *label { return &label{} }
+
+func (g *codegen) bind(l *label) {
+	if l.bound {
+		panic("minijava: label bound twice")
+	}
+	l.bound = true
+	l.pc = g.enc.PC()
+	for _, pc := range l.fixups {
+		if err := g.enc.Fixup(pc, l.pc); err != nil {
+			panic(err)
+		}
+	}
+	l.fixups = nil
+	g.lastWasTerminator = false
+}
+
+func (g *codegen) emit(in bytecode.Instr) {
+	if _, err := g.enc.Emit(in); err != nil {
+		panic(err)
+	}
+	// Calls are block terminators but still fall through to a return site,
+	// so only returns, gotos, switches, and halt end the method's code.
+	switch bytecode.InfoOf(in.Op).Flow {
+	case bytecode.FlowReturn, bytecode.FlowGoto, bytecode.FlowSwitch, bytecode.FlowHalt:
+		g.lastWasTerminator = true
+	default:
+		g.lastWasTerminator = false
+	}
+}
+
+func (g *codegen) op(op bytecode.Op) { g.emit(bytecode.Instr{Op: op}) }
+
+func (g *codegen) opA(op bytecode.Op, a int32) { g.emit(bytecode.Instr{Op: op, A: a}) }
+
+// branch emits a branch instruction targeting l, recording a fixup if l is
+// not yet bound.
+func (g *codegen) branch(op bytecode.Op, l *label) {
+	pc, err := g.enc.Emit(bytecode.Instr{Op: op, A: int32(l.pc)})
+	if err != nil {
+		panic(err)
+	}
+	if !l.bound {
+		l.fixups = append(l.fixups, pc)
+	}
+	g.lastWasTerminator = true
+}
+
+// emitSysClass synthesizes the builtin class backing Sys.* calls.
+func (g *codegen) emitSysClass() {
+	cb := g.b.Class(sysClassName)
+	names := make([]string, 0, len(sysBuiltins))
+	for n := range sysBuiltins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn := sysBuiltins[n]
+		if fn.native == "" {
+			continue // intrinsics never become methods
+		}
+		params := make([]classfile.Type, len(fn.params))
+		for i, p := range fn.params {
+			params[i] = toClassfileType(p)
+		}
+		cb.NativeMethod(fn.name, params, toClassfileType(fn.ret), true, fn.native)
+	}
+}
+
+func toClassfileType(t *Type) classfile.Type {
+	switch t.Kind {
+	case KVoid:
+		return classfile.TVoid
+	case KInt, KBool, KByte:
+		return classfile.TInt
+	case KFloat:
+		return classfile.TFloat
+	default:
+		return classfile.TRef
+	}
+}
+
+func (g *codegen) declareClass(cd *ClassDecl) {
+	cb := g.b.Class(cd.Name)
+	if cd.Super != "" {
+		cb.Extends(cd.Super)
+	}
+	cs := g.classes[cd.Name]
+	for _, fd := range cd.Fields {
+		f := cs.fields[fd.Name]
+		if fd.Static {
+			cb.StaticField(fd.Name, toClassfileType(f.typ))
+		} else {
+			cb.Field(fd.Name, toClassfileType(f.typ))
+		}
+	}
+}
+
+func (g *codegen) genMethod(cs *classSym, md *MethodDecl) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("minijava: codegen %s.%s: %w", cs.name, md.Name, e)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	ms := cs.methods[md.Name]
+	cb := g.b.Class(cs.name)
+	params := make([]classfile.Type, len(ms.params))
+	for i, p := range ms.params {
+		params[i] = toClassfileType(p)
+	}
+	m := cb.Method(md.Name, params, toClassfileType(ms.ret), md.Static)
+	m.MaxLocals = md.maxSlots
+	if m.MaxLocals < m.NArgs() {
+		m.MaxLocals = m.NArgs()
+	}
+
+	g.enc = bytecode.NewEncoder()
+	g.cur = ms
+	g.out = m
+	g.breakLbl = nil
+	g.contLbl = nil
+	g.lastWasTerminator = false
+
+	g.genBlock(md.Body)
+
+	// Guarantee the method cannot fall off its code. For void methods this
+	// is the implicit return; for value methods the checker proved every
+	// path returns, so the epilogue is unreachable filler that satisfies
+	// the structural validator.
+	if !g.lastWasTerminator {
+		switch ms.ret.Kind {
+		case KVoid:
+			g.op(bytecode.ReturnVoid)
+		case KFloat:
+			g.emit(bytecode.Instr{Op: bytecode.FConst})
+			g.op(bytecode.FReturn)
+		case KInt, KBool:
+			g.opA(bytecode.IConst, 0)
+			g.op(bytecode.IReturn)
+		default:
+			g.op(bytecode.AConstNull)
+			g.op(bytecode.AReturn)
+		}
+	}
+	m.Code = g.enc.Bytes()
+	return nil
+}
+
+func (g *codegen) genBlock(b *Block) {
+	for _, s := range b.Stmts {
+		g.genStmt(s)
+	}
+}
+
+func (g *codegen) genStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		g.genBlock(st)
+	case *VarDecl:
+		if st.Init != nil {
+			g.genExprConv(st.Init, st.local.typ)
+			g.storeLocal(st.local)
+		}
+	case *If:
+		thenL, elseL, endL := g.newLabel(), g.newLabel(), g.newLabel()
+		g.genCond(st.Cond, thenL, elseL)
+		g.bind(thenL)
+		g.genStmt(st.Then)
+		if st.Else != nil {
+			g.branch(bytecode.Goto, endL)
+			g.bind(elseL)
+			g.genStmt(st.Else)
+			g.bind(endL)
+		} else {
+			g.bind(elseL)
+		}
+	case *While:
+		startL, bodyL, endL := g.newLabel(), g.newLabel(), g.newLabel()
+		g.bind(startL)
+		g.genCond(st.Cond, bodyL, endL)
+		g.bind(bodyL)
+		g.pushLoop(endL, startL)
+		g.genStmt(st.Body)
+		g.popLoop()
+		g.branch(bytecode.Goto, startL)
+		g.bind(endL)
+	case *For:
+		if st.Init != nil {
+			g.genStmt(st.Init)
+		}
+		startL, bodyL, contL, endL := g.newLabel(), g.newLabel(), g.newLabel(), g.newLabel()
+		g.bind(startL)
+		if st.Cond != nil {
+			g.genCond(st.Cond, bodyL, endL)
+			g.bind(bodyL)
+		} else {
+			g.bind(bodyL)
+		}
+		g.pushLoop(endL, contL)
+		g.genStmt(st.Body)
+		g.popLoop()
+		g.bind(contL)
+		if st.Post != nil {
+			g.genStmt(st.Post)
+		}
+		g.branch(bytecode.Goto, startL)
+		g.bind(endL)
+	case *Return:
+		if st.Val == nil {
+			g.op(bytecode.ReturnVoid)
+			return
+		}
+		g.genExprConv(st.Val, g.cur.ret)
+		switch g.cur.ret.Kind {
+		case KFloat:
+			g.op(bytecode.FReturn)
+		case KInt, KBool:
+			g.op(bytecode.IReturn)
+		default:
+			g.op(bytecode.AReturn)
+		}
+	case *Break:
+		g.branch(bytecode.Goto, g.breakLbl[len(g.breakLbl)-1])
+	case *Continue:
+		g.branch(bytecode.Goto, g.contLbl[len(g.contLbl)-1])
+	case *Switch:
+		g.genSwitch(st)
+	case *Throw:
+		g.genExpr(st.X)
+		g.op(bytecode.Throw)
+	case *Try:
+		// Layout: [start] body [end] goto done; handler: astore var; catch;
+		// done: — the protected range covers exactly the body's code.
+		start := g.enc.PC()
+		g.genBlock(st.Body)
+		end := g.enc.PC()
+		doneL, handlerL := g.newLabel(), g.newLabel()
+		if !g.lastWasTerminator {
+			g.branch(bytecode.Goto, doneL)
+		}
+		g.bind(handlerL)
+		handlerPC := handlerL.pc
+		g.opA(bytecode.AStore, int32(st.catchLocal.slot))
+		g.genBlock(st.Catch)
+		g.bind(doneL)
+		if start != end {
+			g.method().Handlers = append(g.method().Handlers, classfile.Handler{
+				StartPC:   start,
+				EndPC:     end,
+				HandlerPC: handlerPC,
+				ClassIdx:  int32(g.b.ClassIndex(st.catchSym.name)),
+			})
+		}
+	case *ExprStmt:
+		g.genExpr(st.E)
+		if t := TypeOf(st.E); t != nil && t.Kind != KVoid {
+			g.op(bytecode.Pop)
+		}
+	case *Assign:
+		g.genAssign(st)
+	default:
+		panic(fmt.Errorf("unknown statement %T", s))
+	}
+}
+
+// genSwitch emits a tableswitch when the labels are dense and a
+// lookupswitch otherwise; case bodies fall through in source order, and
+// break branches to the end label.
+func (g *codegen) genSwitch(st *Switch) {
+	g.genExpr(st.Tag)
+
+	endL := g.newLabel()
+	defaultL := endL
+	if st.Default != nil {
+		defaultL = g.newLabel()
+	}
+	groupL := make([]*label, len(st.Cases))
+	for i := range st.Cases {
+		groupL[i] = g.newLabel()
+	}
+
+	// Gather labels and decide the encoding.
+	var minV, maxV int64
+	count := 0
+	valueGroup := map[int64]int{}
+	for gi, grp := range st.Cases {
+		for _, v := range grp.Vals {
+			if count == 0 || v < minV {
+				minV = v
+			}
+			if count == 0 || v > maxV {
+				maxV = v
+			}
+			valueGroup[v] = gi
+			count++
+		}
+	}
+
+	var swPC uint32
+	var tableLen int
+	var lookupKeys []int32
+	useTable := false
+	if count > 0 {
+		span := maxV - minV + 1
+		useTable = span <= int64(2*count+8) && span <= 1024
+	}
+	if count == 0 {
+		// Degenerate: no cases; the tag is popped, control goes to default.
+		g.op(bytecode.Pop)
+		if st.Default != nil {
+			g.bind(defaultL)
+			for _, s := range st.Default {
+				g.genStmt(s)
+			}
+		}
+		g.bind(endL)
+		return
+	}
+	if useTable {
+		tableLen = int(maxV - minV + 1)
+		pc, err := g.enc.Emit(bytecode.Instr{
+			Op:      bytecode.TableSwitch,
+			A:       int32(minV),
+			Targets: make([]uint32, tableLen),
+		})
+		if err != nil {
+			panic(err)
+		}
+		swPC = pc
+	} else {
+		keys := make([]int32, 0, count)
+		for v := range valueGroup {
+			keys = append(keys, int32(v))
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		pc, err := g.enc.Emit(bytecode.Instr{
+			Op:      bytecode.LookupSwitch,
+			Keys:    keys,
+			Targets: make([]uint32, len(keys)),
+		})
+		if err != nil {
+			panic(err)
+		}
+		swPC = pc
+		lookupKeys = keys
+	}
+	g.lastWasTerminator = true
+
+	// Bodies in source order, with fallthrough.
+	g.breakLbl = append(g.breakLbl, endL)
+	for gi, grp := range st.Cases {
+		g.bind(groupL[gi])
+		for _, s := range grp.Body {
+			g.genStmt(s)
+		}
+	}
+	if st.Default != nil {
+		g.bind(defaultL)
+		for _, s := range st.Default {
+			g.genStmt(s)
+		}
+	}
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.bind(endL)
+
+	// Patch the switch targets now that every label is bound.
+	if err := g.enc.FixupSwitchTarget(swPC, -1, defaultL.pc); err != nil {
+		panic(err)
+	}
+	if useTable {
+		for slot := 0; slot < tableLen; slot++ {
+			v := minV + int64(slot)
+			target := defaultL.pc
+			if gi, ok := valueGroup[v]; ok {
+				target = groupL[gi].pc
+			}
+			if err := g.enc.FixupSwitchTarget(swPC, slot, target); err != nil {
+				panic(err)
+			}
+		}
+	} else {
+		for i, k := range lookupKeys {
+			gi := valueGroup[int64(k)]
+			if err := g.enc.FixupSwitchTarget(swPC, i, groupL[gi].pc); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+func (g *codegen) pushLoop(brk, cont *label) {
+	g.breakLbl = append(g.breakLbl, brk)
+	g.contLbl = append(g.contLbl, cont)
+}
+
+func (g *codegen) popLoop() {
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.contLbl = g.contLbl[:len(g.contLbl)-1]
+}
+
+func (g *codegen) storeLocal(lv *localVar) {
+	switch {
+	case lv.typ.IsRef():
+		g.opA(bytecode.AStore, int32(lv.slot))
+	case lv.typ.Kind == KFloat:
+		g.opA(bytecode.FStore, int32(lv.slot))
+	default:
+		g.opA(bytecode.IStore, int32(lv.slot))
+	}
+}
+
+func (g *codegen) loadLocal(lv *localVar) {
+	switch {
+	case lv.typ.IsRef():
+		g.opA(bytecode.ALoad, int32(lv.slot))
+	case lv.typ.Kind == KFloat:
+		g.opA(bytecode.FLoad, int32(lv.slot))
+	default:
+		g.opA(bytecode.ILoad, int32(lv.slot))
+	}
+}
+
+func (g *codegen) genAssign(st *Assign) {
+	rhsType := TypeOf(st.RHS)
+	switch lhs := st.LHS.(type) {
+	case *Ident:
+		switch {
+		case lhs.Local != nil:
+			// Integer increment pattern: i = i + k compiles to iinc.
+			if g.tryIInc(lhs, st.RHS) {
+				return
+			}
+			g.genExprConv(st.RHS, lhs.Local.typ)
+			g.storeLocal(lhs.Local)
+		case lhs.Field != nil && lhs.Field.static:
+			g.genExprConv(st.RHS, lhs.Field.typ)
+			g.opA(bytecode.PutStatic, int32(g.b.FieldRef(lhs.Field.class.name, lhs.Field.name, true)))
+		case lhs.Field != nil:
+			g.opA(bytecode.ALoad, 0) // this
+			g.genExprConv(st.RHS, lhs.Field.typ)
+			g.opA(bytecode.PutField, int32(g.b.FieldRef(lhs.Field.class.name, lhs.Field.name, false)))
+		default:
+			panic(fmt.Errorf("unresolved assignment target %q", lhs.Name))
+		}
+	case *FieldAccess:
+		f := lhs.field
+		if f.static {
+			g.genExprConv(st.RHS, f.typ)
+			g.opA(bytecode.PutStatic, int32(g.b.FieldRef(f.class.name, f.name, true)))
+			return
+		}
+		g.genExpr(lhs.X)
+		g.genExprConv(st.RHS, f.typ)
+		g.opA(bytecode.PutField, int32(g.b.FieldRef(f.class.name, f.name, false)))
+	case *Index:
+		arrType := TypeOf(lhs.X)
+		g.genExpr(lhs.X)
+		g.genExpr(lhs.I)
+		elem := arrType.Elem
+		// Element conversions: int literals into float arrays, etc.
+		switch elem.Kind {
+		case KFloat:
+			g.genExprConv(st.RHS, tFloat)
+			g.op(bytecode.FAStore)
+		case KByte:
+			g.genExprConv(st.RHS, tInt)
+			g.op(bytecode.BAStore)
+		case KInt, KBool:
+			g.genExprConv(st.RHS, tInt)
+			g.op(bytecode.IAStore)
+		default:
+			g.genExpr(st.RHS)
+			g.op(bytecode.AAStore)
+		}
+		_ = rhsType
+	default:
+		panic(fmt.Errorf("unknown assignment target %T", st.LHS))
+	}
+}
+
+// tryIInc emits iinc for "i = i + k" / "i = i - k" on int locals.
+func (g *codegen) tryIInc(lhs *Ident, rhs Expr) bool {
+	if lhs.Local.typ.Kind != KInt {
+		return false
+	}
+	bin, ok := rhs.(*Binary)
+	if !ok || (bin.Op != TokPlus && bin.Op != TokMinus) {
+		return false
+	}
+	id, ok := bin.L.(*Ident)
+	if !ok || id.Local != lhs.Local {
+		return false
+	}
+	lit, ok := bin.R.(*IntLit)
+	if !ok {
+		return false
+	}
+	delta := lit.Val
+	if bin.Op == TokMinus {
+		delta = -delta
+	}
+	if delta < -1<<15 || delta >= 1<<15 {
+		return false
+	}
+	g.emit(bytecode.Instr{Op: bytecode.IInc, A: int32(lhs.Local.slot), B: int32(delta)})
+	return true
+}
+
+// genExprConv generates e and widens int to float when want requires it.
+func (g *codegen) genExprConv(e Expr, want *Type) {
+	g.genExpr(e)
+	if t := TypeOf(e); t != nil && t.Kind == KInt && want.Kind == KFloat {
+		g.op(bytecode.I2F)
+	}
+}
+
+func (g *codegen) genExpr(e Expr) {
+	switch x := e.(type) {
+	case *IntLit:
+		g.emitIntConst(x.Val)
+	case *FloatLit:
+		g.emit(bytecode.Instr{Op: bytecode.FConst, F: x.Val})
+	case *StrLit:
+		g.opA(bytecode.SConst, int32(g.b.String(x.Val)))
+	case *BoolLit:
+		if x.Val {
+			g.opA(bytecode.IConst, 1)
+		} else {
+			g.opA(bytecode.IConst, 0)
+		}
+	case *NullLit:
+		g.op(bytecode.AConstNull)
+	case *This:
+		g.opA(bytecode.ALoad, 0)
+	case *Ident:
+		switch {
+		case x.Local != nil:
+			g.loadLocal(x.Local)
+		case x.Field != nil && x.Field.static:
+			g.opA(bytecode.GetStatic, int32(g.b.FieldRef(x.Field.class.name, x.Field.name, true)))
+		case x.Field != nil:
+			g.opA(bytecode.ALoad, 0)
+			g.opA(bytecode.GetField, int32(g.b.FieldRef(x.Field.class.name, x.Field.name, false)))
+		default:
+			panic(fmt.Errorf("identifier %q evaluated as a value", x.Name))
+		}
+	case *Unary:
+		switch x.Op {
+		case TokMinus:
+			g.genExpr(x.X)
+			if TypeOf(x.X).Kind == KFloat {
+				g.op(bytecode.FNeg)
+			} else {
+				g.op(bytecode.INeg)
+			}
+		case TokNot:
+			g.materializeCond(x)
+		}
+	case *Binary:
+		g.genBinary(x)
+	case *InstanceOf:
+		g.genExpr(x.X)
+		g.opA(bytecode.InstanceOf, int32(g.b.ClassIndex(x.classSym.name)))
+	case *Call:
+		g.genCall(x)
+	case *FieldAccess:
+		if x.isLength {
+			g.genExpr(x.X)
+			g.op(bytecode.ArrayLength)
+			return
+		}
+		if x.field.static {
+			g.opA(bytecode.GetStatic, int32(g.b.FieldRef(x.field.class.name, x.field.name, true)))
+			return
+		}
+		g.genExpr(x.X)
+		g.opA(bytecode.GetField, int32(g.b.FieldRef(x.field.class.name, x.field.name, false)))
+	case *Index:
+		g.genExpr(x.X)
+		g.genExpr(x.I)
+		switch TypeOf(x.X).Elem.Kind {
+		case KFloat:
+			g.op(bytecode.FALoad)
+		case KByte:
+			g.op(bytecode.BALoad)
+		case KInt, KBool:
+			g.op(bytecode.IALoad)
+		default:
+			g.op(bytecode.AALoad)
+		}
+	case *New:
+		g.genNew(x)
+	default:
+		panic(fmt.Errorf("unknown expression %T", e))
+	}
+}
+
+func (g *codegen) emitIntConst(v int64) {
+	if v >= -1<<31 && v < 1<<31 {
+		g.opA(bytecode.IConst, int32(v))
+		return
+	}
+	// 64-bit constant: (hi << 32) | (lo32 as unsigned).
+	hi := int32(v >> 32)
+	lo := uint32(v)
+	g.opA(bytecode.IConst, hi)
+	g.opA(bytecode.IConst, 32)
+	g.op(bytecode.IShl)
+	g.opA(bytecode.IConst, int32(lo>>16))
+	g.opA(bytecode.IConst, 16)
+	g.op(bytecode.IShl)
+	g.opA(bytecode.IConst, int32(lo&0xffff))
+	g.op(bytecode.IOr)
+	g.op(bytecode.IOr)
+}
+
+func (g *codegen) genBinary(x *Binary) {
+	switch x.Op {
+	case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+		res := x.typ
+		g.genExprConv(x.L, res)
+		g.genExprConv(x.R, res)
+		ops := map[TokKind][2]bytecode.Op{
+			TokPlus:    {bytecode.IAdd, bytecode.FAdd},
+			TokMinus:   {bytecode.ISub, bytecode.FSub},
+			TokStar:    {bytecode.IMul, bytecode.FMul},
+			TokSlash:   {bytecode.IDiv, bytecode.FDiv},
+			TokPercent: {bytecode.IRem, bytecode.FRem},
+		}[x.Op]
+		if res.Kind == KFloat {
+			g.op(ops[1])
+		} else {
+			g.op(ops[0])
+		}
+	case TokShl, TokShr, TokUshr, TokAmp, TokPipe, TokCaret:
+		g.genExpr(x.L)
+		g.genExpr(x.R)
+		g.op(map[TokKind]bytecode.Op{
+			TokShl: bytecode.IShl, TokShr: bytecode.IShr, TokUshr: bytecode.IUshr,
+			TokAmp: bytecode.IAnd, TokPipe: bytecode.IOr, TokCaret: bytecode.IXor,
+		}[x.Op])
+	default:
+		// Comparisons and logical operators produce a materialized boolean.
+		g.materializeCond(x)
+	}
+}
+
+// materializeCond evaluates a boolean expression to 0/1 on the stack.
+func (g *codegen) materializeCond(e Expr) {
+	trueL, falseL, endL := g.newLabel(), g.newLabel(), g.newLabel()
+	g.genCond(e, trueL, falseL)
+	g.bind(trueL)
+	g.opA(bytecode.IConst, 1)
+	g.branch(bytecode.Goto, endL)
+	g.bind(falseL)
+	g.opA(bytecode.IConst, 0)
+	g.bind(endL)
+}
+
+// genCond compiles a boolean expression as control flow: it always branches
+// to trueL or falseL and never falls through. Conditional contexts (if,
+// while, &&) use it directly so comparisons compile to single branch
+// instructions, the shape the interpreter's block dispatch profile expects.
+func (g *codegen) genCond(e Expr, trueL, falseL *label) {
+	switch x := e.(type) {
+	case *BoolLit:
+		if x.Val {
+			g.branch(bytecode.Goto, trueL)
+		} else {
+			g.branch(bytecode.Goto, falseL)
+		}
+		return
+	case *Unary:
+		if x.Op == TokNot {
+			g.genCond(x.X, falseL, trueL)
+			return
+		}
+	case *Binary:
+		switch x.Op {
+		case TokAndAnd:
+			mid := g.newLabel()
+			g.genCond(x.L, mid, falseL)
+			g.bind(mid)
+			g.genCond(x.R, trueL, falseL)
+			return
+		case TokOrOr:
+			mid := g.newLabel()
+			g.genCond(x.L, trueL, mid)
+			g.bind(mid)
+			g.genCond(x.R, trueL, falseL)
+			return
+		case TokLt, TokLe, TokGt, TokGe, TokEq, TokNe:
+			g.genCompare(x, trueL, falseL)
+			return
+		}
+	}
+	// Generic boolean value: branch on nonzero.
+	g.genExpr(e)
+	g.branch(bytecode.IfNe, trueL)
+	g.branch(bytecode.Goto, falseL)
+}
+
+func (g *codegen) genCompare(x *Binary, trueL, falseL *label) {
+	lt, rt := TypeOf(x.L), TypeOf(x.R)
+
+	// Reference equality.
+	if (x.Op == TokEq || x.Op == TokNe) && lt.IsRef() && rt.IsRef() {
+		g.genExpr(x.L)
+		g.genExpr(x.R)
+		if x.Op == TokEq {
+			g.branch(bytecode.IfACmpEq, trueL)
+		} else {
+			g.branch(bytecode.IfACmpNe, trueL)
+		}
+		g.branch(bytecode.Goto, falseL)
+		return
+	}
+
+	// Boolean equality compiles as integer equality.
+	isFloat := lt.Kind == KFloat || rt.Kind == KFloat
+	if isFloat {
+		g.genExprConv(x.L, tFloat)
+		g.genExprConv(x.R, tFloat)
+		// NaN must compare false: pick the fcmp variant that pushes the
+		// failing value for the subsequent test, as javac does.
+		var cmp bytecode.Op
+		switch x.Op {
+		case TokLt, TokLe:
+			cmp = bytecode.FCmpG
+		default:
+			cmp = bytecode.FCmpL
+		}
+		g.op(cmp)
+		g.branch(map[TokKind]bytecode.Op{
+			TokLt: bytecode.IfLt, TokLe: bytecode.IfLe,
+			TokGt: bytecode.IfGt, TokGe: bytecode.IfGe,
+			TokEq: bytecode.IfEq, TokNe: bytecode.IfNe,
+		}[x.Op], trueL)
+		g.branch(bytecode.Goto, falseL)
+		return
+	}
+
+	g.genExpr(x.L)
+	g.genExpr(x.R)
+	g.branch(map[TokKind]bytecode.Op{
+		TokLt: bytecode.IfICmpLt, TokLe: bytecode.IfICmpLe,
+		TokGt: bytecode.IfICmpGt, TokGe: bytecode.IfICmpGe,
+		TokEq: bytecode.IfICmpEq, TokNe: bytecode.IfICmpNe,
+	}[x.Op], trueL)
+	g.branch(bytecode.Goto, falseL)
+}
+
+func (g *codegen) genCall(x *Call) {
+	if x.builtin != nil {
+		for i, a := range x.Args {
+			g.genExprConv(a, x.builtin.params[i])
+		}
+		switch x.builtin.intrinsic {
+		case "i2f":
+			g.op(bytecode.I2F)
+			return
+		case "f2i":
+			g.op(bytecode.F2I)
+			return
+		}
+		g.opA(bytecode.InvokeStatic, int32(g.b.MethodRef(sysClassName, x.builtin.name, classfile.RefStatic)))
+		return
+	}
+
+	ms := x.method
+	if ms.static {
+		for i, a := range x.Args {
+			g.genExprConv(a, ms.params[i])
+		}
+		g.opA(bytecode.InvokeStatic, int32(g.b.MethodRef(ms.class.name, ms.name, classfile.RefStatic)))
+		return
+	}
+
+	// Instance call: receiver first.
+	if x.Recv != nil {
+		g.genExpr(x.Recv)
+	} else {
+		g.opA(bytecode.ALoad, 0) // implicit this
+	}
+	for i, a := range x.Args {
+		g.genExprConv(a, ms.params[i])
+	}
+	g.opA(bytecode.InvokeVirtual, int32(g.b.MethodRef(ms.class.name, ms.name, classfile.RefVirtual)))
+}
+
+func (g *codegen) genNew(x *New) {
+	if x.Len != nil {
+		g.genExpr(x.Len)
+		elem := x.typ.Elem
+		var kind int32
+		switch elem.Kind {
+		case KInt, KBool:
+			kind = bytecode.ElemInt
+		case KFloat:
+			kind = bytecode.ElemFloat
+		case KByte:
+			kind = bytecode.ElemByte
+		default:
+			kind = bytecode.ElemRef
+		}
+		g.emit(bytecode.Instr{Op: bytecode.NewArray, A: kind})
+		return
+	}
+	g.opA(bytecode.New, int32(g.b.ClassIndex(x.classSym.name)))
+	if x.ctor != nil {
+		g.op(bytecode.Dup)
+		for i, a := range x.Args {
+			g.genExprConv(a, x.ctor.params[i])
+		}
+		g.opA(bytecode.InvokeSpecial, int32(g.b.MethodRef(x.ctor.class.name, x.ctor.name, classfile.RefSpecial)))
+	}
+}

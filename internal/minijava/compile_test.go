@@ -1,0 +1,438 @@
+package minijava_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/minijava"
+	"repro/internal/vm"
+)
+
+// run compiles and executes a MiniJava program, returning its output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := minijava.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	var out bytes.Buffer
+	m, err := vm.New(prog, pcfg, vm.Options{Out: &out, MaxSteps: 50_000_000})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v\noutput so far: %s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestFibRecursive(t *testing.T) {
+	got := run(t, `
+class Main {
+    static int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    static void main() {
+        Sys.printlnInt(fib(20));
+    }
+}`)
+	if got != "6765\n" {
+		t.Errorf("fib(20) output = %q, want 6765", got)
+	}
+}
+
+func TestVirtualDispatchAndInheritance(t *testing.T) {
+	got := run(t, `
+class Shape {
+    float area() { return 0.0; }
+    int id() { return 0; }
+}
+class Circle extends Shape {
+    float r;
+    void init(float radius) { r = radius; }
+    float area() { return 3.0 * r * r; }
+    int id() { return 1; }
+}
+class Square extends Shape {
+    float s;
+    void init(float side) { s = side; }
+    float area() { return s * s; }
+    int id() { return 2; }
+}
+class Main {
+    static void main() {
+        Shape[] shapes = new Shape[3];
+        shapes[0] = new Shape();
+        shapes[1] = new Circle(2.0);
+        shapes[2] = new Square(3.0);
+        float total = 0.0;
+        int i = 0;
+        while (i < shapes.length) {
+            total = total + shapes[i].area();
+            Sys.printInt(shapes[i].id());
+            i = i + 1;
+        }
+        Sys.println();
+        Sys.printlnFloat(total);
+        if (shapes[1] instanceof Circle) { Sys.printlnInt(100); }
+        if (shapes[1] instanceof Square) { Sys.printlnInt(200); }
+        if (shapes[2] instanceof Shape) { Sys.printlnInt(300); }
+    }
+}`)
+	want := "012\n21\n100\n300\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestArraysLoopsAndArithmetic(t *testing.T) {
+	got := run(t, `
+class Main {
+    static void main() {
+        int[] a = new int[10];
+        for (int i = 0; i < a.length; i = i + 1) { a[i] = i * i; }
+        int sum = 0;
+        for (int i = 0; i < a.length; i = i + 1) { sum = sum + a[i]; }
+        Sys.printlnInt(sum);           // 285
+        Sys.printlnInt(7 % 3);         // 1
+        Sys.printlnInt(1 << 10);       // 1024
+        Sys.printlnInt(-8 >> 1);       // -4
+        Sys.printlnInt(5 & 3);         // 1
+        Sys.printlnInt(5 | 2);         // 7
+        Sys.printlnInt(5 ^ 1);         // 4
+        Sys.printlnInt(-1 >>> 62);     // 3
+        byte[] b = new byte[4];
+        b[0] = 65; b[1] = 66; b[2] = 200; b[3] = 0;
+        Sys.printlnInt(b[2]);          // 200
+        float x = 2.0;
+        Sys.printlnFloat(Sys.sqrt(x * 8.0));   // 4
+        Sys.printlnInt(Sys.toInt(3.9));        // 3
+        Sys.printlnFloat(Sys.toFloat(5) / 2.0); // 2.5
+    }
+}`)
+	want := "285\n1\n1024\n-4\n1\n7\n4\n3\n200\n4\n3\n2.5\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestBooleansAndControlFlow(t *testing.T) {
+	got := run(t, `
+class Main {
+    static boolean odd(int n) { return n % 2 == 1; }
+    static void main() {
+        int count = 0;
+        for (int i = 0; i < 100; i = i + 1) {
+            if (odd(i) && i > 50 || i == 2) { count = count + 1; }
+        }
+        Sys.printlnInt(count);   // odds in 51..99 = 25, plus i==2 -> 26
+        boolean t = true;
+        boolean f = !t;
+        if (t != f) { Sys.printlnInt(1); }
+        int n = 0;
+        while (true) {
+            n = n + 1;
+            if (n >= 5) { break; }
+        }
+        Sys.printlnInt(n);
+        int skipped = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            skipped = skipped + 1;
+        }
+        Sys.printlnInt(skipped);
+    }
+}`)
+	want := "26\n1\n5\n5\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestStringsAndBytes(t *testing.T) {
+	got := run(t, `
+class Main {
+    static void main() {
+        String s = "hello";
+        Sys.printlnInt(s.length);
+        Sys.printlnInt(Sys.strAt(s, 1));   // 'e' = 101
+        byte[] b = Sys.strBytes(s);
+        b[0] = 72;                          // 'H'
+        Sys.printlnStr(Sys.bytesStr(b));
+        Sys.printStr("a");
+        Sys.printStr("b");
+        Sys.println();
+    }
+}`)
+	want := "5\n101\nHello\nab\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestFieldsStaticAndInstance(t *testing.T) {
+	got := run(t, `
+class Counter {
+    static int total;
+    int n;
+    void bump() { n = n + 1; Counter.total = Counter.total + 1; }
+}
+class Main {
+    static void main() {
+        Counter a = new Counter();
+        Counter b = new Counter();
+        for (int i = 0; i < 3; i = i + 1) { a.bump(); }
+        b.bump();
+        Sys.printlnInt(a.n);
+        Sys.printlnInt(b.n);
+        Sys.printlnInt(Counter.total);
+    }
+}`)
+	want := "3\n1\n4\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	got := run(t, `
+class Main {
+    static void main() {
+        float[][] m = new float[3][];
+        for (int i = 0; i < 3; i = i + 1) {
+            m[i] = new float[3];
+            for (int j = 0; j < 3; j = j + 1) {
+                m[i][j] = Sys.toFloat(i * 3 + j);
+            }
+        }
+        float tr = m[0][0] + m[1][1] + m[2][2];
+        Sys.printlnFloat(tr);
+    }
+}`)
+	if got != "12\n" {
+		t.Errorf("output = %q, want 12", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined variable", `class A { static void main() { x = 1; } }`, "undefined identifier"},
+		{"type mismatch", `class A { static void main() { int x = 1.5; } }`, "cannot initialize"},
+		{"bad condition", `class A { static void main() { if (1) {} } }`, "must be boolean"},
+		{"missing return", `class A { static int f() { int x = 0; } static void main() {} }`, "without returning"},
+		{"break outside loop", `class A { static void main() { break; } }`, "break outside loop"},
+		{"dup class", `class A { static void main() {} } class A {}`, "duplicate class"},
+		{"undefined class", `class A extends B { static void main() {} }`, "undefined class"},
+		{"no main", `class A { }`, "no class declares"},
+		{"bad override", `class A { int f() { return 1; } } class B extends A { float f() { return 1.0; } } class M { static void main() {} }`, "different signature"},
+		{"arg count", `class A { static int f(int x) { return x; } static void main() { f(); } }`, "expects 1 arguments"},
+		{"static this", `class A { int x; static void main() { Sys.printlnInt(x); } }`, "static method"},
+		{"unknown builtin", `class A { static void main() { Sys.nope(); } }`, "unknown builtin"},
+		{"reserved sys", `class Sys { static void main() {} }`, "reserved"},
+		{"instanceof int", `class A { static void main() { boolean b = 1 instanceof A; } }`, "class reference"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := minijava.Compile(tc.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRuntimeTraps(t *testing.T) {
+	cases := []struct {
+		name, src string
+		kind      vm.TrapKind
+	}{
+		{"div by zero", `class A { static void main() { int z = 0; Sys.printlnInt(1 / z); } }`, vm.TrapDivByZero},
+		{"null field", `class P { int x; } class A { static void main() { P p = null; Sys.printlnInt(p.x); } }`, vm.TrapNullDeref},
+		{"index oob", `class A { static void main() { int[] a = new int[2]; Sys.printlnInt(a[5]); } }`, vm.TrapIndexOOB},
+		{"negative length", `class A { static void main() { int n = 0 - 3; int[] a = new int[n]; Sys.printlnInt(a.length); } }`, vm.TrapIndexOOB},
+		{"null call", `class P { int f() { return 1; } } class A { static void main() { P p = null; Sys.printlnInt(p.f()); } }`, vm.TrapNullDeref},
+		{"stack overflow", `class A { static int f(int n) { return f(n + 1); } static void main() { Sys.printlnInt(f(0)); } }`, vm.TrapStackOverflow},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := minijava.Compile(tc.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			pcfg, err := cfg.BuildProgram(prog)
+			if err != nil {
+				t.Fatalf("cfg: %v", err)
+			}
+			m, err := vm.New(prog, pcfg, vm.Options{MaxSteps: 10_000_000})
+			if err != nil {
+				t.Fatalf("vm: %v", err)
+			}
+			err = m.Run()
+			trap, ok := vm.AsTrap(err)
+			if !ok {
+				t.Fatalf("run error = %v, want a trap", err)
+			}
+			if trap.Kind != tc.kind {
+				t.Errorf("trap kind = %v, want %v", trap.Kind, tc.kind)
+			}
+		})
+	}
+}
+
+func TestConstructorConvention(t *testing.T) {
+	got := run(t, `
+class Point {
+    int x; int y;
+    void init(int ax, int ay) { x = ax; y = ay; }
+    int dist2() { return x * x + y * y; }
+}
+class Main {
+    static void main() {
+        Point p = new Point(3, 4);
+        Sys.printlnInt(p.dist2());
+    }
+}`)
+	if got != "25\n" {
+		t.Errorf("output = %q, want 25", got)
+	}
+}
+
+func TestSwitchStatementDense(t *testing.T) {
+	got := run(t, `
+class Main {
+    static int kind(int c) {
+        switch (c) {
+        case 0: return 100;
+        case 1: case 2: return 200;
+        case 3:
+            break;           // exits the switch
+        case 4: return 400;
+        default: return -1;
+        }
+        return 300;          // reached via the break
+    }
+    static void main() {
+        for (int i = 0 - 1; i <= 5; i = i + 1) {
+            Sys.printlnInt(kind(i));
+        }
+    }
+}`)
+	want := "-1\n100\n200\n200\n300\n400\n-1\n"
+	if got != want {
+		t.Errorf("dense switch: %q, want %q", got, want)
+	}
+}
+
+func TestSwitchStatementSparse(t *testing.T) {
+	got := run(t, `
+class Main {
+    static int pick(int c) {
+        int out = 0;
+        switch (c) {
+        case -1000: out = 1;
+            break;
+        case 0: out = 2;
+            break;
+        case 999999: out = 3;
+            break;
+        }
+        return out;
+    }
+    static void main() {
+        Sys.printlnInt(pick(0 - 1000));
+        Sys.printlnInt(pick(0));
+        Sys.printlnInt(pick(999999));
+        Sys.printlnInt(pick(7));
+    }
+}`)
+	if got != "1\n2\n3\n0\n" {
+		t.Errorf("sparse switch: %q", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	got := run(t, `
+class Main {
+    static void main() {
+        int acc = 0;
+        switch (2) {
+        case 1: acc = acc + 1;
+        case 2: acc = acc + 10;
+        case 3: acc = acc + 100;    // fallthrough from 2
+            break;
+        case 4: acc = acc + 1000;
+        }
+        Sys.printlnInt(acc);        // 110
+    }
+}`)
+	if got != "110\n" {
+		t.Errorf("fallthrough: %q", got)
+	}
+}
+
+func TestSwitchInLoopWithContinue(t *testing.T) {
+	got := run(t, `
+class Main {
+    static void main() {
+        int evens = 0;
+        int others = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+            switch (i % 3) {
+            case 0:
+                evens = evens + 1;
+                break;
+            default:
+                others = others + 1;
+            }
+        }
+        Sys.printlnInt(evens);
+        Sys.printlnInt(others);
+    }
+}`)
+	if got != "4\n6\n" {
+		t.Errorf("switch in loop: %q", got)
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class A { static void main() { switch (1.5) { } } }`, "must be int"},
+		{`class A { static void main() { switch (1) { case 1: break; case 1: break; } } }`, "duplicate case"},
+		{`class A { static void main() { switch (1) { default: break; case 1: break; } } }`, "last group"},
+		{`class A { static void main() { switch (1) { case 9999999999: break; } } }`, "32-bit"},
+		{`class A { static void main() { break; } }`, "break outside"},
+	}
+	for _, tc := range cases {
+		_, err := minijava.Compile(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("compile %q: error %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestSwitchEmptyAndDegenerate(t *testing.T) {
+	got := run(t, `
+class Main {
+    static void main() {
+        switch (compute()) { }
+        switch (5) { default: Sys.printlnInt(1); }
+        Sys.printlnInt(2);
+    }
+    static int compute() { Sys.printlnInt(0); return 3; }
+}`)
+	if got != "0\n1\n2\n" {
+		t.Errorf("degenerate switches: %q", got)
+	}
+}

@@ -1,0 +1,268 @@
+package minijava_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/minijava"
+	"repro/internal/vm"
+)
+
+func TestThrowCatchBasic(t *testing.T) {
+	got := run(t, `
+class Err { int code; void init(int c) { code = c; } }
+class Main {
+    static void main() {
+        try {
+            Sys.printlnInt(1);
+            throw new Err(42);
+        } catch (Err e) {
+            Sys.printlnInt(e.code);
+        }
+        Sys.printlnInt(3);
+    }
+}`)
+	if got != "1\n42\n3\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestThrowUnwindsFrames(t *testing.T) {
+	got := run(t, `
+class Err { int code; void init(int c) { code = c; } }
+class Main {
+    static int deep(int n) {
+        if (n == 0) { throw new Err(7); }
+        return deep(n - 1) + 1;
+    }
+    static void main() {
+        try {
+            Sys.printlnInt(deep(5));
+        } catch (Err e) {
+            Sys.printlnInt(e.code * 100);
+        }
+    }
+}`)
+	if got != "700\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestCatchSubclassMatching(t *testing.T) {
+	got := run(t, `
+class Base { int tag() { return 1; } }
+class Derived extends Base { int tag() { return 2; } }
+class Other { }
+class Main {
+    static void attempt(int which) {
+        try {
+            if (which == 0) { throw new Base(); }
+            if (which == 1) { throw new Derived(); }
+            throw new Other();
+        } catch (Base b) {
+            Sys.printlnInt(b.tag());
+        }
+    }
+    static void main() {
+        attempt(0);          // Base caught: 1
+        attempt(1);          // Derived caught by Base handler: 2
+        try {
+            attempt(2);      // Other flies past the inner handler
+        } catch (Other o) {
+            Sys.printlnInt(99);
+        }
+    }
+}`)
+	if got != "1\n2\n99\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestNestedTryInnermostWins(t *testing.T) {
+	got := run(t, `
+class Err { }
+class Main {
+    static void main() {
+        try {
+            try {
+                throw new Err();
+            } catch (Err inner) {
+                Sys.printlnInt(1);
+                throw new Err();      // rethrow from the handler
+            }
+        } catch (Err outer) {
+            Sys.printlnInt(2);
+        }
+    }
+}`)
+	if got != "1\n2\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestUncaughtExceptionTrap(t *testing.T) {
+	prog, err := minijava.Compile(`
+class Err { }
+class Main { static void main() { throw new Err(); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, pcfg, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run()
+	trap, ok := vm.AsTrap(err)
+	if !ok || trap.Kind != vm.TrapUncaught {
+		t.Fatalf("error = %v, want uncaught trap", err)
+	}
+	if !strings.Contains(trap.Error(), "Err") {
+		t.Errorf("trap does not name the class: %v", trap)
+	}
+}
+
+func TestThrowNullTraps(t *testing.T) {
+	prog, err := minijava.Compile(`
+class Err { }
+class Main { static void main() { Err e = null; throw e; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, _ := cfg.BuildProgram(prog)
+	m, _ := vm.New(prog, pcfg, vm.Options{})
+	err = m.Run()
+	trap, ok := vm.AsTrap(err)
+	if !ok || trap.Kind != vm.TrapNullDeref {
+		t.Fatalf("error = %v, want null-deref trap", err)
+	}
+}
+
+func TestThrowTypeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class A { static void main() { throw 1; } }`, "class instances"},
+		{`class A { static void main() { try { } catch (Nope e) { } } }`, "undefined class"},
+		{`class A { static void main() { try { } catch (A e) { int x = e; } } }`, "cannot initialize"},
+	}
+	for _, tc := range cases {
+		_, err := minijava.Compile(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("compile %q: error %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestThrowSatisfiesReturnPaths(t *testing.T) {
+	got := run(t, `
+class Err { }
+class Main {
+    static int pick(int n) {
+        if (n > 0) { return n; }
+        throw new Err();
+    }
+    static void main() {
+        Sys.printlnInt(pick(5));
+        try { Sys.printlnInt(pick(0 - 1)); } catch (Err e) { Sys.printlnInt(0); }
+    }
+}`)
+	if got != "5\n0\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestExceptionsAcrossAllDispatchModes(t *testing.T) {
+	src := `
+class Err { int v; void init(int x) { v = x; } }
+class Main {
+    static int risky(int i) {
+        if (i % 1000 == 999) { throw new Err(i); }
+        return i % 7;
+    }
+    static void main() {
+        int sum = 0;
+        int caught = 0;
+        for (int i = 0; i < 20000; i = i + 1) {
+            try { sum = sum + risky(i); }
+            catch (Err e) { caught = caught + 1; }
+        }
+        Sys.printlnInt(sum);
+        Sys.printlnInt(caught);
+    }
+}`
+	prog, err := minijava.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, mode := range []core.Mode{core.ModePlain, core.ModeInstr, core.ModeProfile, core.ModeTrace, core.ModeTraceDeploy} {
+		var out bytes.Buffer
+		s, err := core.NewSession(prog, pcfg, core.SessionOptions{Mode: mode, Out: &out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if want == "" {
+			want = out.String()
+			if !strings.HasSuffix(want, "20\n") { // 20000/1000 exceptions
+				t.Fatalf("unexpected reference output %q", want)
+			}
+		} else if out.String() != want {
+			t.Errorf("mode %s output %q != %q", mode, out.String(), want)
+		}
+	}
+}
+
+func TestExceptionEdgesStayOutOfTraces(t *testing.T) {
+	// The paper: exception branches are "never taken" edges that traces
+	// exclude. A hot loop with a cold throwing path must still produce
+	// high-completion traces.
+	src := `
+class Err { }
+class Main {
+    static int f(int i) {
+        if (i == 123456789) { throw new Err(); }  // never taken
+        return i % 5;
+    }
+    static void main() {
+        int s = 0;
+        for (int i = 0; i < 50000; i = i + 1) {
+            try { s = s + f(i); } catch (Err e) { s = 0; }
+        }
+        Sys.printlnInt(s);
+    }
+}`
+	prog, err := minijava.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSession(prog, pcfg, core.SessionOptions{Mode: core.ModeTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.CompletionRate < 0.97 {
+		t.Errorf("completion = %.3f despite the throw path never executing", m.CompletionRate)
+	}
+	if m.Coverage < 0.8 {
+		t.Errorf("coverage = %.3f, want the hot loop covered", m.Coverage)
+	}
+}

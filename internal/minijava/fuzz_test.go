@@ -1,0 +1,42 @@
+package minijava
+
+import "testing"
+
+// FuzzLexer: arbitrary text must lex or error, never panic or hang.
+func FuzzLexer(f *testing.F) {
+	f.Add("class Main { static void main() { Sys.printlnInt(1); } }")
+	f.Add(`"string with \t escapes"`)
+	f.Add("0x1f 3.5e-2 >>> << >= /* comment */ // line")
+	f.Add("\"unterminated")
+	f.Add("@#$%^")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexAll(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("lexer succeeded without a trailing EOF token")
+		}
+	})
+}
+
+// FuzzCompile: arbitrary text through the whole frontend must produce a
+// program or an error, never a panic. Accepted programs must link (Compile
+// returns linked programs), which exercises codegen and the verifier too.
+func FuzzCompile(f *testing.F) {
+	f.Add("class Main { static void main() { Sys.printlnInt(1 + 2 * 3); } }")
+	f.Add(`class A extends B { int x; }`)
+	f.Add(`class A { static int f(int n) { if (n < 2) { return n; } return f(n-1); } static void main() { f(3); } }`)
+	f.Add(`class E {} class M { static void main() { try { throw new E(); } catch (E e) { } } }`)
+	f.Add("class")
+	f.Add("{}{}{}")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if prog == nil || !prog.Linked() {
+			t.Fatal("Compile returned an unlinked program without error")
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package minijava
+
+import (
+	"strconv"
+	"strings"
+)
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: word}, nil
+
+	case isDigit(c):
+		return l.number(pos)
+
+	case c == '"':
+		return l.stringLit(pos)
+	}
+
+	l.advance()
+	two := func(next byte, with, without TokKind) Token {
+		if l.peekByte() == next {
+			l.advance()
+			return Token{Kind: with, Pos: pos}
+		}
+		return Token{Kind: without, Pos: pos}
+	}
+	switch c {
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '&':
+		return two('&', TokAndAnd, TokAmp), nil
+	case '|':
+		return two('|', TokOrOr, TokPipe), nil
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			return Token{Kind: TokShl, Pos: pos}, nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			if l.peekByte() == '>' {
+				l.advance()
+				return Token{Kind: TokUshr, Pos: pos}, nil
+			}
+			return Token{Kind: TokShr, Pos: pos}, nil
+		}
+		return two('=', TokGe, TokGt), nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", c)
+}
+
+func (l *lexer) number(pos Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	if l.peekByte() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peekByte()) {
+			l.advance()
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.off], 16, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad hex literal %q", l.src[start:l.off])
+		}
+		return Token{Kind: TokIntLit, Pos: pos, Int: int64(v), Text: l.src[start:l.off]}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	if l.peekByte() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		save := l.off
+		l.advance()
+		if c := l.peekByte(); c == '+' || c == '-' {
+			l.advance()
+		}
+		if isDigit(l.peekByte()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		} else {
+			l.off = save // not an exponent; leave for the next token
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Pos: pos, Flt: v, Text: text}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, errf(pos, "bad integer literal %q", text)
+	}
+	return Token{Kind: TokIntLit, Pos: pos, Int: v, Text: text}, nil
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) stringLit(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokStrLit, Pos: pos, Text: b.String()}, nil
+		case '\\':
+			if l.off >= len(l.src) {
+				return Token{}, errf(pos, "unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return Token{}, errf(pos, "unknown escape \\%c", e)
+			}
+		case '\n':
+			return Token{}, errf(pos, "newline in string literal")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// lexAll tokenizes the whole source (used by the parser and by tests).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

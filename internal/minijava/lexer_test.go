@@ -1,0 +1,290 @@
+package minijava
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(t *testing.T, src string) []TokKind {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]TokKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "class Foo extends Bar { static int x ; }")
+	want := []TokKind{TokClass, TokIdent, TokExtends, TokIdent, TokLBrace,
+		TokStatic, TokInt, TokIdent, TokSemi, TokRBrace, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "+ - * / % ! < > <= >= == != && || & | ^ << >> >>> = . , ;"
+	want := []TokKind{TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokNot,
+		TokLt, TokGt, TokLe, TokGe, TokEq, TokNe, TokAndAnd, TokOrOr,
+		TokAmp, TokPipe, TokCaret, TokShl, TokShr, TokUshr, TokAssign,
+		TokDot, TokComma, TokSemi, TokEOF}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lexAll("0 42 123456789 3.5 0.25 1e3 2.5e-2 0x1f 0xFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 0 || toks[1].Int != 42 || toks[2].Int != 123456789 {
+		t.Error("int literals wrong")
+	}
+	if toks[3].Kind != TokFloatLit || toks[3].Flt != 3.5 {
+		t.Errorf("3.5 lexed as %v %v", toks[3].Kind, toks[3].Flt)
+	}
+	if toks[5].Kind != TokFloatLit || toks[5].Flt != 1000 {
+		t.Errorf("1e3 = %v", toks[5].Flt)
+	}
+	if toks[6].Flt != 0.025 {
+		t.Errorf("2.5e-2 = %v", toks[6].Flt)
+	}
+	if toks[7].Kind != TokIntLit || toks[7].Int != 31 {
+		t.Errorf("0x1f = %v", toks[7].Int)
+	}
+	if toks[8].Int != 255 {
+		t.Errorf("0xFF = %v", toks[8].Int)
+	}
+}
+
+func TestLexDotAfterNumber(t *testing.T) {
+	// "a.length" after a number: 3.foo must not absorb the dot as a float.
+	toks, err := lexAll("x[3].length")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokIdent, TokLBracket, TokIntLit, TokRBracket, TokDot, TokIdent, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := lexAll(`"plain" "a\tb" "q\"x" "nl\n" "\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"plain", "a\tb", `q"x`, "nl\n", `\`}
+	for i, w := range want {
+		if toks[i].Kind != TokStrLit || toks[i].Text != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := kinds(t, `
+// line comment with class keyword
+x /* block
+   spanning lines */ y
+`)
+	want := []TokKind{TokIdent, TokIdent, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		"@",
+		`"newline
+in string"`,
+		"/* unterminated block",
+	}
+	for _, src := range cases {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexing %q succeeded", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+// TestPropertyLexerNeverPanics: arbitrary byte soup either lexes or errors,
+// never panics or loops.
+func TestPropertyLexerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		if len(src) > 4096 {
+			src = src[:4096]
+		}
+		toks, err := lexAll(src)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserPrecedence(t *testing.T) {
+	// 1 + 2 * 3 must parse as 1 + (2 * 3): evaluate through the VM-free
+	// route by checking AST shape.
+	file, err := Parse(`class A { static void main() { int x = 1 + 2 * 3; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := file.Classes[0].Methods[0].Body.Stmts[0].(*VarDecl)
+	add, ok := decl.Init.(*Binary)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("top is %T, want + binary", decl.Init)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("right is %T/%v, want *", add.R, add)
+	}
+}
+
+func TestParserAssociativity(t *testing.T) {
+	file, err := Parse(`class A { static void main() { int x = 10 - 3 - 2; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := file.Classes[0].Methods[0].Body.Stmts[0].(*VarDecl)
+	outer := decl.Init.(*Binary)
+	if outer.Op != TokMinus {
+		t.Fatal("not minus")
+	}
+	if _, ok := outer.L.(*Binary); !ok {
+		t.Error("subtraction is not left associative")
+	}
+}
+
+func TestParserShiftVsGenerics(t *testing.T) {
+	// >> must lex as one token and parse in expressions.
+	file, err := Parse(`class A { static void main() { int x = 256 >> 2 >>> 1 << 3; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = file
+}
+
+func TestParserDanglingElse(t *testing.T) {
+	file, err := Parse(`class A { static void main() {
+        if (true) if (false) Sys.println(); else Sys.println();
+    } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := file.Classes[0].Methods[0].Body.Stmts[0].(*If)
+	if outer.Else != nil {
+		t.Error("else bound to the outer if; must bind to the inner")
+	}
+	inner := outer.Then.(*If)
+	if inner.Else == nil {
+		t.Error("inner if lost its else")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class`, "expected identifier"},
+		{`class A {`, "expected"},
+		{`class A { static void main() { int 3x; } }`, "expected"},
+		{`class A { static void main() { if true {} } }`, "expected '('"},
+		{`class A { static void main() { x = ; } }`, "expected an expression"},
+		{`class A { static void main() { 1 + 2 = 3; } }`, "not assignable"},
+		{`class A { static void main() { new int(); } }`, "cannot construct builtin"},
+		{`class A { static void main() { new Foo; } }`, "expected '(' or '['"},
+		{``, "no classes"},
+		{`class A { void f() { return } }`, "expected"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("parse %q succeeded, want %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parse %q: error %q missing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParserArrayTypesAndNews(t *testing.T) {
+	file, err := Parse(`class A {
+        int[][] grid;
+        static void main() {
+            float[][] m = new float[4][];
+            byte[] b = new byte[10];
+            A[] objs = new A[2];
+        }
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := file.Classes[0].Fields[0]
+	if f.Type.Dims != 2 || f.Type.Name != "int" {
+		t.Errorf("grid type = %+v", f.Type)
+	}
+	m := file.Classes[0].Methods[0].Body.Stmts[0].(*VarDecl)
+	n := m.Init.(*New)
+	if n.TypeName != "float" || n.ExtraDims != 1 {
+		t.Errorf("new float[4][] parsed as %+v", n)
+	}
+}
+
+// TestPropertyParserNeverPanics: the parser returns errors, not panics, on
+// fuzzed token soup built from valid lexemes.
+func TestPropertyParserNeverPanics(t *testing.T) {
+	pieces := []string{"class", "A", "{", "}", "(", ")", "static", "void",
+		"main", "int", "x", "=", "1", "+", ";", "if", "while", "return",
+		"new", "[", "]", ".", "foo", `"s"`, "2.5", "!", "&&"}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(pieces[int(p)%len(pieces)])
+			sb.WriteByte(' ')
+		}
+		_, err := Parse(sb.String())
+		_ = err // any outcome but a panic is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}

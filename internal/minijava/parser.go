@@ -1,0 +1,751 @@
+package minijava
+
+// Recursive-descent parser. The grammar is LL(2) except assignment
+// statements, which are handled by parsing an expression and then checking
+// for '='.
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+// Parse parses MiniJava source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		c, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, c)
+	}
+	if len(f.Classes) == 0 {
+		return nil, errf(p.cur().Pos, "no classes in source")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func (p *parser) describe(t Token) string {
+	if t.Kind == TokIdent {
+		return "identifier " + t.Text
+	}
+	return t.Kind.String()
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	kw, err := p.expect(TokClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{Pos: kw.Pos, Name: name.Text}
+	if p.accept(TokExtends) {
+		sup, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.Super = sup.Text
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != TokRBrace {
+		if err := p.member(c); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // '}'
+	return c, nil
+}
+
+// member parses a field or method: [static] type name (";" | "(" ...).
+func (p *parser) member(c *ClassDecl) error {
+	start := p.cur().Pos
+	static := p.accept(TokStatic)
+	typ, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	switch p.cur().Kind {
+	case TokSemi:
+		p.next()
+		if typ.Name == "void" {
+			return errf(start, "field %s cannot be void", name.Text)
+		}
+		c.Fields = append(c.Fields, &FieldDecl{Pos: start, Static: static, Type: typ, Name: name.Text})
+		return nil
+	case TokLParen:
+		m := &MethodDecl{Pos: start, Static: static, Ret: typ, Name: name.Text}
+		p.next()
+		for p.cur().Kind != TokRParen {
+			if len(m.Params) > 0 {
+				if _, err := p.expect(TokComma); err != nil {
+					return err
+				}
+			}
+			pt, err := p.typeExpr()
+			if err != nil {
+				return err
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			m.Params = append(m.Params, Param{Pos: pt.Pos, Type: pt, Name: pn.Text})
+		}
+		p.next() // ')'
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		m.Body = body
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+	return errf(p.cur().Pos, "expected ';' or '(' after member name, found %s", p.describe(p.cur()))
+}
+
+// typeExpr parses a base type name plus trailing "[]" pairs.
+func (p *parser) typeExpr() (TypeExpr, error) {
+	t := p.cur()
+	var name string
+	switch t.Kind {
+	case TokInt:
+		name = "int"
+	case TokFloat:
+		name = "float"
+	case TokBoolean:
+		name = "boolean"
+	case TokByte:
+		name = "byte"
+	case TokString:
+		name = "String"
+	case TokVoid:
+		name = "void"
+	case TokIdent:
+		name = t.Text
+	default:
+		return TypeExpr{}, errf(t.Pos, "expected a type, found %s", p.describe(t))
+	}
+	p.next()
+	te := TypeExpr{Pos: t.Pos, Name: name}
+	for p.cur().Kind == TokLBracket && p.peek().Kind == TokRBracket {
+		p.next()
+		p.next()
+		te.Dims++
+	}
+	return te, nil
+}
+
+// isTypeStart reports whether the upcoming tokens begin a local variable
+// declaration (rather than an expression statement).
+func (p *parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case TokInt, TokFloat, TokBoolean, TokByte, TokString:
+		return true
+	case TokIdent:
+		// "Name x" or "Name[] x": identifier followed by identifier, or by
+		// "[]" — "Name[expr]" is an index expression instead.
+		if p.peek().Kind == TokIdent {
+			return true
+		}
+		if p.peek().Kind == TokLBracket && p.i+2 < len(p.toks) && p.toks[p.i+2].Kind == TokRBracket {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.block()
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		return p.whileStmt()
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		t := p.next()
+		r := &Return{Pos: t.Pos}
+		if p.cur().Kind != TokSemi {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Val = e
+		}
+		_, err := p.expect(TokSemi)
+		return r, err
+	case TokBreak:
+		t := p.next()
+		_, err := p.expect(TokSemi)
+		return &Break{Pos: t.Pos}, err
+	case TokContinue:
+		t := p.next()
+		_, err := p.expect(TokSemi)
+		return &Continue{Pos: t.Pos}, err
+	case TokThrow:
+		t := p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &Throw{Pos: t.Pos, X: x}, nil
+	case TokTry:
+		return p.tryStmt()
+	case TokSwitch:
+		return p.switchStmt()
+	case TokSemi:
+		t := p.next()
+		return &Block{Pos: t.Pos}, nil // empty statement
+	}
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	_, err = p.expect(TokSemi)
+	return s, err
+}
+
+// simpleStmt parses a declaration, assignment, or expression statement
+// without the trailing semicolon (shared by statements and for-headers).
+func (p *parser) simpleStmt() (Stmt, error) {
+	if p.isTypeStart() {
+		start := p.cur().Pos
+		typ, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Pos: start, Type: typ, Name: name.Text}
+		if p.accept(TokAssign) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return d, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokAssign {
+		eq := p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch e.(type) {
+		case *Ident, *FieldAccess, *Index:
+			return &Assign{Pos: eq.Pos, LHS: e, RHS: rhs}, nil
+		}
+		return nil, errf(eq.Pos, "left side of assignment is not assignable")
+	}
+	return &ExprStmt{Pos: e.Position(), E: e}, nil
+}
+
+// switchStmt parses:
+//
+//	switch ( expr ) { (case INT (, after another case) : stmt*)* (default: stmt*)? }
+//
+// Case labels may stack ("case 1: case 2: body") and bodies fall through
+// unless they break; the default group, if present, must come last.
+func (p *parser) switchStmt() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	tag, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	sw := &Switch{Pos: t.Pos, Tag: tag}
+	for p.cur().Kind != TokRBrace {
+		switch p.cur().Kind {
+		case TokCase:
+			var group SwitchCase
+			group.Pos = p.cur().Pos
+			// Stacked labels: consume consecutive "case N:".
+			for p.cur().Kind == TokCase {
+				p.next()
+				v, err := p.caseValue()
+				if err != nil {
+					return nil, err
+				}
+				group.Vals = append(group.Vals, v)
+				if _, err := p.expect(TokColon); err != nil {
+					return nil, err
+				}
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			group.Body = body
+			sw.Cases = append(sw.Cases, group)
+		case TokDefault:
+			dt := p.next()
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			sw.Default = body
+			if p.cur().Kind != TokRBrace {
+				return nil, errf(dt.Pos, "default must be the last group in a switch")
+			}
+		case TokEOF:
+			return nil, errf(t.Pos, "unterminated switch")
+		default:
+			return nil, errf(p.cur().Pos, "expected 'case', 'default' or '}' in switch, found %s", p.describe(p.cur()))
+		}
+	}
+	p.next() // '}'
+	return sw, nil
+}
+
+// caseValue parses an integer case label (with optional unary minus).
+func (p *parser) caseValue() (int64, error) {
+	neg := p.accept(TokMinus)
+	lit, err := p.expect(TokIntLit)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -lit.Int, nil
+	}
+	return lit.Int, nil
+}
+
+// caseBody parses statements until the next case/default label or the
+// closing brace.
+func (p *parser) caseBody() ([]Stmt, error) {
+	var body []Stmt
+	for {
+		switch p.cur().Kind {
+		case TokCase, TokDefault, TokRBrace:
+			return body, nil
+		case TokEOF:
+			return nil, errf(p.cur().Pos, "unterminated switch body")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+}
+
+// tryStmt parses: try { ... } catch ( ClassName name ) { ... }
+func (p *parser) tryStmt() (Stmt, error) {
+	t := p.next()
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokCatch); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cls, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	catch, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &Try{Pos: t.Pos, Body: body, CatchClass: cls.Text, CatchVar: name.Text, Catch: catch}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &If{Pos: t.Pos, Cond: cond, Then: then}
+	if p.accept(TokElse) {
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Pos: t.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &For{Pos: t.Pos}
+	if p.cur().Kind != TokSemi {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7, TokInstanceof: 7,
+	TokShl: 8, TokShr: 8, TokUshr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		t := p.next()
+		if op == TokInstanceof {
+			cls, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			lhs = &InstanceOf{Pos: t.Pos, X: lhs, Class: cls.Text}
+			continue
+		}
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: t.Pos, Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus, TokNot:
+		t := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokDot:
+			p.next()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().Kind == TokLParen {
+				args, err := p.callArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = &Call{Pos: name.Pos, Recv: e, Name: name.Text, Args: args}
+			} else {
+				e = &FieldAccess{Pos: name.Pos, X: e, Name: name.Text}
+			}
+		case TokLBracket:
+			t := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &Index{Pos: t.Pos, X: e, I: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.cur().Kind != TokRParen {
+		if len(args) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.next()
+	return args, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{Pos: t.Pos, Val: t.Int}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{Pos: t.Pos, Val: t.Flt}, nil
+	case TokStrLit:
+		p.next()
+		return &StrLit{Pos: t.Pos, Val: t.Text}, nil
+	case TokTrue, TokFalse:
+		p.next()
+		return &BoolLit{Pos: t.Pos, Val: t.Kind == TokTrue}, nil
+	case TokNull:
+		p.next()
+		return &NullLit{Pos: t.Pos}, nil
+	case TokThis:
+		p.next()
+		return &This{Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokRParen)
+		return e, err
+	case TokNew:
+		return p.newExpr()
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Pos: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	}
+	return nil, errf(t.Pos, "expected an expression, found %s", p.describe(t))
+}
+
+// newExpr parses object allocation "new C(args)" and array allocation
+// "new T[len]" with optional trailing "[]" dims.
+func (p *parser) newExpr() (Expr, error) {
+	t := p.next() // 'new'
+	base := p.cur()
+	var name string
+	switch base.Kind {
+	case TokInt:
+		name = "int"
+	case TokFloat:
+		name = "float"
+	case TokBoolean:
+		name = "boolean"
+	case TokByte:
+		name = "byte"
+	case TokString:
+		name = "String"
+	case TokIdent:
+		name = base.Text
+	default:
+		return nil, errf(base.Pos, "expected a type after 'new', found %s", p.describe(base))
+	}
+	p.next()
+	n := &New{Pos: t.Pos, TypeName: name}
+	switch p.cur().Kind {
+	case TokLParen:
+		if base.Kind != TokIdent {
+			return nil, errf(base.Pos, "cannot construct builtin type %s", name)
+		}
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		n.Args = args
+		return n, nil
+	case TokLBracket:
+		p.next()
+		l, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		n.Len = l
+		for p.cur().Kind == TokLBracket && p.peek().Kind == TokRBracket {
+			p.next()
+			p.next()
+			n.ExtraDims++
+		}
+		return n, nil
+	}
+	return nil, errf(p.cur().Pos, "expected '(' or '[' after 'new %s'", name)
+}

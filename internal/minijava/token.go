@@ -1,0 +1,155 @@
+// Package minijava implements a compiler for MiniJava, a small Java-like
+// language, targeting the bytecode ISA. It is the frontend used to write
+// the benchmark workloads: classes with single inheritance and virtual
+// methods, static methods, int/float/boolean scalars, arrays (including
+// byte arrays), strings, and structured control flow. The compiler has four
+// stages: lexing, recursive-descent parsing, semantic analysis (symbol
+// resolution and type checking), and bytecode generation through the
+// classfile builder.
+package minijava
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokStrLit
+
+	// Keywords.
+	TokClass
+	TokExtends
+	TokStatic
+	TokVoid
+	TokInt
+	TokFloat
+	TokBoolean
+	TokByte
+	TokString
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokNew
+	TokThis
+	TokThrow
+	TokTry
+	TokCatch
+	TokSwitch
+	TokCase
+	TokDefault
+	TokNull
+	TokTrue
+	TokFalse
+	TokInstanceof
+
+	// Punctuation and operators.
+	TokLBrace
+	TokRBrace
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokNot    // !
+	TokLt     // <
+	TokGt     // >
+	TokLe     // <=
+	TokGe     // >=
+	TokEq     // ==
+	TokNe     // !=
+	TokAndAnd // &&
+	TokOrOr   // ||
+	TokAmp    // &
+	TokPipe   // |
+	TokCaret  // ^
+	TokShl    // <<
+	TokShr    // >>
+	TokUshr   // >>>
+	TokColon  // :
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokIntLit: "integer literal",
+	TokFloatLit: "float literal", TokStrLit: "string literal",
+	TokClass: "'class'", TokExtends: "'extends'", TokStatic: "'static'",
+	TokVoid: "'void'", TokInt: "'int'", TokFloat: "'float'", TokBoolean: "'boolean'",
+	TokByte: "'byte'", TokString: "'String'",
+	TokIf: "'if'", TokElse: "'else'", TokWhile: "'while'", TokFor: "'for'",
+	TokReturn: "'return'", TokBreak: "'break'", TokContinue: "'continue'",
+	TokNew: "'new'", TokThis: "'this'", TokNull: "'null'", TokTrue: "'true'",
+	TokThrow: "'throw'", TokTry: "'try'", TokCatch: "'catch'",
+	TokSwitch: "'switch'", TokCase: "'case'", TokDefault: "'default'",
+	TokColon: "':'",
+	TokFalse: "'false'", TokInstanceof: "'instanceof'",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokLParen: "'('", TokRParen: "')'",
+	TokLBracket: "'['", TokRBracket: "']'", TokSemi: "';'", TokComma: "','",
+	TokDot: "'.'", TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'",
+	TokStar: "'*'", TokSlash: "'/'", TokPercent: "'%'", TokNot: "'!'",
+	TokLt: "'<'", TokGt: "'>'", TokLe: "'<='", TokGe: "'>='",
+	TokEq: "'=='", TokNe: "'!='", TokAndAnd: "'&&'", TokOrOr: "'||'",
+	TokAmp: "'&'", TokPipe: "'|'", TokCaret: "'^'",
+	TokShl: "'<<'", TokShr: "'>>'", TokUshr: "'>>>'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", k)
+}
+
+var keywords = map[string]TokKind{
+	"class": TokClass, "extends": TokExtends, "static": TokStatic,
+	"void": TokVoid, "int": TokInt, "float": TokFloat, "boolean": TokBoolean,
+	"byte": TokByte, "String": TokString,
+	"if": TokIf, "else": TokElse, "while": TokWhile, "for": TokFor,
+	"return": TokReturn, "break": TokBreak, "continue": TokContinue,
+	"new": TokNew, "this": TokThis, "null": TokNull,
+	"throw": TokThrow, "try": TokTry, "catch": TokCatch,
+	"switch": TokSwitch, "case": TokCase, "default": TokDefault,
+	"true": TokTrue, "false": TokFalse, "instanceof": TokInstanceof,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string  // identifiers and literals
+	Int  int64   // TokIntLit
+	Flt  float64 // TokFloatLit
+}
+
+// Error is a compile error with a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minijava: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

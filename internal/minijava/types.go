@@ -1,0 +1,235 @@
+package minijava
+
+// Kind enumerates semantic type kinds.
+type Kind uint8
+
+const (
+	KVoid Kind = iota
+	KInt
+	KFloat
+	KBool
+	KByte // only as an array element type
+	KString
+	KNull // the type of the null literal
+	KClass
+	KArray
+)
+
+// Type is a semantic type.
+type Type struct {
+	Kind  Kind
+	Elem  *Type     // KArray
+	Class *classSym // KClass
+}
+
+var (
+	tVoid   = &Type{Kind: KVoid}
+	tInt    = &Type{Kind: KInt}
+	tFloat  = &Type{Kind: KFloat}
+	tBool   = &Type{Kind: KBool}
+	tByte   = &Type{Kind: KByte}
+	tString = &Type{Kind: KString}
+	tNull   = &Type{Kind: KNull}
+)
+
+func arrayOf(elem *Type) *Type { return &Type{Kind: KArray, Elem: elem} }
+
+// IsRef reports whether values of the type are references.
+func (t *Type) IsRef() bool {
+	switch t.Kind {
+	case KString, KNull, KClass, KArray:
+		return true
+	}
+	return false
+}
+
+// IsNumeric reports int or float.
+func (t *Type) IsNumeric() bool { return t.Kind == KInt || t.Kind == KFloat }
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KBool:
+		return "boolean"
+	case KByte:
+		return "byte"
+	case KString:
+		return "String"
+	case KNull:
+		return "null"
+	case KClass:
+		return t.Class.name
+	case KArray:
+		return t.Elem.String() + "[]"
+	}
+	return "invalid"
+}
+
+// same reports structural type equality.
+func (t *Type) same(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KClass:
+		return t.Class == o.Class
+	case KArray:
+		return t.Elem.same(o.Elem)
+	}
+	return true
+}
+
+// assignableTo reports whether a value of type t can be stored into dst,
+// possibly with an implicit int→float widening.
+func (t *Type) assignableTo(dst *Type) bool {
+	if t.same(dst) {
+		return true
+	}
+	if t.Kind == KInt && dst.Kind == KFloat {
+		return true // widened by the code generator
+	}
+	if t.Kind == KNull && dst.IsRef() {
+		return true
+	}
+	if t.Kind == KClass && dst.Kind == KClass {
+		for c := t.Class; c != nil; c = c.super {
+			if c == dst.Class {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// classSym is a resolved class.
+type classSym struct {
+	name    string
+	super   *classSym
+	decl    *ClassDecl
+	fields  map[string]*fieldSym
+	methods map[string]*methodSym
+	typ     *Type
+}
+
+func (c *classSym) fieldNamed(name string) *fieldSym {
+	for k := c; k != nil; k = k.super {
+		if f, ok := k.fields[name]; ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func (c *classSym) methodNamed(name string) *methodSym {
+	for k := c; k != nil; k = k.super {
+		if m, ok := k.methods[name]; ok {
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *classSym) isSubclassOf(o *classSym) bool {
+	for k := c; k != nil; k = k.super {
+		if k == o {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldSym is a resolved field.
+type fieldSym struct {
+	name   string
+	typ    *Type
+	static bool
+	class  *classSym
+}
+
+// methodSym is a resolved method.
+type methodSym struct {
+	name   string
+	params []*Type
+	ret    *Type
+	static bool
+	class  *classSym
+	decl   *MethodDecl
+}
+
+func (m *methodSym) qname() string { return m.class.name + "." + m.name }
+
+func (m *methodSym) sameSignature(o *methodSym) bool {
+	if !m.ret.same(o.ret) || len(m.params) != len(o.params) {
+		return false
+	}
+	for i := range m.params {
+		if !m.params[i].same(o.params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// localVar is a local variable or parameter with its frame slot.
+type localVar struct {
+	name string
+	typ  *Type
+	slot int
+}
+
+// builtinFn describes one Sys.* builtin. Intrinsic builtins are expanded
+// inline by the code generator; the rest become invokestatic calls on the
+// synthesized Sys class bound to VM natives.
+type builtinFn struct {
+	name      string
+	params    []*Type
+	ret       *Type
+	native    string // VM native binding; empty for intrinsics
+	intrinsic string // non-empty for inline expansion ("i2f", "f2i")
+}
+
+// sysBuiltins is the standard library surface available as Sys.<name>(...).
+var sysBuiltins = map[string]*builtinFn{
+	"printInt":     {name: "printInt", params: []*Type{tInt}, ret: tVoid, native: "print_int"},
+	"printlnInt":   {name: "printlnInt", params: []*Type{tInt}, ret: tVoid, native: "println_int"},
+	"printFloat":   {name: "printFloat", params: []*Type{tFloat}, ret: tVoid, native: "print_float"},
+	"printlnFloat": {name: "printlnFloat", params: []*Type{tFloat}, ret: tVoid, native: "println_float"},
+	"printStr":     {name: "printStr", params: []*Type{tString}, ret: tVoid, native: "print_str"},
+	"printlnStr":   {name: "printlnStr", params: []*Type{tString}, ret: tVoid, native: "println_str"},
+	"println":      {name: "println", params: nil, ret: tVoid, native: "println"},
+	"sqrt":         {name: "sqrt", params: []*Type{tFloat}, ret: tFloat, native: "math_sqrt"},
+	"sin":          {name: "sin", params: []*Type{tFloat}, ret: tFloat, native: "math_sin"},
+	"cos":          {name: "cos", params: []*Type{tFloat}, ret: tFloat, native: "math_cos"},
+	"log":          {name: "log", params: []*Type{tFloat}, ret: tFloat, native: "math_log"},
+	"exp":          {name: "exp", params: []*Type{tFloat}, ret: tFloat, native: "math_exp"},
+	"floor":        {name: "floor", params: []*Type{tFloat}, ret: tFloat, native: "math_floor"},
+	"pow":          {name: "pow", params: []*Type{tFloat, tFloat}, ret: tFloat, native: "math_pow"},
+	"strLen":       {name: "strLen", params: []*Type{tString}, ret: tInt, native: "str_len"},
+	"strAt":        {name: "strAt", params: []*Type{tString, tInt}, ret: tInt, native: "str_at"},
+	"strBytes":     {name: "strBytes", params: []*Type{tString}, ret: arrayOf(tByte), native: "str_bytes"},
+	"bytesStr":     {name: "bytesStr", params: []*Type{arrayOf(tByte)}, ret: tString, native: "bytes_str"},
+	"toFloat":      {name: "toFloat", params: []*Type{tInt}, ret: tFloat, intrinsic: "i2f"},
+	"toInt":        {name: "toInt", params: []*Type{tFloat}, ret: tInt, intrinsic: "f2i"},
+}
+
+// sysClassName is the synthesized class that hosts non-intrinsic builtins.
+const sysClassName = "Sys"
+
+func describeParams(params []*Type) string {
+	s := "("
+	for i, p := range params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,291 @@
+package opt_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/jasm"
+	"repro/internal/minijava"
+	"repro/internal/opt"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// execProg runs a linked program and returns its output.
+func execProg(t *testing.T, prog *classfile.Program) string {
+	t.Helper()
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	var out bytes.Buffer
+	m, err := vm.New(prog, pcfg, vm.Options{Out: &out, MaxSteps: 200_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+// disasm returns the main method's listing.
+func disasm(t *testing.T, prog *classfile.Program) string {
+	t.Helper()
+	s, err := bytecode.Disassemble(prog.Main.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConstantFoldingRewrites(t *testing.T) {
+	prog, err := jasm.Assemble(`
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+    iconst 6 iconst 7 imul invokestatic Main.p
+    iconst 10 iconst 0 iadd invokestatic Main.p
+    iconst 5 ineg invokestatic Main.p
+    fconst 2.0 fconst 3.0 fmul f2i invokestatic Main.p
+    return
+.end
+.end
+.entry Main main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := execProg(t, prog)
+
+	st, changed, err := opt.Method(prog, prog.Main)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if !changed {
+		t.Fatal("nothing changed")
+	}
+	if st.Folded == 0 {
+		t.Errorf("no folds recorded: %+v", st)
+	}
+	after := execProg(t, prog)
+	if after != before {
+		t.Errorf("optimization changed output: %q vs %q", after, before)
+	}
+	listing := disasm(t, prog)
+	if !strings.Contains(listing, "iconst 42") {
+		t.Errorf("6*7 not folded:\n%s", listing)
+	}
+	if strings.Contains(listing, "imul") || strings.Contains(listing, "fmul") {
+		t.Errorf("arithmetic survived folding:\n%s", listing)
+	}
+	if st.InstrsAfter >= st.InstrsBefore {
+		t.Errorf("no shrink: %+v", st)
+	}
+}
+
+func TestBranchFoldingAndDCE(t *testing.T) {
+	prog, err := jasm.Assemble(`
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+    iconst 1
+    ifne takeit               ; constant-true conditional
+    iconst 111 invokestatic Main.p   ; dead
+takeit:
+    iconst 222 invokestatic Main.p
+    goto hop                  ; goto-to-goto chain
+hop:
+    goto end
+    iconst 333 invokestatic Main.p   ; unreachable
+end:
+    return
+.end
+.end
+.entry Main main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := execProg(t, prog)
+	if before != "222\n" {
+		t.Fatalf("reference output %q", before)
+	}
+	st, changed, err := opt.Method(prog, prog.Main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || st.BranchesFolded == 0 || st.DeadRemoved == 0 {
+		t.Errorf("expected branch folds and DCE: %+v changed=%v", st, changed)
+	}
+	after := execProg(t, prog)
+	if after != before {
+		t.Errorf("output changed: %q vs %q", after, before)
+	}
+	listing := disasm(t, prog)
+	if strings.Contains(listing, "iconst 111") || strings.Contains(listing, "iconst 333") {
+		t.Errorf("dead code survived:\n%s", listing)
+	}
+}
+
+func TestOptimizerPreservesExceptions(t *testing.T) {
+	prog, err := minijava.Compile(`
+class Err { int v; void init(int x) { v = x; } }
+class Main {
+    static int f(int i) {
+        int noise = 2 * 3 + 0;   // foldable
+        if (i == 7) { throw new Err(i + noise); }
+        return i;
+    }
+    static void main() {
+        int s = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+            try { s = s + f(i); }
+            catch (Err e) { s = s + e.v * 100; }
+        }
+        Sys.printlnInt(s);
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := execProg(t, prog)
+	st, err := opt.Program(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := execProg(t, prog)
+	if after != before {
+		t.Errorf("output changed: %q vs %q", after, before)
+	}
+	if st.MethodsChanged == 0 {
+		t.Error("optimizer touched nothing")
+	}
+}
+
+func TestOptimizerIdempotent(t *testing.T) {
+	prog, err := minijava.Compile(`class Main { static void main() {
+        Sys.printlnInt(2 * 3 + 4 * 5);
+    } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Program(prog); err != nil {
+		t.Fatal(err)
+	}
+	code1 := append([]byte(nil), prog.Main.Code...)
+	st2, err := opt.Program(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.MethodsChanged != 0 {
+		t.Errorf("second pass changed methods: %+v", st2)
+	}
+	if !bytes.Equal(code1, prog.Main.Code) {
+		t.Error("second pass altered code")
+	}
+}
+
+func TestOptimizerSkipsLeaderWindows(t *testing.T) {
+	// The iadd is a branch target: control can arrive with a different
+	// stack, so the [iconst; iconst; iadd] window must NOT be folded.
+	prog, err := jasm.Assemble(`
+.class Main
+.native static p ( int ) void println_int
+.method static main ( ) void
+.locals 1
+    iload 0 ifne other
+    iconst 1
+    iconst 2
+merge:
+    iadd invokestatic Main.p
+    return
+other:
+    iconst 10
+    iconst 20
+    goto merge
+.end
+.end
+.entry Main main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := execProg(t, prog)
+	if _, _, err := opt.Method(prog, prog.Main); err != nil {
+		t.Fatal(err)
+	}
+	after := execProg(t, prog)
+	if after != before {
+		t.Errorf("output changed: %q vs %q", after, before)
+	}
+	if !strings.Contains(disasm(t, prog), "iadd") {
+		t.Error("iadd at a leader was folded away")
+	}
+}
+
+func TestOptimizerOnAllWorkloads(t *testing.T) {
+	// Semantic preservation across the full benchmark suite: identical
+	// output before and after optimization.
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, _, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := execProg(t, prog)
+			st, err := opt.Program(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := execProg(t, prog)
+			if after != before {
+				t.Errorf("%s: optimization changed output", w.Name)
+			}
+			t.Logf("%s: %s", w.Name, st)
+		})
+	}
+}
+
+// TestPropertyFoldingPreservesSemantics generates random constant expression
+// programs and checks output equality across optimization.
+func TestPropertyFoldingPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		sb.WriteString(".class Main\n.native static p ( int ) void println_int\n.method static main ( ) void\n")
+		// Random constant expression: push k constants, combine with k-1 ops.
+		k := r.Intn(6) + 2
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&sb, "iconst %d\n", r.Intn(2001)-1000)
+		}
+		ops := []string{"iadd", "isub", "imul", "ior", "ixor", "iand"}
+		for i := 0; i < k-1; i++ {
+			sb.WriteString(ops[r.Intn(len(ops))] + "\n")
+		}
+		sb.WriteString("invokestatic Main.p\nreturn\n.end\n.end\n.entry Main main\n")
+
+		prog, err := jasm.Assemble(sb.String())
+		if err != nil {
+			return false
+		}
+		before := execProg(t, prog)
+		if _, err := opt.Program(prog); err != nil {
+			return false
+		}
+		after := execProg(t, prog)
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

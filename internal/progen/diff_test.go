@@ -1,0 +1,100 @@
+package progen_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/minijava"
+	"repro/internal/opt"
+	"repro/internal/progen"
+)
+
+// runUnder executes a compiled program under one mode and returns output.
+func runUnder(t *testing.T, prog *classfile.Program, pcfg *cfg.ProgramCFG, mode core.Mode) string {
+	t.Helper()
+	var out bytes.Buffer
+	s, err := core.NewSession(prog, pcfg, core.SessionOptions{
+		Mode:     mode,
+		Out:      &out,
+		MaxSteps: 100_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("mode %s: %v", mode, err)
+	}
+	return out.String()
+}
+
+// TestDifferentialEnginesAndOptimizer is the pipeline's differential
+// tester: for each random program, every engine and the optimized build
+// must print exactly the same thing.
+func TestDifferentialEnginesAndOptimizer(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	modes := []core.Mode{core.ModePlain, core.ModeInstr, core.ModeProfile, core.ModeTrace, core.ModeTraceDeploy}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := progen.Generate(seed, progen.Config{})
+		prog, err := minijava.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile failed: %v\nprogram:\n%s", seed, err, src)
+		}
+		pcfg, err := cfg.BuildProgram(prog)
+		if err != nil {
+			t.Fatalf("seed %d: cfg failed: %v", seed, err)
+		}
+
+		want := runUnder(t, prog, pcfg, core.ModePlain)
+		for _, mode := range modes[1:] {
+			if got := runUnder(t, prog, pcfg, mode); got != want {
+				t.Errorf("seed %d: mode %s diverged:\nwant %q\ngot  %q\nprogram:\n%s",
+					seed, mode, want, got, src)
+			}
+		}
+
+		// Optimized build (fresh compile so the unoptimized runs above are
+		// untouched).
+		oprog, err := minijava.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt.Program(oprog); err != nil {
+			t.Fatalf("seed %d: optimizer failed: %v\nprogram:\n%s", seed, err, src)
+		}
+		ocfg, err := cfg.BuildProgram(oprog)
+		if err != nil {
+			t.Fatalf("seed %d: cfg of optimized program failed: %v", seed, err)
+		}
+		if got := runUnder(t, oprog, ocfg, core.ModePlain); got != want {
+			t.Errorf("seed %d: optimizer diverged:\nwant %q\ngot  %q\nprogram:\n%s",
+				seed, want, got, src)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := progen.Generate(7, progen.Config{})
+	b := progen.Generate(7, progen.Config{})
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+	c := progen.Generate(8, progen.Config{})
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratorProgramsCompile(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		src := progen.Generate(seed, progen.Config{Funcs: 5, MaxDepth: 4})
+		if _, err := minijava.Compile(src); err != nil {
+			t.Errorf("seed %d: %v\nprogram:\n%s", seed, err, src)
+		}
+	}
+}

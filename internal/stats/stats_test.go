@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveBasics(t *testing.T) {
+	c := &Counters{
+		Instrs:                  1000,
+		BlockDispatches:         400,
+		TracesEntered:           100,
+		TracesCompleted:         90,
+		CompletedTraceBlocksSum: 450,
+		InstrsInTraces:          800,
+		InstrsInCompletedTraces: 700,
+		Signals:                 4,
+		TracesBuilt:             6,
+	}
+	m := c.Derive()
+	if m.AvgTraceLength != 5 {
+		t.Errorf("avg length = %v, want 5", m.AvgTraceLength)
+	}
+	if m.Coverage != 0.7 {
+		t.Errorf("coverage = %v, want 0.7", m.Coverage)
+	}
+	if m.CacheCoverage != 0.8 {
+		t.Errorf("cache coverage = %v, want 0.8", m.CacheCoverage)
+	}
+	if m.CompletionRate != 0.9 {
+		t.Errorf("completion = %v, want 0.9", m.CompletionRate)
+	}
+	if m.DispatchesPerSignal != 100 {
+		t.Errorf("dispatches/signal = %v, want 100", m.DispatchesPerSignal)
+	}
+	if m.TraceEventInterval != 100 {
+		t.Errorf("event interval = %v, want 100", m.TraceEventInterval)
+	}
+}
+
+func TestDeriveZeroDenominators(t *testing.T) {
+	c := &Counters{}
+	m := c.Derive()
+	if m.AvgTraceLength != 0 || m.Coverage != 0 || m.CompletionRate != 0 {
+		t.Error("zero counters should derive zeros")
+	}
+	if m.DispatchesPerSignal != 0 || m.TraceEventInterval != 0 {
+		t.Error("0/0 ratios should be 0")
+	}
+	c2 := &Counters{Instrs: 10, BlockDispatches: 10}
+	m2 := c2.Derive()
+	if !math.IsInf(m2.DispatchesPerSignal, 1) || !math.IsInf(m2.TraceEventInterval, 1) {
+		t.Error("no-signal run should derive +Inf intervals")
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := &Counters{Instrs: 1, Signals: 2, TracesBuilt: 3, NativeCalls: 4}
+	b := &Counters{Instrs: 10, Signals: 20, TracesBuilt: 30, NativeCalls: 40}
+	a.Add(b)
+	if a.Instrs != 11 || a.Signals != 22 || a.TracesBuilt != 33 || a.NativeCalls != 44 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+// TestPropertyAddIsComponentwise: Add never loses or mixes fields (checked
+// on a sample of fields via quick-generated values).
+func TestPropertyAddIsComponentwise(t *testing.T) {
+	f := func(a, b Counters) bool {
+		sum := a
+		sum.Add(&b)
+		return sum.Instrs == a.Instrs+b.Instrs &&
+			sum.InstrDispatches == a.InstrDispatches+b.InstrDispatches &&
+			sum.BlockDispatches == a.BlockDispatches+b.BlockDispatches &&
+			sum.TraceDispatches == a.TraceDispatches+b.TraceDispatches &&
+			sum.TracesEntered == a.TracesEntered+b.TracesEntered &&
+			sum.TracesCompleted == a.TracesCompleted+b.TracesCompleted &&
+			sum.CompletedTraceBlocksSum == a.CompletedTraceBlocksSum+b.CompletedTraceBlocksSum &&
+			sum.BlocksInTraces == a.BlocksInTraces+b.BlocksInTraces &&
+			sum.InstrsInTraces == a.InstrsInTraces+b.InstrsInTraces &&
+			sum.InstrsInCompletedTraces == a.InstrsInCompletedTraces+b.InstrsInCompletedTraces &&
+			sum.ProfiledDispatches == a.ProfiledDispatches+b.ProfiledDispatches &&
+			sum.NodesCreated == a.NodesCreated+b.NodesCreated &&
+			sum.EdgesCreated == a.EdgesCreated+b.EdgesCreated &&
+			sum.DecayChecks == a.DecayChecks+b.DecayChecks &&
+			sum.Signals == a.Signals+b.Signals &&
+			sum.TracesBuilt == a.TracesBuilt+b.TracesBuilt &&
+			sum.TracesReused == a.TracesReused+b.TracesReused &&
+			sum.TracesRetired == a.TracesRetired+b.TracesRetired &&
+			sum.RebuildRequests == a.RebuildRequests+b.RebuildRequests &&
+			sum.MethodCalls == a.MethodCalls+b.MethodCalls &&
+			sum.NativeCalls == a.NativeCalls+b.NativeCalls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringMentionsKeyNumbers(t *testing.T) {
+	c := &Counters{Instrs: 123456, Signals: 7}
+	s := c.String()
+	if !strings.Contains(s, "123456") || !strings.Contains(s, "signals=7") {
+		t.Errorf("String() = %q", s)
+	}
+}

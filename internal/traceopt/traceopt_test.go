@@ -1,0 +1,404 @@
+package traceopt_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/jasm"
+	"repro/internal/minijava"
+	"repro/internal/trace"
+	"repro/internal/traceopt"
+)
+
+// buildCFG assembles a jasm program and returns its CFG.
+func buildCFG(t *testing.T, src string) *cfg.ProgramCFG {
+	t.Helper()
+	prog, err := jasm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return pcfg
+}
+
+func TestConstantFoldingDetected(t *testing.T) {
+	// Block 0: iconst 2, iconst 3, imul (foldable), istore 0;
+	//          iload 0 (propagatable), iconst 1, iadd (foldable), pop-like store
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+.locals 1
+    iconst 2 iconst 3 imul istore 0
+    iload 0 iconst 1 iadd istore 0
+    goto next
+next:
+    return
+.end
+.end
+.entry Main main
+`)
+	// Trace = blocks [0, 1] (the goto-terminated block and the return).
+	tr := trace.New(0, []cfg.BlockID{0, 1}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Foldable != 2 { // imul and iadd
+		t.Errorf("foldable = %d, want 2: %s", r.Foldable, r)
+	}
+	if r.Propagatable != 1 { // iload 0 of a known constant
+		t.Errorf("propagatable = %d, want 1: %s", r.Propagatable, r)
+	}
+}
+
+func TestDeadStoreWithinBlock(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+.locals 1
+    iconst 1 istore 0
+    iconst 2 istore 0
+    return
+.end
+.end
+.entry Main main
+`)
+	tr := trace.New(0, []cfg.BlockID{0}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeadStores != 1 {
+		t.Errorf("dead stores = %d, want 1: %s", r.DeadStores, r)
+	}
+}
+
+func TestGuardNotRemovableWhenUnknown(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.native static id ( int ) int custom
+.method static main ( ) void
+.locals 1
+    iload 0
+    ifeq done
+    iinc 0 1
+done:
+    return
+.end
+.end
+.entry Main main
+`)
+	// Blocks: 0 [iload, ifeq], 1 [iinc -> fallthrough], 2 [return].
+	tr := trace.New(0, []cfg.BlockID{0, 1, 2}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemovableGuards != 0 {
+		t.Errorf("guard on unknown local reported removable: %s", r)
+	}
+}
+
+func TestGuardRemovableWhenConstant(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+    iconst 0
+    ifeq done
+    nop
+done:
+    return
+.end
+.end
+.entry Main main
+`)
+	tr := trace.New(0, []cfg.BlockID{0, 2}, 1) // block 2 is "done: return"
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemovableGuards != 1 {
+		t.Errorf("constant guard not detected: %s", r)
+	}
+}
+
+func TestCallsAreBarriers(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static f ( ) void
+    return
+.end
+.method static main ( ) void
+.locals 1
+    iconst 5 istore 0
+    invokestatic Main.f
+    iload 0
+    pop
+    return
+.end
+.end
+.entry Main main
+`)
+	// main block 0 [iconst, istore, invokestatic], f block, main block 1
+	// [iload, pop, return]. Find the global IDs via the method CFGs.
+	mainCFG := pcfg.Methods[pcfg.Program.Main.ID]
+	var fEntry cfg.BlockID
+	for _, m := range pcfg.Program.Methods {
+		if m.Name == "f" {
+			fEntry = pcfg.MethodEntry(m).ID
+		}
+	}
+	tr := trace.New(0, []cfg.BlockID{mainCFG.Blocks[0].ID, fEntry, mainCFG.Blocks[1].ID}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Barriers == 0 {
+		t.Errorf("no barriers recorded across a call: %s", r)
+	}
+	// The iload after the call must NOT be propagatable: the barrier
+	// cleared the constant.
+	if r.Propagatable != 0 {
+		t.Errorf("constant survived a call barrier: %s", r)
+	}
+}
+
+func TestSummaryWeighting(t *testing.T) {
+	var s traceopt.Summary
+	s.Add(traceopt.Report{Instrs: 10, Foldable: 5}, 100) // 50% removable, weight 100
+	s.Add(traceopt.Report{Instrs: 10}, 900)              // 0% removable, weight 900
+	if got := s.Ratio(); got != 0.05 {
+		t.Errorf("weighted ratio = %v, want 0.05", got)
+	}
+	if s.Traces != 2 {
+		t.Errorf("traces = %d", s.Traces)
+	}
+}
+
+func TestAnalyzeRealWorkloadTraces(t *testing.T) {
+	// End-to-end: run a MiniJava program under trace mode, then analyze the
+	// cache's traces.
+	prog, err := minijava.Compile(`class Main {
+        static void main() {
+            int s = 0;
+            for (int i = 0; i < 30000; i = i + 1) {
+                int twelve = 3 * 4;
+                s = s + i % twelve;
+            }
+            Sys.printlnInt(s);
+        }
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(prog, pcfg, core.SessionOptions{Mode: core.ModeTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	traces := sess.Cache.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces to analyze")
+	}
+	sum, reports, err := traceopt.New(pcfg).AnalyzeAll(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Traces != len(traces) {
+		t.Errorf("summary traces = %d, want %d", sum.Traces, len(traces))
+	}
+	// The loop body computes 3*4 every iteration: the dominant trace must
+	// show foldable instructions, so the weighted ratio is positive.
+	if sum.Ratio() <= 0 {
+		for _, r := range reports {
+			t.Logf("%s", r)
+		}
+		t.Error("no optimization opportunities found in a constant-rich loop")
+	}
+}
+
+func TestAnalyzeUnknownBlockFails(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+    return
+.end
+.end
+.entry Main main
+`)
+	tr := trace.New(0, []cfg.BlockID{999}, 1)
+	if _, err := traceopt.New(pcfg).Analyze(tr); err == nil {
+		t.Error("unknown block accepted")
+	}
+}
+
+func TestFloatFoldingAndComparisons(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+.locals 1
+    fconst 2.0 fconst 4.0 fmul fstore 0
+    fload 0 fneg fstore 0
+    fconst 1.0 fconst 2.0 fcmpl istore 0
+    fconst 3.5 f2i istore 0
+    iconst 5 i2f fstore 0
+    iconst 3 ineg istore 0
+    return
+.end
+.end
+.entry Main main
+`)
+	tr := trace.New(0, []cfg.BlockID{0}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fmul, fneg(on propagated const), fcmpl, f2i, i2f, ineg are foldable;
+	// fload 0 after fstore of a const is propagatable.
+	if r.Foldable < 5 {
+		t.Errorf("foldable = %d, want >= 5: %s", r.Foldable, r)
+	}
+	if r.Propagatable == 0 {
+		t.Errorf("no propagatable loads: %s", r)
+	}
+}
+
+func TestStackShuffleTracking(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+.locals 1
+    iconst 2 iconst 3 swap isub istore 0     ; 3-2 via swap: foldable
+    iconst 4 dup iadd istore 0               ; dup then iadd: foldable
+    iconst 1 iconst 2 dup_x1 iadd iadd istore 0
+    iconst 9 pop
+    return
+.end
+.end
+.entry Main main
+`)
+	tr := trace.New(0, []cfg.BlockID{0}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Foldable < 4 {
+		t.Errorf("stack shuffles broke constant tracking: %s", r)
+	}
+}
+
+func TestIIncFolding(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+.locals 1
+    iconst 10 istore 0
+    iinc 0 5
+    iload 0 pop
+    return
+.end
+.end
+.entry Main main
+`)
+	tr := trace.New(0, []cfg.BlockID{0}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Foldable != 1 { // the iinc on a known constant
+		t.Errorf("iinc not folded: %s", r)
+	}
+	if r.Propagatable != 1 { // iload of 15
+		t.Errorf("iload after iinc not propagated: %s", r)
+	}
+}
+
+func TestSwitchGuards(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+.locals 1
+    iconst 1
+    tableswitch 0 dflt a b
+a: goto dflt
+b: goto dflt
+dflt:
+    iload 0
+    lookupswitch end 5:end
+end:
+    return
+.end
+.end
+.entry Main main
+`)
+	// Trace: the tableswitch block (const tag -> removable), then block b,
+	// then the lookupswitch block (unknown tag -> kept), then end.
+	mc := pcfg.Methods[pcfg.Program.Main.ID]
+	var ids []cfg.BlockID
+	for _, b := range mc.Blocks {
+		ids = append(ids, b.ID)
+	}
+	tr := trace.New(0, []cfg.BlockID{ids[0], ids[2], ids[3], ids[4]}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemovableGuards != 1 {
+		t.Errorf("removable guards = %d, want exactly the constant tableswitch: %s", r.RemovableGuards, r)
+	}
+}
+
+func TestHeapStoresEndDeadStoreWindows(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Box
+.field v int
+.end
+.class Main
+.method static main ( ) void
+.locals 2
+    new Box astore 1
+    iconst 1 istore 0
+    aload 1 iconst 9 putfield Box.v     ; heap store: guard
+    iconst 2 istore 0                    ; NOT a dead-store pair with above
+    iload 0 pop
+    return
+.end
+.end
+.entry Main main
+`)
+	tr := trace.New(0, []cfg.BlockID{0}, 1)
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeadStores != 0 {
+		t.Errorf("dead store counted across a heap-store guard: %s", r)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := traceopt.Report{TraceID: 3, Instrs: 20, Foldable: 2, Propagatable: 1, RemovableGuards: 1, DeadStores: 1}
+	if r.Removable() != 5 {
+		t.Errorf("Removable = %d", r.Removable())
+	}
+	if r.Ratio() != 0.25 {
+		t.Errorf("Ratio = %v", r.Ratio())
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+	empty := traceopt.Report{}
+	if empty.Ratio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+}

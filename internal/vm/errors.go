@@ -1,0 +1,76 @@
+package vm
+
+import "fmt"
+
+// TrapKind classifies runtime errors raised by the machine. Traps replace
+// the JVM's exception mechanism: the paper's traces never include exception
+// edges ("a large number of branches which are never taken, eg exceptions"),
+// and in this VM a trap simply terminates execution with an error.
+type TrapKind uint8
+
+const (
+	TrapNone TrapKind = iota
+	TrapNullDeref
+	TrapDivByZero
+	TrapIndexOOB
+	TrapBadCast
+	TrapStackOverflow
+	TrapStepLimit
+	TrapNoNative
+	TrapAbstractCall
+	TrapUncaught   // an exception unwound past the outermost frame
+	TrapBadProgram // structural impossibility (verifier gap)
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNullDeref:
+		return "null dereference"
+	case TrapDivByZero:
+		return "integer division by zero"
+	case TrapIndexOOB:
+		return "array index out of bounds"
+	case TrapBadCast:
+		return "bad cast"
+	case TrapStackOverflow:
+		return "call stack overflow"
+	case TrapStepLimit:
+		return "instruction step limit exceeded"
+	case TrapNoNative:
+		return "unbound native method"
+	case TrapAbstractCall:
+		return "abstract method invoked"
+	case TrapUncaught:
+		return "uncaught exception"
+	case TrapBadProgram:
+		return "malformed program"
+	}
+	return "unknown trap"
+}
+
+// Trap is the error type for runtime failures, carrying the failing method
+// and program counter.
+type Trap struct {
+	Kind   TrapKind
+	Detail string
+	Method string
+	PC     uint32
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	msg := fmt.Sprintf("vm trap: %s", t.Kind)
+	if t.Detail != "" {
+		msg += ": " + t.Detail
+	}
+	if t.Method != "" {
+		msg += fmt.Sprintf(" (at %s pc %d)", t.Method, t.PC)
+	}
+	return msg
+}
+
+// AsTrap unwraps err to a *Trap if it is one.
+func AsTrap(err error) (*Trap, bool) {
+	t, ok := err.(*Trap)
+	return t, ok
+}

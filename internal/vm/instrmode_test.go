@@ -1,0 +1,164 @@
+package vm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/minijava"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// runBoth executes a MiniJava program under both engines and returns the
+// outputs and counters.
+func runBoth(t *testing.T, src string) (blockOut, instrOut string, blockCtr, instrCtr *stats.Counters) {
+	t.Helper()
+	prog, err := minijava.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+
+	var out1 bytes.Buffer
+	blockCtr = &stats.Counters{}
+	m1, err := vm.New(prog, pcfg, vm.Options{Out: &out1, Counters: blockCtr, MaxSteps: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Run(); err != nil {
+		t.Fatalf("block engine: %v", err)
+	}
+
+	var out2 bytes.Buffer
+	instrCtr = &stats.Counters{}
+	m2, err := vm.New(prog, pcfg, vm.Options{Out: &out2, Counters: instrCtr, MaxSteps: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.RunInstrMode(); err != nil {
+		t.Fatalf("instr engine: %v", err)
+	}
+	return out1.String(), out2.String(), blockCtr, instrCtr
+}
+
+func TestInstrModeMatchesBlockMode(t *testing.T) {
+	cases := []string{
+		// Arithmetic, loops, calls.
+		`class Main {
+            static int f(int a, int b) { return a * b + a % (b + 1); }
+            static void main() {
+                int s = 0;
+                for (int i = 1; i < 2000; i = i + 1) { s = s + f(i, i % 13); }
+                Sys.printlnInt(s);
+            }
+        }`,
+		// Virtual dispatch and fields.
+		`class A { int v() { return 1; } }
+         class B extends A { int x; int v() { return x + 2; } }
+         class Main { static void main() {
+            A[] xs = new A[6];
+            for (int i = 0; i < 6; i = i + 1) {
+                if (i % 2 == 0) { xs[i] = new A(); }
+                else { B b = new B(); b.x = i; xs[i] = b; }
+            }
+            int s = 0;
+            for (int i = 0; i < 6; i = i + 1) { s = s + xs[i].v(); }
+            Sys.printlnInt(s);
+         } }`,
+		// Floats and natives.
+		`class Main { static void main() {
+            float s = 0.0;
+            for (int i = 0; i < 100; i = i + 1) { s = s + Sys.sqrt(Sys.toFloat(i)); }
+            Sys.printlnInt(Sys.toInt(s));
+         } }`,
+		// Strings and byte arrays.
+		`class Main { static void main() {
+            byte[] b = Sys.strBytes("dispatch");
+            int s = 0;
+            for (int i = 0; i < b.length; i = i + 1) { s = s * 31 + b[i]; }
+            Sys.printlnInt(s);
+         } }`,
+	}
+	for i, src := range cases {
+		b, ins, bc, ic := runBoth(t, src)
+		if b != ins {
+			t.Errorf("case %d: outputs differ:\nblock: %q\ninstr: %q", i, b, ins)
+		}
+		if bc.Instrs != ic.Instrs {
+			t.Errorf("case %d: instruction counts differ: block %d, instr %d", i, bc.Instrs, ic.Instrs)
+		}
+		if ic.InstrDispatches != ic.Instrs {
+			t.Errorf("case %d: instr mode dispatches (%d) != instructions (%d)", i, ic.InstrDispatches, ic.Instrs)
+		}
+		if bc.InstrDispatches != 0 {
+			t.Errorf("case %d: block mode counted instr dispatches", i)
+		}
+		if ic.InstrDispatches <= bc.BlockDispatches {
+			t.Errorf("case %d: instruction dispatches (%d) should exceed block dispatches (%d)",
+				i, ic.InstrDispatches, bc.BlockDispatches)
+		}
+	}
+}
+
+func TestInstrModeTraps(t *testing.T) {
+	prog, err := minijava.Compile(`class Main { static void main() {
+        int z = 0;
+        Sys.printlnInt(5 / z);
+    } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, pcfg, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunInstrMode()
+	trap, ok := vm.AsTrap(err)
+	if !ok || trap.Kind != vm.TrapDivByZero {
+		t.Errorf("error = %v, want div-by-zero trap", err)
+	}
+}
+
+func TestInstrModeStepLimit(t *testing.T) {
+	prog, err := minijava.Compile(`class Main { static void main() {
+        while (true) { }
+    } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, pcfg, vm.Options{MaxSteps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunInstrMode()
+	trap, ok := vm.AsTrap(err)
+	if !ok || trap.Kind != vm.TrapStepLimit {
+		t.Errorf("error = %v, want step-limit trap", err)
+	}
+}
+
+func TestInstrModeRecursion(t *testing.T) {
+	b, ins, _, _ := runBoth(t, `class Main {
+        static int ack(int m, int n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        static void main() { Sys.printlnInt(ack(2, 3)); }
+    }`)
+	if b != ins || b != "9\n" {
+		t.Errorf("ackermann: block %q, instr %q, want 9", b, ins)
+	}
+}

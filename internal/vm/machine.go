@@ -1,0 +1,298 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// DispatchHook observes block-boundary dispatches. The profiler implements
+// it; from and to are the global IDs of the block that just executed and the
+// block about to execute. This is the paper's "profiler hook appended to the
+// dispatch code".
+type DispatchHook interface {
+	OnDispatch(from, to cfg.BlockID)
+}
+
+// Options configures a Machine.
+type Options struct {
+	// Out receives program output (default: io.Discard).
+	Out io.Writer
+	// Hook, if set, is invoked on block dispatches.
+	Hook DispatchHook
+	// Traces, if set, enables trace dispatch: at every block boundary the
+	// engine consults the source and executes a registered trace as a unit.
+	Traces trace.Source
+	// HookInsideTraces controls profiling fidelity during trace execution.
+	// True (measurement mode) runs the hook on every intra-trace edge, so
+	// the branch correlation graph sees the full execution stream — this is
+	// the paper's experimental framework configuration used for Tables
+	// I–V. False (deployment mode) runs a single hook per trace dispatch,
+	// the configuration whose overhead Table VII models.
+	HookInsideTraces bool
+	// Counters receives execution statistics (default: a fresh Counters).
+	Counters *stats.Counters
+	// MaxSteps bounds executed instructions; 0 means no bound.
+	MaxSteps int64
+	// MaxFrames bounds call depth (default 1 << 14).
+	MaxFrames int
+}
+
+// Machine executes one program. A machine is single-threaded and not safe
+// for concurrent use; run each program on its own machine.
+type Machine struct {
+	prog *classfile.Program
+	cfg  *cfg.ProgramCFG
+
+	out              io.Writer
+	hook             DispatchHook
+	traces           trace.Source
+	hookInsideTraces bool
+	ctr              *stats.Counters
+	maxSteps         int64
+	maxFrames        int
+
+	natives map[string]NativeFunc
+	statics [][]Value // per class ID
+	frames  []*frame
+	pool    []*frame // retired frames for reuse (calls are hot)
+	argbuf  []Value  // scratch for popping call arguments
+	steps   int64
+	decoded map[*classfile.Method]*decodedMethod // per-instruction engine cache
+}
+
+type frame struct {
+	method   *classfile.Method
+	locals   []Value
+	stack    []Value
+	retBlock *cfg.Block // resume point after a callee returns
+	callPC   uint32     // pc of the pending invoke (for exception tables)
+}
+
+// New creates a machine for a linked program with prebuilt CFGs.
+func New(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts Options) (*Machine, error) {
+	if !prog.Linked() {
+		return nil, fmt.Errorf("vm: program is not linked")
+	}
+	if prog.Main == nil {
+		return nil, fmt.Errorf("vm: program has no entry point")
+	}
+	if pcfg == nil || pcfg.Program != prog {
+		return nil, fmt.Errorf("vm: CFG does not belong to the program")
+	}
+	if opts.Out == nil {
+		opts.Out = io.Discard
+	}
+	if opts.Counters == nil {
+		opts.Counters = &stats.Counters{}
+	}
+	if opts.MaxFrames == 0 {
+		opts.MaxFrames = 1 << 14
+	}
+	m := &Machine{
+		prog:             prog,
+		cfg:              pcfg,
+		out:              opts.Out,
+		hook:             opts.Hook,
+		traces:           opts.Traces,
+		hookInsideTraces: opts.HookInsideTraces,
+		ctr:              opts.Counters,
+		maxSteps:         opts.MaxSteps,
+		maxFrames:        opts.MaxFrames,
+		natives:          builtinNatives(),
+	}
+	m.statics = make([][]Value, len(prog.Classes))
+	for i, c := range prog.Classes {
+		m.statics[i] = make([]Value, c.NumStatic)
+	}
+	return m, nil
+}
+
+// Counters returns the machine's statistics record.
+func (m *Machine) Counters() *stats.Counters { return m.ctr }
+
+// Program returns the machine's program.
+func (m *Machine) Program() *classfile.Program { return m.prog }
+
+// CFG returns the machine's control-flow graphs.
+func (m *Machine) CFG() *cfg.ProgramCFG { return m.cfg }
+
+// Run executes the program's entry method to completion.
+func (m *Machine) Run() error {
+	main := m.prog.Main
+	entry := m.cfg.MethodEntry(main)
+	if entry == nil {
+		return fmt.Errorf("vm: entry method %s has no bytecode", main.QName())
+	}
+	m.frames = m.frames[:0]
+	m.pushFrame(main, nil)
+
+	cur := entry
+	prev := cfg.NoBlock
+	for {
+		// Trace dispatch: if a trace is registered on the arrival edge,
+		// execute it as a unit.
+		if m.traces != nil && prev != cfg.NoBlock {
+			if t := m.traces.Lookup(prev, cur.ID); t != nil && !t.Retired {
+				next, last, halted, err := m.runTrace(t)
+				if err != nil {
+					return err
+				}
+				if halted {
+					return nil
+				}
+				prev, cur = last, next
+				continue
+			}
+		}
+
+		next, halted, err := m.stepBlock(cur)
+		if err != nil {
+			return err
+		}
+		m.ctr.BlockDispatches++
+		m.ctr.TraceDispatches++
+		if halted {
+			return nil
+		}
+		if m.hook != nil {
+			m.ctr.ProfiledDispatches++
+			m.hook.OnDispatch(cur.ID, next.ID)
+		}
+		prev, cur = cur.ID, next
+	}
+}
+
+// runTrace executes trace t, whose entry block is the block about to run.
+// It returns the block to dispatch next after completion or side exit, plus
+// the ID of the last block the trace actually executed (the "from" side of
+// the next dispatch edge).
+func (m *Machine) runTrace(t *trace.Trace) (next *cfg.Block, last cfg.BlockID, halted bool, err error) {
+	t.Entered++
+	m.ctr.TracesEntered++
+	m.ctr.TraceDispatches++ // the whole trace costs one dispatch
+	instrsBefore := m.ctr.Instrs
+
+	blocksRun := 0
+	completed := false
+	last = cfg.NoBlock
+	for i := 0; i < len(t.Blocks); i++ {
+		b := m.cfg.Block(t.Blocks[i])
+		if b == nil {
+			return nil, last, false, &Trap{Kind: TrapBadProgram, Detail: fmt.Sprintf("trace %d references unknown block %d", t.ID, t.Blocks[i])}
+		}
+		nxt, h, err := m.stepBlock(b)
+		if err != nil {
+			return nil, last, false, err
+		}
+		m.ctr.BlockDispatches++
+		blocksRun++
+		last = b.ID
+		if h {
+			// The program ended inside the trace. Account the blocks run so
+			// far; reaching the final block counts as completion.
+			completed = i == len(t.Blocks)-1
+			m.accountTrace(t, blocksRun, m.ctr.Instrs-instrsBefore, completed)
+			return nil, last, true, nil
+		}
+		if m.hookInsideTraces && m.hook != nil {
+			m.ctr.ProfiledDispatches++
+			m.hook.OnDispatch(b.ID, nxt.ID)
+		}
+		if i == len(t.Blocks)-1 {
+			completed = true
+			next = nxt
+			break
+		}
+		if nxt.ID != t.Blocks[i+1] {
+			// Side exit: the actual successor diverged from the recorded
+			// path; fall back to ordinary dispatch at the actual successor.
+			t.SideExits[i]++
+			next = nxt
+			break
+		}
+	}
+	if !m.hookInsideTraces && m.hook != nil && next != nil {
+		// Deployment mode: a trace dispatch executes a single profiling
+		// statement — the exit edge keeps the branch context current.
+		m.ctr.ProfiledDispatches++
+		m.hook.OnDispatch(last, next.ID)
+	}
+	m.accountTrace(t, blocksRun, m.ctr.Instrs-instrsBefore, completed)
+	return next, last, false, nil
+}
+
+func (m *Machine) accountTrace(t *trace.Trace, blocksRun int, instrs int64, completed bool) {
+	m.ctr.BlocksInTraces += int64(blocksRun)
+	m.ctr.InstrsInTraces += instrs
+	if completed {
+		t.Completed++
+		m.ctr.TracesCompleted++
+		m.ctr.CompletedTraceBlocksSum += int64(blocksRun)
+		m.ctr.InstrsInCompletedTraces += instrs
+	}
+}
+
+func (m *Machine) pushFrame(meth *classfile.Method, args []Value) *frame {
+	var f *frame
+	if n := len(m.pool); n > 0 {
+		f = m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		if cap(f.locals) < meth.MaxLocals {
+			f.locals = make([]Value, meth.MaxLocals)
+		} else {
+			f.locals = f.locals[:meth.MaxLocals]
+			clear(f.locals)
+		}
+		f.stack = f.stack[:0]
+		f.retBlock = nil
+		f.callPC = 0
+	} else {
+		f = &frame{
+			locals: make([]Value, meth.MaxLocals),
+			stack:  make([]Value, 0, 16),
+		}
+	}
+	f.method = meth
+	copy(f.locals, args)
+	m.frames = append(m.frames, f)
+	return f
+}
+
+// popFrame retires the top frame into the reuse pool and returns it; the
+// returned frame stays readable until the next pushFrame.
+func (m *Machine) popFrame() *frame {
+	f := m.frames[len(m.frames)-1]
+	m.frames = m.frames[:len(m.frames)-1]
+	m.pool = append(m.pool, f)
+	return f
+}
+
+// popArgs pops the top n stack values into the machine's scratch buffer
+// (valid until the next popArgs). pushFrame copies them into the callee's
+// locals, and natives do not retain their argument slice.
+func (m *Machine) popArgs(f *frame, n int) []Value {
+	if cap(m.argbuf) < n {
+		m.argbuf = make([]Value, n)
+	}
+	args := m.argbuf[:n]
+	for i := n - 1; i >= 0; i-- {
+		args[i] = f.pop()
+	}
+	return args
+}
+
+func (m *Machine) top() *frame { return m.frames[len(m.frames)-1] }
+
+// trap builds a Trap annotated with the current method and pc.
+func (m *Machine) trap(kind TrapKind, pc uint32, format string, args ...any) error {
+	t := &Trap{Kind: kind, Detail: fmt.Sprintf(format, args...), PC: pc}
+	if len(m.frames) > 0 {
+		t.Method = m.top().method.QName()
+	}
+	return t
+}

@@ -1,0 +1,128 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+const mathPrelude = `
+.class Main
+.native static pi ( int ) void println_int
+.native static pf ( float ) void println_float
+.native static sqrt ( float ) float math_sqrt
+.native static sin ( float ) float math_sin
+.native static cos ( float ) float math_cos
+.native static log ( float ) float math_log
+.native static exp ( float ) float math_exp
+.native static floor ( float ) float math_floor
+.native static pow ( float float ) float math_pow
+`
+
+func TestMathNatives(t *testing.T) {
+	out := mustRun(t, mathPrelude+`
+.method static main ( ) void
+    fconst 16.0 invokestatic Main.sqrt invokestatic Main.pf     ; 4
+    fconst 0.0 invokestatic Main.sin invokestatic Main.pf       ; 0
+    fconst 0.0 invokestatic Main.cos invokestatic Main.pf       ; 1
+    fconst 1.0 invokestatic Main.log invokestatic Main.pf       ; 0
+    fconst 0.0 invokestatic Main.exp invokestatic Main.pf       ; 1
+    fconst 3.7 invokestatic Main.floor invokestatic Main.pf     ; 3
+    fconst 2.0 fconst 10.0 invokestatic Main.pow invokestatic Main.pf  ; 1024
+    return
+.end
+.end
+.entry Main main
+`)
+	if out != "4\n0\n1\n0\n1\n3\n1024\n" {
+		t.Errorf("math natives: %q", out)
+	}
+}
+
+func TestStringNatives(t *testing.T) {
+	out := mustRun(t, `
+.class Main
+.native static pi ( int ) void println_int
+.native static ps ( ref ) void println_str
+.native static prs ( ref ) void print_str
+.native static strLen ( ref ) int str_len
+.native static strAt ( ref int ) int str_at
+.native static strBytes ( ref ) ref str_bytes
+.native static bytesStr ( ref ) ref bytes_str
+.native static nl ( ) void println
+.method static main ( ) void
+.locals 1
+    sconst "abc" invokestatic Main.strLen invokestatic Main.pi    ; 3
+    sconst "abc" iconst 2 invokestatic Main.strAt invokestatic Main.pi  ; 99
+    sconst "xy" invokestatic Main.strBytes astore 0
+    aload 0 arraylength invokestatic Main.pi                       ; 2
+    aload 0 invokestatic Main.bytesStr invokestatic Main.ps        ; xy
+    sconst "no-newline" invokestatic Main.prs
+    invokestatic Main.nl
+    return
+.end
+.end
+.entry Main main
+`)
+	if out != "3\n99\n2\nxy\nno-newline\n" {
+		t.Errorf("string natives: %q", out)
+	}
+}
+
+func TestNativeErrorConditions(t *testing.T) {
+	cases := []struct {
+		name, body string
+		kind       vm.TrapKind
+	}{
+		{"str_at out of bounds", `sconst "ab" iconst 5 invokestatic Main.strAt invokestatic Main.pi`, vm.TrapIndexOOB},
+		{"str_at negative", `sconst "ab" iconst -1 invokestatic Main.strAt invokestatic Main.pi`, vm.TrapIndexOOB},
+		{"null string to native", `aconst_null invokestatic Main.strLen invokestatic Main.pi`, vm.TrapNullDeref},
+		{"non-string to native", `iconst 3 newarray int invokestatic Main.strLen invokestatic Main.pi`, vm.TrapBadCast},
+		{"null bytes to native", `aconst_null invokestatic Main.bytesStr pop`, vm.TrapNullDeref},
+		{"non-bytes to native", `sconst "s" invokestatic Main.bytesStr pop`, vm.TrapBadCast},
+	}
+	prelude := `
+.class Main
+.native static pi ( int ) void println_int
+.native static strLen ( ref ) int str_len
+.native static strAt ( ref int ) int str_at
+.native static bytesStr ( ref ) ref bytes_str
+`
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := prelude + ".method static main ( ) void\n" + tc.body + "\nreturn\n.end\n.end\n.entry Main main\n"
+			_, _, err := run(t, src, vm.Options{})
+			trap, ok := vm.AsTrap(err)
+			if !ok {
+				t.Fatalf("error = %v, want trap", err)
+			}
+			if trap.Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", trap.Kind, tc.kind)
+			}
+		})
+	}
+}
+
+func TestTrapStrings(t *testing.T) {
+	kinds := []vm.TrapKind{
+		vm.TrapNullDeref, vm.TrapDivByZero, vm.TrapIndexOOB, vm.TrapBadCast,
+		vm.TrapStackOverflow, vm.TrapStepLimit, vm.TrapNoNative,
+		vm.TrapAbstractCall, vm.TrapUncaught, vm.TrapBadProgram,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown trap" {
+			t.Errorf("kind %d has no description", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate description %q", s)
+		}
+		seen[s] = true
+	}
+	trap := &vm.Trap{Kind: vm.TrapDivByZero, Detail: "x", Method: "A.f", PC: 9}
+	if !strings.Contains(trap.Error(), "A.f") || !strings.Contains(trap.Error(), "division") {
+		t.Errorf("trap formatting: %v", trap)
+	}
+}

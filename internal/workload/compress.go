@@ -1,0 +1,186 @@
+package workload
+
+// Compress returns the LZW compression workload: generate compressible
+// pseudo-text, LZW-encode it with a chained-hash dictionary, decode the
+// code stream, and verify the round trip byte for byte. The control flow —
+// tight scan loops with a well-predicted hit/miss branch in the dictionary
+// probe — mirrors SPEC _201_compress.
+func Compress() Workload {
+	return Workload{
+		Name:        "compress",
+		Description: "LZW round trip over generated text",
+		Source: prngSource + `
+// LZW dictionary: code -> (prefix code, appended byte), probed through a
+// hash table of entry chains.
+class Dict {
+    int[] prefix;
+    int[] suffix;
+    int[] hashHead;
+    int[] hashNext;
+    int size;
+
+    void init(int capacity, int hashSize) {
+        prefix = new int[capacity];
+        suffix = new int[capacity];
+        hashNext = new int[capacity];
+        hashHead = new int[hashSize];
+        reset();
+    }
+
+    void reset() {
+        for (int i = 0; i < hashHead.length; i = i + 1) { hashHead[i] = 0 - 1; }
+        // Codes 0..255 are the single-byte roots.
+        for (int c = 0; c < 256; c = c + 1) {
+            prefix[c] = 0 - 1;
+            suffix[c] = c;
+        }
+        size = 256;
+    }
+
+    int hashOf(int p, int b) {
+        int h = p * 31 + b * 131 + 7;
+        int m = h % hashHead.length;
+        if (m < 0) { return m + hashHead.length; }
+        return m;
+    }
+
+    // find returns the code for (prefixCode, byte) or -1.
+    int find(int p, int b) {
+        int h = hashOf(p, b);
+        int e = hashHead[h];
+        while (e >= 0) {
+            if (prefix[e] == p && suffix[e] == b) { return e; }
+            e = hashNext[e];
+        }
+        return 0 - 1;
+    }
+
+    // add inserts a new code; returns false when the table is full.
+    boolean add(int p, int b) {
+        if (size >= prefix.length) { return false; }
+        int e = size;
+        size = size + 1;
+        prefix[e] = p;
+        suffix[e] = b;
+        int h = hashOf(p, b);
+        hashNext[e] = hashHead[h];
+        hashHead[h] = e;
+        return true;
+    }
+}
+
+class Lzw {
+    Dict dict;
+
+    void init() { dict = new Dict(8192, 4096); }
+
+    // compress writes codes into out and returns the code count.
+    int compress(byte[] data, int[] out) {
+        dict.reset();
+        int n = 0;
+        int cur = data[0];
+        for (int i = 1; i < data.length; i = i + 1) {
+            int b = data[i];
+            int code = dict.find(cur, b);
+            if (code >= 0) {
+                cur = code;
+            } else {
+                out[n] = cur;
+                n = n + 1;
+                if (!dict.add(cur, b)) { dict.reset(); }
+                cur = b;
+            }
+        }
+        out[n] = cur;
+        return n + 1;
+    }
+
+    // expand decodes n codes into out, returning the decoded length.
+    int expand(int[] codes, int n, byte[] out) {
+        dict.reset();
+        int len = 0;
+        int prev = 0 - 1;
+        byte[] stack = new byte[4096];
+        int firstByte = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            int code = codes[i];
+            int top = 0;
+            int c = code;
+            if (c >= dict.size) {
+                // The K-omega case: code not yet in the dictionary.
+                stack[top] = firstByte;
+                top = top + 1;
+                c = prev;
+            }
+            while (c >= 0) {
+                stack[top] = dict.suffix[c];
+                top = top + 1;
+                c = dict.prefix[c];
+            }
+            firstByte = stack[top - 1];
+            while (top > 0) {
+                top = top - 1;
+                out[len] = stack[top];
+                len = len + 1;
+            }
+            if (prev >= 0) {
+                if (!dict.add(prev, firstByte)) { dict.reset(); prev = 0 - 1; }
+            }
+            prev = code;
+        }
+        return len;
+    }
+}
+
+class Main {
+    // makeText fills data with word-like compressible pseudo-text.
+    static void makeText(byte[] data, Rng rng) {
+        String words = "the quick brown fox jumps over lazy dog trace cache branch correlation virtual machine profile dispatch ";
+        byte[] w = Sys.strBytes(words);
+        int pos = 0;
+        while (pos < data.length) {
+            int start = rng.nextN(90);
+            int len = 4 + rng.nextN(10);
+            for (int i = 0; i < len && pos < data.length; i = i + 1) {
+                data[pos] = w[(start + i) % w.length];
+                pos = pos + 1;
+            }
+        }
+    }
+
+    static void main() {
+        Rng rng = new Rng(20020817);
+        Lzw lzw = new Lzw();
+        int total = 0;
+        int codesTotal = 0;
+        int ok = 1;
+        byte[] data = new byte[16384];
+        int[] codes = new int[16384];
+        byte[] back = new byte[17408];
+        for (int round = 0; round < 6; round = round + 1) {
+            makeText(data, rng);
+            int n = lzw.compress(data, codes);
+            codesTotal = codesTotal + n;
+            int m = lzw.expand(codes, n, back);
+            if (m != data.length) { ok = 0; }
+            for (int i = 0; i < data.length; i = i + 1) {
+                if (back[i] != data[i]) { ok = 0; }
+            }
+            int sum = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                sum = (sum * 33 + codes[i]) % 1000000007;
+                if (sum < 0) { sum = sum + 1000000007; }
+            }
+            total = (total + sum) % 1000000007;
+        }
+        Sys.printStr("roundtrip=");
+        Sys.printlnInt(ok);
+        Sys.printStr("codes=");
+        Sys.printlnInt(codesTotal);
+        Sys.printStr("checksum=");
+        Sys.printlnInt(total);
+    }
+}
+`,
+	}
+}

@@ -1,0 +1,39 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// golden freezes each workload's complete output. The programs are
+// deterministic (seeded PRNG, integer checksums, quantized float results),
+// so any change here means a semantic change somewhere in the pipeline —
+// compiler, linker, interpreter, or the workload source itself — and must
+// be deliberate.
+var golden = map[string]string{
+	"compress":  "roundtrip=1\ncodes=17182\nchecksum=692506413\n",
+	"javac":     "stmts=1920\nfolded=152\nerrors=0\nchecksum=194820006\n",
+	"raytrace":  "lit=1273\nchecksum=737307344\n",
+	"mpegaudio": "bits=108553\nchecksum=533937017\n",
+	"soot":      "iters=16442\nchecksum=138015871\n",
+	"scimark":   "fft=-3728\nsor=1144839\nmc=3134\nsparse=1211245\nlu=1029628\n",
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := golden[w.Name]
+			if !ok {
+				t.Fatalf("no golden output recorded for %s", w.Name)
+			}
+			got, _ := runMode(t, w, core.ModePlain)
+			if got != want {
+				t.Errorf("output changed:\ngot:  %q\nwant: %q", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,312 @@
+package workload
+
+// Javac returns the compiler-front-end workload: generate random arithmetic
+// sources, then repeatedly tokenize, parse (recursive descent with operator
+// precedence), constant-fold, and evaluate them. Data-dependent branching
+// in the scanner and the parser's many small decision points make this the
+// least predictable workload, playing the role of SPEC _213_javac.
+func Javac() Workload {
+	return Workload{
+		Name:        "javac",
+		Description: "lexer + recursive-descent parser + evaluator over generated sources",
+		Source: prngSource + `
+// ParseError is thrown on malformed input. The generator only emits valid
+// programs, so these are the classic never-taken exception edges the paper
+// notes traces exclude ("a large number of branches which are never taken,
+// eg exceptions").
+class ParseError {
+    int pos;
+    void init(int p) { pos = p; }
+}
+
+// Token kinds.
+//   0 eof, 1 int, 2 ident, 3 +, 4 -, 5 *, 6 /, 7 (, 8 ), 9 =, 10 ;
+class Lexer {
+    byte[] src;
+    int pos;
+    int kind;
+    int val;        // int literal value
+    int identId;    // small ident index ('a'..'z')
+
+    void init(byte[] source) { src = source; pos = 0; }
+
+    void advance() {
+        while (pos < src.length && src[pos] == 32) { pos = pos + 1; }
+        if (pos >= src.length) { kind = 0; return; }
+        int c = src[pos];
+        if (c >= 48 && c <= 57) {
+            int v = 0;
+            while (pos < src.length && src[pos] >= 48 && src[pos] <= 57) {
+                v = v * 10 + (src[pos] - 48);
+                pos = pos + 1;
+            }
+            kind = 1; val = v; return;
+        }
+        if (c >= 97 && c <= 122) {
+            identId = c - 97;
+            pos = pos + 1;
+            kind = 2; return;
+        }
+        pos = pos + 1;
+        switch (c) {
+        case 43: kind = 3;
+            break;
+        case 45: kind = 4;
+            break;
+        case 42: kind = 5;
+            break;
+        case 47: kind = 6;
+            break;
+        case 40: kind = 7;
+            break;
+        case 41: kind = 8;
+            break;
+        case 61: kind = 9;
+            break;
+        case 59: kind = 10;
+            break;
+        default: kind = 0;
+        }
+    }
+}
+
+// AST: polymorphic nodes with virtual eval/fold, exercising invokevirtual
+// on a class hierarchy the way javac's tree visitors do.
+class Node {
+    int eval(int[] env) { return 0; }
+    // fold returns a constant-folded replacement (possibly this).
+    Node fold() { return this; }
+    boolean isConst() { return false; }
+    int constVal() { return 0; }
+}
+class Num extends Node {
+    int v;
+    void init(int value) { v = value; }
+    int eval(int[] env) { return v; }
+    boolean isConst() { return true; }
+    int constVal() { return v; }
+}
+class Var extends Node {
+    int id;
+    void init(int ident) { id = ident; }
+    int eval(int[] env) { return env[id]; }
+}
+class Bin extends Node {
+    int op; // 3 + | 4 - | 5 * | 6 /
+    Node l; Node r;
+    void init(int o, Node a, Node b) { op = o; l = a; r = b; }
+    int apply(int a, int b) {
+        if (op == 3) { return a + b; }
+        if (op == 4) { return a - b; }
+        if (op == 5) { return a * b; }
+        if (b == 0) { return 0; }
+        return a / b;
+    }
+    int eval(int[] env) { return apply(l.eval(env), r.eval(env)); }
+    Node fold() {
+        l = l.fold();
+        r = r.fold();
+        if (l.isConst() && r.isConst()) {
+            Num n = new Num(apply(l.constVal(), r.constVal()));
+            return n;
+        }
+        return this;
+    }
+}
+class Assign extends Node {
+    int id;
+    Node rhs;
+    void init(int ident, Node r) { id = ident; rhs = r; }
+    int eval(int[] env) {
+        int v = rhs.eval(env);
+        env[id] = v;
+        return v;
+    }
+    Node fold() { rhs = rhs.fold(); return this; }
+}
+
+// Recursive-descent parser:
+//   stmt := ident '=' expr ';' | expr ';'
+//   expr := term (('+'|'-') term)*
+//   term := factor (('*'|'/') factor)*
+//   factor := int | ident | '(' expr ')' | '-' factor
+class Parser {
+    Lexer lex;
+
+    void init(Lexer l) { lex = l; lex.advance(); }
+
+    Node stmt() {
+        if (lex.kind == 2) {
+            int id = lex.identId;
+            int save = lex.pos;
+            lex.advance();
+            if (lex.kind == 9) {
+                lex.advance();
+                Node rhs = expr();
+                if (lex.kind == 10) { lex.advance(); }
+                Assign a = new Assign(id, rhs);
+                return a;
+            }
+            // Not an assignment: rewind is awkward, so treat the ident as
+            // the start of an expression term.
+            Node v = new Var(id);
+            Node e = exprRest(termRest(v));
+            if (lex.kind == 10) { lex.advance(); }
+            int unused = save;
+            return e;
+        }
+        Node e = expr();
+        if (lex.kind == 10) { lex.advance(); }
+        return e;
+    }
+
+    Node expr() { return exprRest(term()); }
+
+    Node exprRest(Node left) {
+        while (lex.kind == 3 || lex.kind == 4) {
+            int op = lex.kind;
+            lex.advance();
+            Node right = term();
+            Bin b = new Bin(op, left, right);
+            left = b;
+        }
+        return left;
+    }
+
+    Node term() { return termRest(factor()); }
+
+    Node termRest(Node left) {
+        while (lex.kind == 5 || lex.kind == 6) {
+            int op = lex.kind;
+            lex.advance();
+            Node right = factor();
+            Bin b = new Bin(op, left, right);
+            left = b;
+        }
+        return left;
+    }
+
+    Node factor() {
+        if (lex.kind == 1) {
+            Num n = new Num(lex.val);
+            lex.advance();
+            return n;
+        }
+        if (lex.kind == 2) {
+            Var v = new Var(lex.identId);
+            lex.advance();
+            return v;
+        }
+        if (lex.kind == 7) {
+            lex.advance();
+            Node e = expr();
+            if (lex.kind == 8) { lex.advance(); }
+            return e;
+        }
+        if (lex.kind == 4) {
+            lex.advance();
+            Num zero = new Num(0);
+            Bin b = new Bin(4, zero, factor());
+            return b;
+        }
+        throw new ParseError(lex.pos);
+    }
+}
+
+class Gen {
+    Rng rng;
+    byte[] buf;
+    int pos;
+
+    void init(int seed) { rng = new Rng(seed); buf = new byte[65536]; }
+
+    void emit(int c) { buf[pos] = c; pos = pos + 1; }
+
+    void emitInt(int v) {
+        if (v >= 10) { emitInt(v / 10); }
+        emit(48 + v % 10);
+    }
+
+    // expr emits a random expression of bounded depth.
+    void expr(int depth) {
+        int pick = rng.nextN(10);
+        if (depth <= 0 || pick < 3) {
+            if (rng.nextN(2) == 0) { emitInt(rng.nextN(1000)); }
+            else { emit(97 + rng.nextN(26)); }
+            return;
+        }
+        if (pick < 5) {
+            emit(40);
+            expr(depth - 1);
+            emit(41);
+            return;
+        }
+        expr(depth - 1);
+        int op = rng.nextN(4);
+        if (op == 0) { emit(43); }
+        if (op == 1) { emit(45); }
+        if (op == 2) { emit(42); }
+        if (op == 3) { emit(47); }
+        expr(depth - 1);
+    }
+
+    // program emits n statements and returns the used buffer length.
+    int program(int n) {
+        pos = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            if (rng.nextN(3) > 0) {
+                emit(97 + rng.nextN(26));
+                emit(61);
+            }
+            expr(4);
+            emit(59);
+            emit(32);
+        }
+        return pos;
+    }
+}
+
+class Main {
+    static void main() {
+        Gen gen = new Gen(42);
+        int[] env = new int[26];
+        int checksum = 0;
+        int folded = 0;
+        int stmts = 0;
+        int errors = 0;
+        for (int round = 0; round < 12; round = round + 1) {
+            int len = gen.program(160);
+            byte[] src = new byte[len];
+            for (int i = 0; i < len; i = i + 1) { src[i] = gen.buf[i]; }
+            Lexer lex = new Lexer(src);
+            Parser p = new Parser(lex);
+            int bad = 0;
+            while (lex.kind != 0) {
+                try {
+                    Node n = p.stmt();
+                    Node f = n.fold();
+                    if (f.isConst()) { folded = folded + 1; }
+                    int v = f.eval(env);
+                    stmts = stmts + 1;
+                    checksum = (checksum * 31 + v) % 1000000007;
+                    if (checksum < 0) { checksum = checksum + 1000000007; }
+                } catch (ParseError err) {
+                    bad = bad + 1;
+                    lex.advance();
+                }
+            }
+            errors = errors + bad;
+        }
+        Sys.printStr("stmts=");
+        Sys.printlnInt(stmts);
+        Sys.printStr("folded=");
+        Sys.printlnInt(folded);
+        Sys.printStr("errors=");
+        Sys.printlnInt(errors);
+        Sys.printStr("checksum=");
+        Sys.printlnInt(checksum);
+    }
+}
+`,
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+// Mpegaudio returns the DSP workload: a fixed-point 32-subband polyphase
+// analysis filter bank (the structural core of MPEG audio layer decoding)
+// over synthetic samples, plus windowing and quantization passes. Long,
+// perfectly regular integer loops dominate, like SPEC _222_mpegaudio.
+func Mpegaudio() Workload {
+	return Workload{
+		Name:        "mpegaudio",
+		Description: "fixed-point subband filter bank and windowing",
+		Source: prngSource + `
+class FilterBank {
+    int[] window;   // 512-tap analysis window, Q16 fixed point
+    int[] fifo;     // sliding sample window
+    int fifoPos;
+    int[] subband;  // 32 subband outputs per granule
+
+    void init() {
+        window = new int[512];
+        fifo = new int[512];
+        subband = new int[32];
+        fifoPos = 0;
+        // Synthesize a plausible symmetric window: raised-cosine-ish shape
+        // in Q16 via a quadratic approximation (no trig needed).
+        for (int i = 0; i < 512; i = i + 1) {
+            int k = i - 256;
+            int v = 65536 - (k * k) / 4;
+            if (v < 0) { v = 0; }
+            window[i] = v / 8;
+        }
+    }
+
+    // push slides one sample into the FIFO.
+    void push(int sample) {
+        fifo[fifoPos] = sample;
+        fifoPos = (fifoPos + 1) % 512;
+    }
+
+    // analyze computes 32 subband values from the current window.
+    void analyze() {
+        // Windowing: z[i] = fifo[(pos + i) % 512] * window[i], accumulated
+        // into 64 partials, then a small matrixing step folds the partials
+        // into 32 subbands.
+        int[] z = new int[64];
+        for (int i = 0; i < 64; i = i + 1) { z[i] = 0; }
+        for (int i = 0; i < 512; i = i + 1) {
+            int s = fifo[(fifoPos + i) % 512];
+            int w = window[i];
+            z[i % 64] = z[i % 64] + (s * w >> 16);
+        }
+        for (int sb = 0; sb < 32; sb = sb + 1) {
+            int acc = 0;
+            for (int k = 0; k < 64; k = k + 1) {
+                // Cheap integer "cosine" table substitute: a triangular
+                // basis keeps the loop shape identical to matrixing.
+                int phase = ((2 * sb + 1) * k) % 128;
+                int c = 64 - phase;
+                if (c < 0 - 64) { c = 0 - 128 - c; }
+                if (c > 64) { c = 128 - c; }
+                acc = acc + z[k] * c;
+            }
+            subband[sb] = acc >> 6;
+        }
+    }
+}
+
+class Quantizer {
+    int[] levels;
+    void init() {
+        levels = new int[16];
+        int step = 1;
+        for (int i = 0; i < 16; i = i + 1) {
+            levels[i] = step;
+            step = step * 2;
+        }
+    }
+    // quantize maps a value to a 4-bit level index (branchy search).
+    int quantize(int v) {
+        if (v < 0) { v = 0 - v; }
+        int i = 0;
+        while (i < 15 && levels[i] < v) { i = i + 1; }
+        return i;
+    }
+}
+
+class Main {
+    static void main() {
+        FilterBank fb = new FilterBank();
+        Quantizer q = new Quantizer();
+        Rng rng = new Rng(7777);
+        int checksum = 0;
+        int bits = 0;
+        // Synthetic input: a few mixed "tones" plus noise, all integer.
+        int t = 0;
+        for (int frame = 0; frame < 24; frame = frame + 1) {
+            // 32 new samples per granule, 12 granules per frame.
+            for (int g = 0; g < 12; g = g + 1) {
+                for (int i = 0; i < 32; i = i + 1) {
+                    int tone = ((t * 3) % 200) - 100 + ((t * 7) % 120) - 60;
+                    int noise = rng.nextN(41) - 20;
+                    fb.push(tone * 40 + noise);
+                    t = t + 1;
+                }
+                fb.analyze();
+                for (int sb = 0; sb < 32; sb = sb + 1) {
+                    int lvl = q.quantize(fb.subband[sb]);
+                    bits = bits + lvl;
+                    checksum = (checksum * 17 + fb.subband[sb]) % 1000000007;
+                    if (checksum < 0) { checksum = checksum + 1000000007; }
+                }
+            }
+        }
+        Sys.printStr("bits=");
+        Sys.printlnInt(bits);
+        Sys.printStr("checksum=");
+        Sys.printlnInt(checksum);
+    }
+}
+`,
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+// Phased returns a synthetic phase-change program used by the cache
+// stability experiment (§3.6 of the paper): the same code is executed in
+// successive phases whose hot paths differ, so a selector either adapts its
+// trace set precisely (the BCG's informed maintenance) or churns (Dynamo's
+// flush-on-rapid-creation). It is not part of the paper's six-benchmark
+// suite and is excluded from All().
+func Phased() Workload {
+	return Workload{
+		Name:        "phased",
+		Description: "phase-change program for the cache stability experiment",
+		Source: prngSource + `
+class Main {
+    // work has many distinct sub-paths; which ones are hot depends on mode,
+    // so every phase change re-biases a large set of branches at once.
+    static int work(int mode, int i, int acc) {
+        int sel = i & 7;
+        if (mode == 0) {
+            if (sel < 4) { acc = acc + i % 3; }
+            else { acc = acc ^ (i << 1); }
+            if (acc > 1000000) { acc = acc % 999983; }
+        } else if (mode == 1) {
+            if (sel == 0) { acc = acc - i % 5; }
+            else if (sel == 1) { acc = acc + (i >> 2); }
+            else { acc = acc ^ i; }
+            if (acc < 0 - 1000000) { acc = 0 - ((0 - acc) % 999983); }
+        } else {
+            if ((i & 1) == 0) { acc = acc * 3 % 65521; }
+            else { acc = acc + 7; }
+        }
+        return acc;
+    }
+
+    static void main() {
+        int acc = 1;
+        for (int phase = 0; phase < 9; phase = phase + 1) {
+            int mode = phase % 3;
+            for (int i = 0; i < 120000; i = i + 1) {
+                acc = work(mode, i, acc);
+            }
+        }
+        Sys.printStr("acc=");
+        Sys.printlnInt(acc);
+    }
+}
+`,
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+// Raytrace returns the ray tracer workload: a small scene of spheres and a
+// ground plane rendered with Lambertian shading, hard shadows and one
+// reflective bounce. Intersection goes through virtual Shape methods, so
+// the inner loop is float-heavy and polymorphic like SPEC _205_raytrace.
+func Raytrace() Workload {
+	return Workload{
+		Name:        "raytrace",
+		Description: "sphere/plane ray tracer with virtual dispatch",
+		Source: `
+class Vec {
+    float x; float y; float z;
+    void init(float ax, float ay, float az) { x = ax; y = ay; z = az; }
+    void set(float ax, float ay, float az) { x = ax; y = ay; z = az; }
+    float dot(Vec o) { return x * o.x + y * o.y + z * o.z; }
+    void addScaled(Vec o, float s) { x = x + o.x * s; y = y + o.y * s; z = z + o.z * s; }
+    void copyFrom(Vec o) { x = o.x; y = o.y; z = o.z; }
+    void normalize() {
+        float n = Sys.sqrt(x * x + y * y + z * z);
+        if (n > 0.0000001) { x = x / n; y = y / n; z = z / n; }
+    }
+}
+
+// Shape is the polymorphic scene element.
+class Shape {
+    float reflect;
+    float shade;
+    // intersect returns the ray parameter t, or -1 when missed.
+    float intersect(Vec orig, Vec dir) { return 0.0 - 1.0; }
+    // normalAt fills n with the surface normal at point p.
+    void normalAt(Vec p, Vec n) { n.set(0.0, 1.0, 0.0); }
+}
+
+class Sphere extends Shape {
+    Vec center;
+    float radius;
+    void init(float cx, float cy, float cz, float r, float refl, float sh) {
+        center = new Vec(cx, cy, cz);
+        radius = r;
+        reflect = refl;
+        shade = sh;
+    }
+    float intersect(Vec orig, Vec dir) {
+        float ox = orig.x - center.x;
+        float oy = orig.y - center.y;
+        float oz = orig.z - center.z;
+        float b = ox * dir.x + oy * dir.y + oz * dir.z;
+        float c = ox * ox + oy * oy + oz * oz - radius * radius;
+        float disc = b * b - c;
+        if (disc < 0.0) { return 0.0 - 1.0; }
+        float sq = Sys.sqrt(disc);
+        float t = 0.0 - b - sq;
+        if (t > 0.001) { return t; }
+        t = 0.0 - b + sq;
+        if (t > 0.001) { return t; }
+        return 0.0 - 1.0;
+    }
+    void normalAt(Vec p, Vec n) {
+        n.set((p.x - center.x) / radius, (p.y - center.y) / radius, (p.z - center.z) / radius);
+    }
+}
+
+class Plane extends Shape {
+    float height;
+    void init(float y, float refl, float sh) { height = y; reflect = refl; shade = sh; }
+    float intersect(Vec orig, Vec dir) {
+        if (dir.y > 0.0 - 0.0001 && dir.y < 0.0001) { return 0.0 - 1.0; }
+        float t = (height - orig.y) / dir.y;
+        if (t > 0.001) { return t; }
+        return 0.0 - 1.0;
+    }
+    void normalAt(Vec p, Vec n) { n.set(0.0, 1.0, 0.0); }
+}
+
+class Scene {
+    // The hot intersection loop iterates a homogeneous sphere array (as a
+    // tuned ray tracer stores primitives), so its virtual call site is
+    // monomorphic; the plane and the shading path stay polymorphic.
+    Sphere[] spheres;
+    Shape ground;
+    Vec light;
+    Vec hitPoint;
+    Vec normal;
+    Vec toLight;
+    Vec shadowDir;
+
+    void init() {
+        spheres = new Sphere[4];
+        spheres[0] = new Sphere(0.0, 0.0, 0.0 - 6.0, 1.5, 0.5, 0.9);
+        spheres[1] = new Sphere(2.2, 0.0 - 1.0, 0.0 - 5.0, 0.8, 0.2, 0.7);
+        spheres[2] = new Sphere(0.0 - 2.5, 0.5, 0.0 - 7.0, 1.2, 0.7, 0.5);
+        spheres[3] = new Sphere(0.8, 1.6, 0.0 - 4.5, 0.5, 0.1, 0.8);
+        ground = new Plane(0.0 - 2.0, 0.3, 0.6);
+        light = new Vec(5.0, 8.0, 0.0);
+        hitPoint = new Vec(0.0, 0.0, 0.0);
+        normal = new Vec(0.0, 0.0, 0.0);
+        toLight = new Vec(0.0, 0.0, 0.0);
+        shadowDir = new Vec(0.0, 0.0, 0.0);
+    }
+
+    // closest returns the nearest hit shape, or null; the hit parameter is
+    // left in lastT.
+    float lastT;
+    Shape closest(Vec orig, Vec dir) {
+        Shape best = null;
+        float bestT = 1000000.0;
+        for (int i = 0; i < spheres.length; i = i + 1) {
+            float t = spheres[i].intersect(orig, dir);
+            if (t > 0.0 && t < bestT) { bestT = t; best = spheres[i]; }
+        }
+        float tg = ground.intersect(orig, dir);
+        if (tg > 0.0 && tg < bestT) { bestT = tg; best = ground; }
+        lastT = bestT;
+        return best;
+    }
+
+    // inShadow tests the light ray from hitPoint.
+    boolean inShadow() {
+        shadowDir.copyFrom(toLight);
+        for (int i = 0; i < spheres.length; i = i + 1) {
+            float t = spheres[i].intersect(hitPoint, shadowDir);
+            if (t > 0.0) { return true; }
+        }
+        return false;
+    }
+
+    // trace returns the brightness of a ray with up to depth reflective
+    // bounces.
+    float trace(Vec orig, Vec dir, int depth) {
+        Shape s = closest(orig, dir);
+        if (s == null) { return 0.1; }
+        float t = lastT;
+        hitPoint.copyFrom(orig);
+        hitPoint.addScaled(dir, t);
+        s.normalAt(hitPoint, normal);
+        toLight.set(light.x - hitPoint.x, light.y - hitPoint.y, light.z - hitPoint.z);
+        toLight.normalize();
+        float lambert = normal.dot(toLight);
+        if (lambert < 0.0) { lambert = 0.0; }
+        if (lambert > 0.0 && inShadow()) { lambert = 0.0; }
+        float color = 0.08 + s.shade * lambert;
+        if (depth > 0 && s.reflect > 0.01) {
+            float d = dir.dot(normal);
+            Vec rdir = new Vec(dir.x - 2.0 * d * normal.x,
+                               dir.y - 2.0 * d * normal.y,
+                               dir.z - 2.0 * d * normal.z);
+            Vec rorig = new Vec(hitPoint.x, hitPoint.y, hitPoint.z);
+            color = color + s.reflect * trace(rorig, rdir, depth - 1);
+        }
+        if (color > 1.0) { color = 1.0; }
+        return color;
+    }
+}
+
+class Main {
+    static void main() {
+        Scene scene = new Scene();
+        int w = 64;
+        int h = 48;
+        Vec eye = new Vec(0.0, 0.5, 2.0);
+        Vec dir = new Vec(0.0, 0.0, 0.0);
+        int checksum = 0;
+        int lit = 0;
+        for (int y = 0; y < h; y = y + 1) {
+            for (int x = 0; x < w; x = x + 1) {
+                float fx = (Sys.toFloat(x) - Sys.toFloat(w) / 2.0) / Sys.toFloat(w);
+                float fy = (Sys.toFloat(h) / 2.0 - Sys.toFloat(y)) / Sys.toFloat(h);
+                dir.set(fx, fy, 0.0 - 1.0);
+                dir.normalize();
+                float c = scene.trace(eye, dir, 2);
+                int pix = Sys.toInt(c * 255.0);
+                if (pix > 64) { lit = lit + 1; }
+                checksum = (checksum * 131 + pix) % 1000000007;
+                if (checksum < 0) { checksum = checksum + 1000000007; }
+            }
+        }
+        Sys.printStr("lit=");
+        Sys.printlnInt(lit);
+        Sys.printStr("checksum=");
+        Sys.printlnInt(checksum);
+    }
+}
+`,
+	}
+}

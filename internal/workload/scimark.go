@@ -1,0 +1,235 @@
+package workload
+
+// Scimark returns the scientific-kernel workload: the five SciMark 2.0
+// kernels (FFT, Jacobi SOR, Monte Carlo integration, sparse matrix-vector
+// multiply, dense LU factorization) at reduced sizes. Control flow is
+// extremely regular, which is why the paper's scimark rows show the longest
+// traces and the fewest signals.
+func Scimark() Workload {
+	return Workload{
+		Name:        "scimark",
+		Description: "FFT, SOR, MonteCarlo, SparseMatmult, LU kernels",
+		Source: prngSource + `
+class FFT {
+    // transform performs an in-place radix-2 FFT of re/im (length must be a
+    // power of two) using a recurrence for the twiddle factors.
+    void transform(float[] re, float[] im) {
+        int n = re.length;
+        // Bit-reversal permutation.
+        int j = 0;
+        for (int i = 0; i < n - 1; i = i + 1) {
+            if (i < j) {
+                float tr = re[i]; re[i] = re[j]; re[j] = tr;
+                float ti = im[i]; im[i] = im[j]; im[j] = ti;
+            }
+            int k = n / 2;
+            while (k <= j) { j = j - k; k = k / 2; }
+            j = j + k;
+        }
+        // Danielson-Lanczos butterflies.
+        int mmax = 1;
+        while (mmax < n) {
+            int istep = mmax * 2;
+            float theta = 3.141592653589793 / Sys.toFloat(mmax);
+            float wr = 1.0;
+            float wi = 0.0;
+            float wpr = Sys.cos(theta);
+            float wpi = Sys.sin(theta);
+            for (int m = 0; m < mmax; m = m + 1) {
+                for (int i = m; i < n; i = i + istep) {
+                    int i2 = i + mmax;
+                    float tr = wr * re[i2] - wi * im[i2];
+                    float ti = wr * im[i2] + wi * re[i2];
+                    re[i2] = re[i] - tr;
+                    im[i2] = im[i] - ti;
+                    re[i] = re[i] + tr;
+                    im[i] = im[i] + ti;
+                }
+                float nwr = wr * wpr - wi * wpi;
+                wi = wr * wpi + wi * wpr;
+                wr = nwr;
+            }
+            mmax = istep;
+        }
+    }
+}
+
+class SOR {
+    // relax performs the requested number of Jacobi SOR sweeps.
+    float relax(float[][] g, float omega, int iters) {
+        int m = g.length;
+        float c1 = omega / 4.0;
+        float c2 = 1.0 - omega;
+        for (int p = 0; p < iters; p = p + 1) {
+            for (int i = 1; i < m - 1; i = i + 1) {
+                float[] gi = g[i];
+                float[] gim = g[i - 1];
+                float[] gip = g[i + 1];
+                for (int jj = 1; jj < m - 1; jj = jj + 1) {
+                    gi[jj] = c1 * (gim[jj] + gip[jj] + gi[jj - 1] + gi[jj + 1]) + c2 * gi[jj];
+                }
+            }
+        }
+        float sum = 0.0;
+        for (int i = 0; i < m; i = i + 1) {
+            for (int jj = 0; jj < m; jj = jj + 1) { sum = sum + g[i][jj]; }
+        }
+        return sum;
+    }
+}
+
+class MonteCarlo {
+    // integrate estimates pi by sampling the unit square.
+    float integrate(Rng rng, int samples) {
+        int hits = 0;
+        for (int i = 0; i < samples; i = i + 1) {
+            float x = rng.nextFloat();
+            float y = rng.nextFloat();
+            if (x * x + y * y <= 1.0) { hits = hits + 1; }
+        }
+        return 4.0 * Sys.toFloat(hits) / Sys.toFloat(samples);
+    }
+}
+
+class Sparse {
+    // multiply computes y = A*x for A in compressed-row form, repeatedly.
+    float multiply(float[] val, int[] col, int[] rowStart, float[] x, float[] y, int reps) {
+        int rows = rowStart.length - 1;
+        for (int r = 0; r < reps; r = r + 1) {
+            for (int i = 0; i < rows; i = i + 1) {
+                float sum = 0.0;
+                int end = rowStart[i + 1];
+                for (int k = rowStart[i]; k < end; k = k + 1) {
+                    sum = sum + val[k] * x[col[k]];
+                }
+                y[i] = sum;
+            }
+        }
+        float s = 0.0;
+        for (int i = 0; i < rows; i = i + 1) { s = s + y[i]; }
+        return s;
+    }
+}
+
+class LU {
+    // factor performs in-place LU factorization with partial pivoting and
+    // returns the parity-signed sum of the diagonal (a cheap determinant
+    // fingerprint surrogate).
+    float factor(float[][] a) {
+        int n = a.length;
+        float sign = 1.0;
+        for (int jj = 0; jj < n; jj = jj + 1) {
+            // Pivot search.
+            int p = jj;
+            float maxAbs = a[jj][jj];
+            if (maxAbs < 0.0) { maxAbs = 0.0 - maxAbs; }
+            for (int i = jj + 1; i < n; i = i + 1) {
+                float v = a[i][jj];
+                if (v < 0.0) { v = 0.0 - v; }
+                if (v > maxAbs) { maxAbs = v; p = i; }
+            }
+            if (p != jj) {
+                float[] tmp = a[p]; a[p] = a[jj]; a[jj] = tmp;
+                sign = 0.0 - sign;
+            }
+            float pivot = a[jj][jj];
+            if (pivot > 0.0000001 || pivot < 0.0 - 0.0000001) {
+                for (int i = jj + 1; i < n; i = i + 1) {
+                    float mult = a[i][jj] / pivot;
+                    a[i][jj] = mult;
+                    float[] ai = a[i];
+                    float[] aj = a[jj];
+                    for (int k = jj + 1; k < n; k = k + 1) {
+                        ai[k] = ai[k] - mult * aj[k];
+                    }
+                }
+            }
+        }
+        float d = 0.0;
+        for (int i = 0; i < n; i = i + 1) { d = d + a[i][i]; }
+        return d * sign;
+    }
+}
+
+class Main {
+    static int fix(float v) {
+        // Quantize a float result to a stable integer fingerprint.
+        return Sys.toInt(v * 1000.0);
+    }
+
+    static void main() {
+        Rng rng = new Rng(101);
+
+        // FFT: 256-point transform, repeated.
+        FFT fft = new FFT();
+        float[] re = new float[256];
+        float[] im = new float[256];
+        float fftSum = 0.0;
+        for (int rep = 0; rep < 12; rep = rep + 1) {
+            for (int i = 0; i < re.length; i = i + 1) {
+                re[i] = rng.nextFloat() - 0.5;
+                im[i] = 0.0;
+            }
+            fft.transform(re, im);
+            fftSum = fftSum + re[1] + im[1];
+        }
+        Sys.printStr("fft=");
+        Sys.printlnInt(fix(fftSum));
+
+        // SOR on a 48x48 grid.
+        SOR sor = new SOR();
+        float[][] grid = new float[48][];
+        for (int i = 0; i < 48; i = i + 1) {
+            grid[i] = new float[48];
+            for (int jj = 0; jj < 48; jj = jj + 1) { grid[i][jj] = rng.nextFloat(); }
+        }
+        Sys.printStr("sor=");
+        Sys.printlnInt(fix(sor.relax(grid, 1.25, 20)));
+
+        // Monte Carlo pi.
+        MonteCarlo mc = new MonteCarlo();
+        Sys.printStr("mc=");
+        Sys.printlnInt(fix(mc.integrate(rng, 40000)));
+
+        // Sparse 200x200 with ~8 nonzeros per row.
+        int rows = 200;
+        int nnzPerRow = 8;
+        float[] val = new float[rows * nnzPerRow];
+        int[] col = new int[rows * nnzPerRow];
+        int[] rowStart = new int[rows + 1];
+        for (int i = 0; i < rows; i = i + 1) {
+            rowStart[i] = i * nnzPerRow;
+            for (int k = 0; k < nnzPerRow; k = k + 1) {
+                val[i * nnzPerRow + k] = rng.nextFloat();
+                col[i * nnzPerRow + k] = rng.nextN(rows);
+            }
+        }
+        rowStart[rows] = rows * nnzPerRow;
+        float[] x = new float[rows];
+        float[] y = new float[rows];
+        for (int i = 0; i < rows; i = i + 1) { x[i] = 1.0 + rng.nextFloat(); }
+        Sparse sp = new Sparse();
+        Sys.printStr("sparse=");
+        Sys.printlnInt(fix(sp.multiply(val, col, rowStart, x, y, 40)));
+
+        // LU of a 32x32 matrix, repeated on fresh matrices.
+        LU lu = new LU();
+        float luSum = 0.0;
+        for (int rep = 0; rep < 8; rep = rep + 1) {
+            float[][] a = new float[32][];
+            for (int i = 0; i < 32; i = i + 1) {
+                a[i] = new float[32];
+                for (int jj = 0; jj < 32; jj = jj + 1) {
+                    a[i][jj] = rng.nextFloat() - 0.5;
+                }
+                a[i][i] = a[i][i] + 4.0;
+            }
+            luSum = luSum + lu.factor(a);
+        }
+        Sys.printStr("lu=");
+        Sys.printlnInt(fix(luSum));
+    }
+}
+`,
+	}
+}

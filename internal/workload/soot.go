@@ -1,0 +1,184 @@
+package workload
+
+// Soot returns the program-analysis workload: build random control-flow
+// graphs of polymorphic statement nodes, then run an iterative worklist
+// reaching-definitions analysis with 64-bit bitsets to a fixpoint. The
+// pointer chasing, virtual transfer functions, and data-dependent worklist
+// order model a bytecode analysis framework like Soot.
+func Soot() Workload {
+	return Workload{
+		Name:        "soot",
+		Description: "worklist dataflow analysis over random CFGs",
+		Source: prngSource + `
+// Stmt is the polymorphic CFG node. gen/kill are bit indexes over 64
+// definitions; transfer applies out = gen | (in & ~kill).
+class Stmt {
+    int id;
+    int genBits;
+    int killBits;
+    int in;
+    int out;
+    int nsucc;
+    int[] succ;
+    int npred;
+    int[] pred;
+
+    void initNode(int nodeId) {
+        id = nodeId;
+        succ = new int[4];
+        pred = new int[8];
+    }
+    // kindTag distinguishes node classes (virtual, overridden below).
+    int kindTag() { return 0; }
+    // transfer returns true when out changed.
+    boolean transfer() {
+        int newOut = genBits | (in & (0 - 1 - killBits));
+        if (newOut != out) { out = newOut; return true; }
+        return false;
+    }
+}
+
+// AssignStmt defines one variable and kills its other definitions.
+class AssignStmt extends Stmt {
+    int kindTag() { return 1; }
+}
+
+// CallStmt defines several variables (call side effects).
+class CallStmt extends Stmt {
+    int kindTag() { return 2; }
+    boolean transfer() {
+        // Calls additionally smear their gen set: a coarse side-effect
+        // model that makes the transfer function genuinely different.
+        int newOut = (genBits | (genBits << 1)) | (in & (0 - 1 - killBits));
+        if (newOut != out) { out = newOut; return true; }
+        return false;
+    }
+}
+
+// BranchStmt defines nothing.
+class BranchStmt extends Stmt {
+    int kindTag() { return 3; }
+    boolean transfer() {
+        if (in != out) { out = in; return true; }
+        return false;
+    }
+}
+
+class Graph {
+    Stmt[] nodes;
+    int n;
+
+    // build constructs a random CFG: mostly linear with forward/back edges.
+    void build(int size, Rng rng) {
+        n = size;
+        nodes = new Stmt[size];
+        for (int i = 0; i < size; i = i + 1) {
+            int k = rng.nextN(10);
+            Stmt s;
+            if (k < 5) { s = new AssignStmt(); }
+            else if (k < 7) { s = new CallStmt(); }
+            else { s = new BranchStmt(); }
+            s.initNode(i);
+            int d = rng.nextN(64);
+            if (s.kindTag() == 1) {
+                s.genBits = 1 << d;
+                s.killBits = (1 << d) | (1 << ((d + 32) % 64));
+            }
+            if (s.kindTag() == 2) {
+                s.genBits = (1 << d) | (1 << ((d + 7) % 63));
+                s.killBits = 1 << ((d + 3) % 64);
+            }
+            nodes[i] = s;
+        }
+        // Edges: fallthrough plus random jumps.
+        for (int i = 0; i < size; i = i + 1) {
+            Stmt s = nodes[i];
+            if (i + 1 < size) { addEdge(i, i + 1); }
+            if (s.kindTag() == 3) {
+                int tgt = rng.nextN(size);
+                addEdge(i, tgt);
+                if (rng.nextN(4) == 0) { addEdge(i, rng.nextN(size)); }
+            }
+        }
+    }
+
+    void addEdge(int from, int to) {
+        Stmt f = nodes[from];
+        Stmt t = nodes[to];
+        if (f.nsucc < f.succ.length && t.npred < t.pred.length) {
+            f.succ[f.nsucc] = to;
+            f.nsucc = f.nsucc + 1;
+            t.pred[t.npred] = from;
+            t.npred = t.npred + 1;
+        }
+    }
+
+    // solve runs the worklist algorithm and returns the iteration count.
+    int solve() {
+        int[] work = new int[n * 8];
+        boolean[] inWork = new boolean[n];
+        int head = 0;
+        int tail = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            work[tail] = i;
+            tail = tail + 1;
+            inWork[i] = true;
+        }
+        int iters = 0;
+        while (head != tail) {
+            int id = work[head];
+            head = (head + 1) % work.length;
+            inWork[id] = false;
+            Stmt s = nodes[id];
+            // Meet: union of predecessor outs.
+            int meet = 0;
+            for (int p = 0; p < s.npred; p = p + 1) {
+                meet = meet | nodes[s.pred[p]].out;
+            }
+            s.in = meet;
+            iters = iters + 1;
+            if (s.transfer()) {
+                for (int q = 0; q < s.nsucc; q = q + 1) {
+                    int t = s.succ[q];
+                    if (!inWork[t]) {
+                        work[tail] = t;
+                        tail = (tail + 1) % work.length;
+                        inWork[t] = true;
+                    }
+                }
+            }
+        }
+        return iters;
+    }
+
+    int fingerprint() {
+        int h = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            h = (h * 37 + nodes[i].out) % 1000000007;
+            if (h < 0) { h = h + 1000000007; }
+        }
+        return h;
+    }
+}
+
+class Main {
+    static void main() {
+        Rng rng = new Rng(31337);
+        int totalIters = 0;
+        int checksum = 0;
+        for (int g = 0; g < 40; g = g + 1) {
+            Graph graph = new Graph();
+            graph.build(60 + rng.nextN(80), rng);
+            totalIters = totalIters + graph.solve();
+            checksum = (checksum * 41 + graph.fingerprint()) % 1000000007;
+            if (checksum < 0) { checksum = checksum + 1000000007; }
+        }
+        Sys.printStr("iters=");
+        Sys.printlnInt(totalIters);
+        Sys.printStr("checksum=");
+        Sys.printlnInt(checksum);
+    }
+}
+`,
+	}
+}

@@ -1,0 +1,109 @@
+// Package workload provides the six benchmark programs of the evaluation,
+// written in MiniJava, mirroring the behavioural archetypes of the paper's
+// suite (four SPECjvm programs, soot, and scimark):
+//
+//	compress  — LZW compression + decompression round trip over generated
+//	            text (simple, predictable behaviour; SPEC _201_compress).
+//	javac     — expression lexer + recursive-descent parser + evaluator over
+//	            generated sources (irregular, branchy; SPEC _213_javac).
+//	raytrace  — sphere/plane ray tracer with virtual intersect/shade methods
+//	            (float heavy, polymorphic; SPEC _205_raytrace).
+//	mpegaudio — fixed-point subband filtering and windowing DSP loops
+//	            (regular long loops; SPEC _222_mpegaudio).
+//	soot      — worklist dataflow analysis over randomly generated CFGs with
+//	            polymorphic statement nodes (large irregular application).
+//	scimark   — FFT, SOR, Monte Carlo, sparse mat-vec and LU kernels
+//	            (extremely regular scientific loops).
+//
+// Every program is deterministic (a seeded xorshift PRNG written in
+// MiniJava) and self-checking: it prints checksums whose expected values are
+// recorded here and asserted by tests under every dispatch mode.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/minijava"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name        string
+	Description string
+	Source      string
+	// Expect is the program's full expected output; empty means "not
+	// asserted" (unused today — every workload is self-checking).
+	Expect string
+}
+
+// prngSource is a MiniJava xorshift64* PRNG shared by the workloads that
+// need input data. Seeded explicitly so every run is reproducible.
+const prngSource = `
+class Rng {
+    int s;
+    void init(int seed) { s = seed * 2685821657736338717 + 1; }
+    int next() {
+        int x = s;
+        x = x ^ (x << 13);
+        x = x ^ (x >>> 7);
+        x = x ^ (x << 17);
+        s = x;
+        return x;
+    }
+    int nextN(int n) {
+        int v = next() % n;
+        if (v < 0) { return v + n; }
+        return v;
+    }
+    float nextFloat() {
+        return Sys.toFloat(nextN(1048576)) / 1048576.0;
+    }
+}
+`
+
+// All returns the six workloads in the paper's reporting order.
+func All() []Workload {
+	return []Workload{
+		Compress(),
+		Javac(),
+		Raytrace(),
+		Mpegaudio(),
+		Soot(),
+		Scimark(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names returns the workload names in order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// Compile compiles the workload and builds its CFGs.
+func (w Workload) Compile() (*classfile.Program, *cfg.ProgramCFG, error) {
+	prog, err := minijava.Compile(w.Source)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return prog, pcfg, nil
+}

@@ -1,0 +1,112 @@
+package workload_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// runMode executes a workload under the given mode and returns its output.
+func runMode(t *testing.T, w workload.Workload, mode core.Mode) (string, *core.Session) {
+	t.Helper()
+	prog, pcfg, err := w.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", w.Name, err)
+	}
+	var out bytes.Buffer
+	s, err := core.NewSession(prog, pcfg, core.SessionOptions{
+		Mode:     mode,
+		Out:      &out,
+		MaxSteps: 2_000_000_000,
+	})
+	if err != nil {
+		t.Fatalf("session %s: %v", w.Name, err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run %s (%s): %v\noutput: %s", w.Name, mode, err, out.String())
+	}
+	return out.String(), s
+}
+
+func TestWorkloadsRunAndAgreeAcrossModes(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			plain, ps := runMode(t, w, core.ModePlain)
+			if !strings.Contains(plain, "checksum=") && !strings.Contains(plain, "lu=") {
+				t.Fatalf("%s output has no checksum: %q", w.Name, plain)
+			}
+			traced, ts := runMode(t, w, core.ModeTrace)
+			if traced != plain {
+				t.Errorf("%s: trace mode changed output:\nplain: %q\ntrace: %q", w.Name, plain, traced)
+			}
+			deploy, _ := runMode(t, w, core.ModeTraceDeploy)
+			if deploy != plain {
+				t.Errorf("%s: deploy mode changed output:\nplain: %q\ndeploy: %q", w.Name, plain, deploy)
+			}
+			if ps.Counters.Instrs != ts.Counters.Instrs {
+				t.Errorf("%s: instruction counts differ between plain (%d) and trace (%d) modes",
+					w.Name, ps.Counters.Instrs, ts.Counters.Instrs)
+			}
+			t.Logf("%s: %d instrs, %d dispatches, plain output:\n%s",
+				w.Name, ps.Counters.Instrs, ps.Counters.BlockDispatches, plain)
+			t.Logf("%s trace counters: %s", w.Name, ts.Counters)
+		})
+	}
+}
+
+func TestCompressRoundTripSucceeds(t *testing.T) {
+	w, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := runMode(t, w, core.ModePlain)
+	if !strings.Contains(out, "roundtrip=1\n") {
+		t.Errorf("compress round trip failed: %s", out)
+	}
+}
+
+func TestScimarkMonteCarloNearPi(t *testing.T) {
+	w, err := workload.ByName("scimark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := runMode(t, w, core.ModePlain)
+	// mc= is pi*1000 quantized; accept a loose band.
+	var mc int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "mc=") {
+			if _, err := fmtSscanf(line, &mc); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+	}
+	if mc < 3000 || mc > 3300 {
+		t.Errorf("Monte Carlo pi estimate %d/1000 out of range", mc)
+	}
+}
+
+func fmtSscanf(line string, mc *int) (int, error) {
+	var n int
+	for _, c := range line[3:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	*mc = n
+	return n, nil
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := workload.ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+	if len(workload.Names()) != 6 {
+		t.Errorf("expected 6 workloads, got %v", workload.Names())
+	}
+}

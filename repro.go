@@ -1,0 +1,224 @@
+// Package repro is the public API of the trace-cache virtual machine, a
+// reproduction of "Dynamic Profiling and Trace Cache Generation for a Java
+// Virtual Machine" (Berndl & Hendren, CGO 2003).
+//
+// The system has three layers, all reachable from here:
+//
+//   - A JVM-style bytecode virtual machine with a MiniJava compiler frontend
+//     (CompileMiniJava) and a textual assembler (Assemble).
+//   - A branch correlation graph profiler attached to the interpreter's
+//     block-dispatch path.
+//   - A trace cache that turns profiler signals into dispatchable traces cut
+//     at a configurable expected completion probability.
+//
+// Quick start:
+//
+//	prog, err := repro.CompileMiniJava(src)
+//	vm, err := repro.NewVM(prog, repro.WithMode(repro.ModeTrace), repro.WithOutput(os.Stdout))
+//	err = vm.Run()
+//	fmt.Println(vm.Metrics().Coverage)
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/core"
+	"repro/internal/jasm"
+	"repro/internal/minijava"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Program is a linked, executable program.
+type Program = classfile.Program
+
+// Counters is the raw execution event record of a run.
+type Counters = stats.Counters
+
+// Metrics are the derived dependent values (§5.2 of the paper): average
+// completed-trace length, instruction stream coverage, completion rate,
+// signal rate, and trace event interval.
+type Metrics = stats.Metrics
+
+// Mode selects the dispatch configuration.
+type Mode = core.Mode
+
+// Dispatch modes.
+const (
+	// ModePlain is the unprofiled threaded interpreter.
+	ModePlain = core.ModePlain
+	// ModeInstr is the per-instruction dispatch engine (Figure 1 model).
+	ModeInstr = core.ModeInstr
+	// ModeProfile profiles and builds traces but never dispatches them.
+	ModeProfile = core.ModeProfile
+	// ModeTrace dispatches traces with full in-trace profiling
+	// (measurement fidelity).
+	ModeTrace = core.ModeTrace
+	// ModeTraceDeploy dispatches traces with one profiler hook per trace
+	// (deployment overhead model).
+	ModeTraceDeploy = core.ModeTraceDeploy
+)
+
+// CompileMiniJava compiles MiniJava source into a linked program. The entry
+// point is the unique "static void main()".
+func CompileMiniJava(src string) (*Program, error) { return minijava.Compile(src) }
+
+// Assemble assembles jasm assembler source into a linked program.
+func Assemble(src string) (*Program, error) { return jasm.Assemble(src) }
+
+// LoadModule reads a serialized module and links it.
+func LoadModule(r io.Reader) (*Program, error) {
+	p, err := classfile.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Link(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SaveModule serializes a program in module format.
+func SaveModule(w io.Writer, p *Program) error { return classfile.Write(w, p) }
+
+// WorkloadNames lists the built-in benchmark programs.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadSource returns the MiniJava source of a built-in benchmark.
+func WorkloadSource(name string) (string, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return w.Source, nil
+}
+
+// Option configures NewVM.
+type Option func(*config)
+
+type config struct {
+	mode     Mode
+	params   profile.Params
+	out      io.Writer
+	maxSteps int64
+}
+
+// WithMode selects the dispatch mode (default ModeTrace).
+func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithThreshold sets the trace completion threshold (default 0.97).
+func WithThreshold(t float64) Option { return func(c *config) { c.params.Threshold = t } }
+
+// WithStartDelay sets the start-state delay (default 64).
+func WithStartDelay(d int32) Option { return func(c *config) { c.params.StartDelay = d } }
+
+// WithDecayInterval sets the decay period in node executions (default 256).
+func WithDecayInterval(n uint32) Option { return func(c *config) { c.params.DecayInterval = n } }
+
+// WithOutput directs program output (default: discarded).
+func WithOutput(w io.Writer) Option { return func(c *config) { c.out = w } }
+
+// WithMaxSteps bounds executed instructions (default: unlimited).
+func WithMaxSteps(n int64) Option { return func(c *config) { c.maxSteps = n } }
+
+// VM is a configured virtual machine for one program.
+type VM struct {
+	session *core.Session
+}
+
+// NewVM builds a machine (and, depending on the mode, the profiler and
+// trace cache) for a linked program.
+func NewVM(prog *Program, opts ...Option) (*VM, error) {
+	c := config{mode: ModeTrace, params: profile.DefaultParams()}
+	for _, o := range opts {
+		o(&c)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSession(prog, pcfg, core.SessionOptions{
+		Mode:     c.mode,
+		Params:   c.params,
+		Out:      c.out,
+		MaxSteps: c.maxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VM{session: s}, nil
+}
+
+// Run executes the program to completion.
+func (v *VM) Run() error { return v.session.Run() }
+
+// Counters returns the raw event counters accumulated so far.
+func (v *VM) Counters() *Counters { return v.session.Counters }
+
+// Metrics returns the derived dependent values.
+func (v *VM) Metrics() Metrics { return v.session.Metrics() }
+
+// TraceInfo summarizes one cached trace.
+type TraceInfo struct {
+	ID                 int
+	Blocks             int
+	ExpectedCompletion float64
+	Entered            int64
+	Completed          int64
+}
+
+// Traces lists the live traces in the cache (nil in ModePlain).
+func (v *VM) Traces() []TraceInfo {
+	if v.session.Cache == nil {
+		return nil
+	}
+	var out []TraceInfo
+	for _, t := range v.session.Cache.Traces() {
+		out = append(out, TraceInfo{
+			ID:                 t.ID,
+			Blocks:             t.Len(),
+			ExpectedCompletion: t.ExpectedCompletion,
+			Entered:            t.Entered,
+			Completed:          t.Completed,
+		})
+	}
+	return out
+}
+
+// DumpBCG renders the branch correlation graph as Graphviz DOT, keeping
+// only nodes executed at least minTotal times. Empty in ModePlain.
+func (v *VM) DumpBCG(minTotal int) string {
+	if v.session.Graph == nil {
+		return ""
+	}
+	return v.session.Graph.DumpDOT(minTotal)
+}
+
+// NumBCGNodes reports the number of branch contexts discovered (0 in
+// ModePlain).
+func (v *VM) NumBCGNodes() int {
+	if v.session.Graph == nil {
+		return 0
+	}
+	return v.session.Graph.NumNodes()
+}
+
+// Verify runs quick internal consistency checks over the run's counters and
+// trace accounting; it is primarily a debugging aid.
+func (v *VM) Verify() error {
+	c := v.session.Counters
+	if c.TracesCompleted > c.TracesEntered {
+		return fmt.Errorf("repro: completed traces (%d) exceed entered (%d)", c.TracesCompleted, c.TracesEntered)
+	}
+	if c.InstrsInCompletedTraces > c.InstrsInTraces {
+		return fmt.Errorf("repro: completed-trace instructions exceed in-trace instructions")
+	}
+	if c.InstrsInTraces > c.Instrs {
+		return fmt.Errorf("repro: in-trace instructions exceed total instructions")
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+const fib = `
+class Main {
+    static int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    static void main() { Sys.printlnInt(fib(18)); }
+}`
+
+func TestFacadeCompileAndRun(t *testing.T) {
+	prog, err := repro.CompileMiniJava(fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	vm, err := repro.NewVM(prog, repro.WithOutput(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "2584\n" {
+		t.Errorf("fib(18) = %q", out.String())
+	}
+	if err := vm.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if vm.Counters().Instrs == 0 {
+		t.Error("no instructions counted")
+	}
+	if len(vm.Traces()) == 0 {
+		t.Error("no traces cached in default trace mode")
+	}
+	if vm.NumBCGNodes() == 0 {
+		t.Error("no BCG nodes")
+	}
+	if !strings.HasPrefix(vm.DumpBCG(1), "digraph") {
+		t.Error("DumpBCG not DOT")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	prog, err := repro.CompileMiniJava(fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := repro.NewVM(prog,
+		repro.WithMode(repro.ModePlain),
+		repro.WithThreshold(0.95),
+		repro.WithStartDelay(1),
+		repro.WithDecayInterval(128),
+		repro.WithMaxSteps(100_000_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Traces() != nil {
+		t.Error("plain mode has traces")
+	}
+	if vm.DumpBCG(0) != "" || vm.NumBCGNodes() != 0 {
+		t.Error("plain mode has a BCG")
+	}
+}
+
+func TestFacadeAssembler(t *testing.T) {
+	prog, err := repro.Assemble(`
+.class M
+.native static p ( int ) void println_int
+.method static main ( ) void
+    iconst 11 invokestatic M.p
+    return
+.end
+.end
+.entry M main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	vm, err := repro.NewVM(prog, repro.WithMode(repro.ModePlain), repro.WithOutput(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "11\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestFacadeModuleRoundTrip(t *testing.T) {
+	prog, err := repro.CompileMiniJava(fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.SaveModule(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := repro.LoadModule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	vm, err := repro.NewVM(loaded, repro.WithMode(repro.ModePlain), repro.WithOutput(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "2584\n" {
+		t.Errorf("round-tripped module output = %q", out.String())
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	names := repro.WorkloadNames()
+	if len(names) != 6 {
+		t.Fatalf("workloads = %v", names)
+	}
+	src, err := repro.WorkloadSource("scimark")
+	if err != nil || !strings.Contains(src, "class Main") {
+		t.Errorf("WorkloadSource: %v", err)
+	}
+	if _, err := repro.WorkloadSource("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFacadeMetricsConsistency(t *testing.T) {
+	prog, err := repro.CompileMiniJava(fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := repro.NewVM(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := vm.Metrics()
+	if m.Coverage < 0 || m.Coverage > 1 || m.CacheCoverage < m.Coverage {
+		t.Errorf("coverage out of range: %+v", m)
+	}
+	if m.CompletionRate < 0 || m.CompletionRate > 1 {
+		t.Errorf("completion out of range: %+v", m)
+	}
+	for _, tr := range vm.Traces() {
+		if tr.Completed > tr.Entered {
+			t.Errorf("trace %d completed more than entered", tr.ID)
+		}
+		if tr.Blocks < 2 {
+			t.Errorf("trace %d shorter than 2 blocks", tr.ID)
+		}
+	}
+}
