@@ -21,7 +21,7 @@ import (
 
 func main() {
 	workloadName := flag.String("workload", "", "run a built-in workload (compress, javac, raytrace, mpegaudio, soot, scimark)")
-	mode := flag.String("mode", "trace", "dispatch mode: plain, profile, trace, trace-deploy")
+	mode := flag.String("mode", "trace", "dispatch mode: plain, instr, profile, trace, trace-deploy")
 	threshold := flag.Float64("threshold", 0.97, "trace completion threshold (0..1]")
 	delay := flag.Int("delay", 64, "start-state delay in executions")
 	maxSteps := flag.Int64("maxsteps", 0, "instruction budget (0 = unlimited)")
@@ -49,7 +49,7 @@ func parseMode(s string) (repro.Mode, error) {
 	case "trace-deploy":
 		return repro.ModeTraceDeploy, nil
 	}
-	return 0, fmt.Errorf("unknown mode %q (plain, profile, trace, trace-deploy)", s)
+	return 0, fmt.Errorf("unknown mode %q (plain, instr, profile, trace, trace-deploy)", s)
 }
 
 func loadProgram(workloadName string, args []string) (*repro.Program, error) {

@@ -1,0 +1,338 @@
+// Command tracevmd serves the trace-cache virtual machine: a long-lived
+// daemon that executes many programs concurrently over a shared program
+// registry, with aggregated metrics. It is the operational face of
+// internal/serve.
+//
+// Server:
+//
+//	tracevmd -addr :8077 -workers 8 -queue 64 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /run     {"workload":"compress","mode":"trace"} or
+//	              {"source":"class Main {...}","kind":"minijava",...}
+//	GET  /stats   aggregated service + execution metrics snapshot
+//	GET  /healthz liveness plus queue depth
+//
+// Load generator (drives a running daemon):
+//
+//	tracevmd -loadgen -addr localhost:8077 -n 8 -requests 64 -workloads compress,soot
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8077", "listen address (server) or daemon address (loadgen)")
+		workers   = flag.Int("workers", 0, "concurrent session workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "pending request queue depth (0 = 4x workers)")
+		timeout   = flag.Duration("timeout", 0, "default per-request timeout (0 = none)")
+		maxSteps  = flag.Int64("maxsteps", 0, "hard per-request instruction cap (0 = unlimited)")
+		loadgen   = flag.Bool("loadgen", false, "run as load-generator client against -addr")
+		conc      = flag.Int("n", 4, "loadgen: concurrent client connections")
+		requests  = flag.Int("requests", 0, "loadgen: total requests (0 = 2x -n)")
+		workloads = flag.String("workloads", "", "loadgen: comma-separated workload names (default: all)")
+		modeStr   = flag.String("mode", "trace", "loadgen: dispatch mode: plain, instr, profile, trace, trace-deploy")
+	)
+	flag.Parse()
+
+	var err error
+	if *loadgen {
+		err = runLoadgen(*addr, *conc, *requests, *workloads, *modeStr)
+	} else {
+		err = runServer(*addr, serve.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+			MaxSteps:       *maxSteps,
+		})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracevmd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+var modeNames = map[string]core.Mode{
+	"plain":        core.ModePlain,
+	"instr":        core.ModeInstr,
+	"profile":      core.ModeProfile,
+	"trace":        core.ModeTrace,
+	"trace-deploy": core.ModeTraceDeploy,
+}
+
+func parseMode(s string) (core.Mode, error) {
+	if s == "" {
+		return core.ModeTrace, nil
+	}
+	if m, ok := modeNames[s]; ok {
+		return m, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (plain, instr, profile, trace, trace-deploy)", s)
+}
+
+// runRequest is the wire form of one execution order.
+type runRequest struct {
+	Workload  string  `json:"workload,omitempty"`
+	Source    string  `json:"source,omitempty"`
+	Kind      string  `json:"kind,omitempty"` // "minijava" (default) or "jasm"
+	Mode      string  `json:"mode,omitempty"` // default "trace"
+	Threshold float64 `json:"threshold,omitempty"`
+	Delay     int32   `json:"delay,omitempty"`
+	Decay     uint32  `json:"decay,omitempty"`
+	MaxSteps  int64   `json:"maxSteps,omitempty"`
+	TimeoutMs int64   `json:"timeoutMs,omitempty"`
+}
+
+func (r runRequest) toServe() (serve.Request, error) {
+	mode, err := parseMode(r.Mode)
+	if err != nil {
+		return serve.Request{}, err
+	}
+	var kind serve.SourceKind
+	switch r.Kind {
+	case "", "minijava":
+		kind = serve.KindMiniJava
+	case "jasm":
+		kind = serve.KindJasm
+	default:
+		return serve.Request{}, fmt.Errorf("unknown source kind %q (minijava, jasm)", r.Kind)
+	}
+	return serve.Request{
+		Workload:      r.Workload,
+		Source:        r.Source,
+		Kind:          kind,
+		Mode:          mode,
+		Threshold:     r.Threshold,
+		StartDelay:    r.Delay,
+		DecayInterval: r.Decay,
+		MaxSteps:      r.MaxSteps,
+		Timeout:       time.Duration(r.TimeoutMs) * time.Millisecond,
+	}, nil
+}
+
+// runResponse is the wire form of one completed run.
+type runResponse struct {
+	Program   string  `json:"program"`
+	Key       string  `json:"key"`
+	Mode      string  `json:"mode"`
+	Output    string  `json:"output"`
+	Counters  any     `json:"counters"`
+	Metrics   any     `json:"metrics"`
+	NumTraces int     `json:"numTraces"`
+	BCGNodes  int     `json:"bcgNodes"`
+	WallMs    float64 `json:"wallMs"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// newMux builds the daemon's HTTP surface over a service.
+func newMux(svc *serve.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		var wire runRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&wire); err != nil {
+			writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad JSON: " + err.Error()})
+			return
+		}
+		req, err := wire.toServe()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+			return
+		}
+		resp, err := svc.Do(r.Context(), req)
+		if err != nil {
+			switch {
+			case errors.Is(err, serve.ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, errResponse{Error: err.Error()})
+			case errors.Is(err, serve.ErrClosed):
+				writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				writeJSON(w, http.StatusGatewayTimeout, errResponse{Error: err.Error()})
+			default:
+				// Compile and runtime errors are the client's fault.
+				writeJSON(w, http.StatusUnprocessableEntity, errResponse{Error: err.Error()})
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, runResponse{
+			Program:   resp.Program,
+			Key:       resp.Key,
+			Mode:      resp.Mode.String(),
+			Output:    resp.Output,
+			Counters:  resp.Counters,
+			Metrics:   resp.Metrics,
+			NumTraces: resp.NumTraces,
+			BCGNodes:  resp.BCGNodes,
+			WallMs:    float64(resp.Wall) / float64(time.Millisecond),
+		})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := svc.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":     "ok",
+			"workers":    snap.Workers,
+			"queueDepth": snap.QueueDepth,
+		})
+	})
+
+	return mux
+}
+
+// serveListener runs the HTTP server on l until ctx is cancelled, then
+// drains: in-flight HTTP requests get up to grace to finish, and the
+// execution service finishes queued work before Close returns.
+func serveListener(ctx context.Context, l net.Listener, svc *serve.Service, grace time.Duration) error {
+	srv := &http.Server{Handler: newMux(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	svc.Close()
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+func runServer(addr string, cfg serve.Config) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	svc := serve.New(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "tracevmd: serving on %s\n", l.Addr())
+	if err := serveListener(ctx, l, svc, 30*time.Second); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// httpRunner adapts POST /run into a serve.Runner for the load generator.
+func httpRunner(client *http.Client, baseURL string) serve.Runner {
+	return func(ctx context.Context, req serve.Request) (*serve.Response, error) {
+		wire := runRequest{
+			Workload: req.Workload,
+			Source:   req.Source,
+			Mode:     req.Mode.String(),
+			MaxSteps: req.MaxSteps,
+		}
+		if req.Kind == serve.KindJasm {
+			wire.Kind = "jasm"
+		}
+		body, err := json.Marshal(wire)
+		if err != nil {
+			return nil, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/run", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hresp, err := client.Do(hreq)
+		if err != nil {
+			return nil, err
+		}
+		defer hresp.Body.Close()
+		if hresp.StatusCode == http.StatusTooManyRequests {
+			_, _ = io.Copy(io.Discard, hresp.Body)
+			return nil, serve.ErrQueueFull
+		}
+		if hresp.StatusCode != http.StatusOK {
+			var e errResponse
+			_ = json.NewDecoder(hresp.Body).Decode(&e)
+			return nil, fmt.Errorf("HTTP %d: %s", hresp.StatusCode, e.Error)
+		}
+		var wireResp struct {
+			Output   string `json:"output"`
+			Counters struct {
+				Instrs int64 `json:"Instrs"`
+			} `json:"counters"`
+		}
+		if err := json.NewDecoder(hresp.Body).Decode(&wireResp); err != nil {
+			return nil, err
+		}
+		resp := &serve.Response{Output: wireResp.Output}
+		resp.Counters.Instrs = wireResp.Counters.Instrs
+		return resp, nil
+	}
+}
+
+func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string) error {
+	mode, err := parseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	baseURL := addr
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	var workloads []string
+	if workloadsCSV != "" {
+		workloads = strings.Split(workloadsCSV, ",")
+	}
+	cfg := serve.LoadGenConfig{
+		Concurrency: conc,
+		Requests:    requests,
+		Workloads:   workloads,
+		Mode:        mode,
+	}
+	res := serve.RunLoadGen(context.Background(), cfg, httpRunner(http.DefaultClient, baseURL))
+	fmt.Printf("requests:    %d\n", res.Requests)
+	fmt.Printf("completed:   %d\n", res.Completed)
+	fmt.Printf("failed:      %d (rejected %d)\n", res.Failed, res.Rejected)
+	fmt.Printf("wall:        %v\n", res.Wall)
+	fmt.Printf("throughput:  %.2f req/s\n", res.Throughput)
+	fmt.Printf("instrs:      %d (%.1f M/s)\n", res.TotalInstrs,
+		float64(res.TotalInstrs)/1e6/res.Wall.Seconds())
+	for _, e := range res.Errors {
+		fmt.Printf("error:       %s\n", e)
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", res.Failed, res.Requests)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func newTestServer(t *testing.T, cfg serve.Config) (*httptest.Server, *serve.Service) {
+	t.Helper()
+	svc := serve.New(cfg)
+	srv := httptest.NewServer(newMux(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+func postRun(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, m
+}
+
+func TestRunEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 2})
+
+	resp, m := postRun(t, srv.URL, `{"workload":"soot","mode":"trace"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, m)
+	}
+	if m["program"] != "soot" || m["mode"] != "trace" {
+		t.Errorf("response: program=%v mode=%v", m["program"], m["mode"])
+	}
+	out, _ := m["output"].(string)
+	if !strings.Contains(out, "checksum=138015871") {
+		t.Errorf("soot output missing checksum: %q", out)
+	}
+	ctr, _ := m["counters"].(map[string]any)
+	if ctr == nil || ctr["Instrs"].(float64) == 0 {
+		t.Errorf("counters missing: %v", m["counters"])
+	}
+}
+
+func TestRunEndpointInlineSource(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 1})
+	resp, m := postRun(t, srv.URL, `{"source":"class Main { static void main() { Sys.printlnInt(42); } }"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, m)
+	}
+	if m["output"] != "42\n" {
+		t.Errorf("output = %v", m["output"])
+	}
+}
+
+func TestRunEndpointErrors(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 1})
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"bad mode", `{"workload":"soot","mode":"warp"}`, http.StatusBadRequest},
+		{"bad kind", `{"source":"x","kind":"cobol"}`, http.StatusBadRequest},
+		{"no program", `{}`, http.StatusUnprocessableEntity},
+		{"compile error", `{"source":"class {"}`, http.StatusUnprocessableEntity},
+		{"run trap", `{"source":"class Main { static void main() { Sys.printlnInt(1/0); } }"}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, m := postRun(t, srv.URL, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%v)", c.name, resp.StatusCode, c.status, m)
+		}
+		if c.status != http.StatusOK {
+			if s, _ := m["error"].(string); s == "" {
+				t.Errorf("%s: no error message", c.name)
+			}
+		}
+	}
+}
+
+func TestRunEndpointTimeout(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 1})
+	body := `{"source":"class Main { static void main() { int i = 0; while (0 < 1) { i = i + 1; } } }","timeoutMs":50}`
+	resp, m := postRun(t, srv.URL, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504 (%v)", resp.StatusCode, m)
+	}
+}
+
+func TestStatsAndHealthEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 3})
+	if _, m := postRun(t, srv.URL, `{"workload":"raytrace","mode":"plain"}`); m["output"] == "" {
+		t.Fatal("run failed")
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed != 1 || snap.Global.Instrs == 0 {
+		t.Errorf("stats: completed=%d instrs=%d", snap.Completed, snap.Global.Instrs)
+	}
+	if _, ok := snap.PerProgram["raytrace"]; !ok {
+		t.Errorf("stats missing per-program entry: %v", snap.PerProgram)
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["workers"].(float64) != 3 {
+		t.Errorf("healthz: %v", h)
+	}
+}
+
+func TestHTTPRunnerAndLoadgen(t *testing.T) {
+	srv, svc := newTestServer(t, serve.Config{Workers: 2, QueueDepth: 16})
+	res := serve.RunLoadGen(context.Background(), serve.LoadGenConfig{
+		Concurrency: 3,
+		Requests:    6,
+		Workloads:   []string{"soot", "raytrace"},
+		Mode:        core.ModePlain,
+	}, httpRunner(srv.Client(), srv.URL))
+	if res.Completed != 6 || res.Failed != 0 {
+		t.Fatalf("loadgen over HTTP: %+v", res)
+	}
+	if res.TotalInstrs == 0 {
+		t.Error("loadgen did not propagate instruction counts")
+	}
+	if snap := svc.Stats(); snap.Completed != 6 {
+		t.Errorf("daemon accounted %d completions, want 6", snap.Completed)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(serve.Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveListener(ctx, l, svc, 5*time.Second) }()
+
+	url := "http://" + l.Addr().String()
+	resp, err := http.Post(url+"/run", "application/json",
+		bytes.NewReader([]byte(`{"workload":"soot","mode":"plain"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-shutdown run: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	// The drained service refuses new work.
+	if _, err := svc.Do(context.Background(), serve.Request{Workload: "soot"}); err == nil {
+		t.Error("service accepted work after drain")
+	}
+}
+
+func TestParseModeAllFive(t *testing.T) {
+	for name, want := range modeNames {
+		got, err := parseMode(name)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if m, err := parseMode(""); err != nil || m != core.ModeTrace {
+		t.Errorf("default mode = %v, %v", m, err)
+	}
+	if _, err := parseMode("warp"); err == nil {
+		t.Error("parseMode(warp) succeeded")
+	}
+}

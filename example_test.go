@@ -1,8 +1,10 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"repro"
 )
@@ -108,4 +110,36 @@ func ExampleWorkloadNames() {
 	// mpegaudio
 	// soot
 	// scimark
+}
+
+// ExampleNewService runs several programs concurrently through the
+// execution service and reads the aggregated metrics.
+func ExampleNewService() {
+	svc := repro.NewService(repro.ServiceConfig{Workers: 2})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := svc.Do(context.Background(), repro.ServiceRequest{
+				Workload: "soot",
+				Mode:     repro.ModeTrace,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := svc.Stats()
+	fmt.Println("completed:", snap.Completed)
+	fmt.Println("programs compiled:", snap.Programs)
+	fmt.Println("all runs counted:", snap.Global.Instrs == snap.PerProgram["soot"].Counters.Instrs)
+	// Output:
+	// completed: 4
+	// programs compiled: 1
+	// all runs counted: true
 }

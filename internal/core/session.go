@@ -2,6 +2,7 @@ package core
 
 import (
 	"io"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/classfile"
@@ -67,6 +68,10 @@ type SessionOptions struct {
 	Config   Config         // trace constructor configuration
 	Out      io.Writer      // program output (default: discard)
 	MaxSteps int64          // instruction budget, 0 = unlimited
+	// Interrupt, if set, cancels the run at the next block boundary when
+	// stored true; the machine stops with a TrapInterrupted trap. Used by
+	// the serving layer to enforce per-request deadlines.
+	Interrupt *atomic.Bool
 }
 
 // NewSession builds a session over a linked program and its CFGs.
@@ -78,9 +83,10 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 	s := &Session{Mode: opts.Mode, Counters: ctr}
 
 	mopts := vm.Options{
-		Out:      opts.Out,
-		Counters: ctr,
-		MaxSteps: opts.MaxSteps,
+		Out:       opts.Out,
+		Counters:  ctr,
+		MaxSteps:  opts.MaxSteps,
+		Interrupt: opts.Interrupt,
 	}
 	if opts.Mode != ModePlain && opts.Mode != ModeInstr {
 		cache := NewCache(opts.Config, ctr)

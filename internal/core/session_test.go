@@ -3,12 +3,15 @@ package core_test
 import (
 	"bytes"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/jasm"
 	"repro/internal/profile"
+	"repro/internal/vm"
 )
 
 // loopProgram sums 0..n-1 through a static call inside a loop, printing the
@@ -171,6 +174,49 @@ func TestSessionOutputsAgreeAcrossThresholds(t *testing.T) {
 		}
 		if !strings.Contains(ref, "49995000") {
 			t.Fatalf("unexpected output %q", ref)
+		}
+	}
+}
+
+// TestInterruptStopsEveryEngine verifies the host-cancellation flag: a
+// pre-set interrupt must stop each dispatch engine at its first check, with
+// a TrapInterrupted trap and no program output. This is the mechanism the
+// serve layer uses to enforce request deadlines.
+func TestInterruptStopsEveryEngine(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModePlain, core.ModeInstr, core.ModeProfile, core.ModeTrace, core.ModeTraceDeploy} {
+		t.Run(mode.String(), func(t *testing.T) {
+			var stop atomic.Bool
+			stop.Store(true)
+			s, out := buildSession(t, loopProgram, core.SessionOptions{Mode: mode, Interrupt: &stop})
+			err := s.Run()
+			if err == nil {
+				t.Fatal("interrupted run succeeded")
+			}
+			trap, ok := vm.AsTrap(err)
+			if !ok || trap.Kind != vm.TrapInterrupted {
+				t.Fatalf("error = %v, want TrapInterrupted", err)
+			}
+			if out.Len() != 0 {
+				t.Errorf("interrupted run produced output %q", out.String())
+			}
+		})
+	}
+}
+
+// TestInterruptMidRun flips the flag from another goroutine while the
+// program loops and expects the run to stop promptly.
+func TestInterruptMidRun(t *testing.T) {
+	var stop atomic.Bool
+	s, _ := buildSession(t, loopProgram, core.SessionOptions{Mode: core.ModeTrace, Interrupt: &stop})
+	go func() {
+		time.Sleep(time.Millisecond)
+		stop.Store(true)
+	}()
+	// Either the run finishes before the flag lands (it is a short loop) or
+	// it traps with TrapInterrupted; anything else is a bug.
+	if err := s.Run(); err != nil {
+		if trap, ok := vm.AsTrap(err); !ok || trap.Kind != vm.TrapInterrupted {
+			t.Fatalf("error = %v, want TrapInterrupted", err)
 		}
 	}
 }

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// serialRun executes one workload in a fresh single-threaded session — the
+// ground truth the concurrent service must reproduce bit-for-bit.
+func serialRun(t *testing.T, name string, mode core.Mode) (string, stats.Counters) {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, pcfg, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sess, err := core.NewSession(prog, pcfg, core.SessionOptions{Mode: mode, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), sess.Counters.Snapshot()
+}
+
+// TestConcurrentIsolation runs every workload in parallel sessions (two
+// requests each, twelve in flight across six programs sharing registry
+// entries) and asserts each run's output and counters are identical to a
+// serial run, and that the service's aggregated counters equal the exact
+// sum of the per-request counters. Sessions must share no mutable state;
+// under -race this also proves it mechanically.
+func TestConcurrentIsolation(t *testing.T) {
+	const perWorkload = 2
+	names := workload.Names()
+
+	type truth struct {
+		output string
+		ctr    stats.Counters
+	}
+	want := make(map[string]truth, len(names))
+	for _, name := range names {
+		out, ctr := serialRun(t, name, core.ModeTrace)
+		want[name] = truth{output: out, ctr: ctr}
+	}
+
+	s := newTestService(t, Config{Workers: 4, QueueDepth: len(names) * perWorkload})
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		wantAgg stats.Counters
+	)
+	for _, name := range names {
+		for i := 0; i < perWorkload; i++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				resp, err := s.Do(context.Background(), Request{Workload: name, Mode: core.ModeTrace})
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				w := want[name]
+				if resp.Output != w.output {
+					t.Errorf("%s: concurrent output diverged from serial run:\ngot:  %q\nwant: %q", name, resp.Output, w.output)
+				}
+				if resp.Counters != w.ctr {
+					t.Errorf("%s: concurrent counters diverged from serial run:\ngot:  %+v\nwant: %+v", name, resp.Counters, w.ctr)
+				}
+				mu.Lock()
+				wantAgg.Add(&resp.Counters)
+				mu.Unlock()
+			}(name)
+		}
+	}
+	wg.Wait()
+
+	snap := s.Stats()
+	if snap.Global != wantAgg {
+		t.Errorf("aggregated counters != sum of per-request counters:\ngot:  %+v\nwant: %+v", snap.Global, wantAgg)
+	}
+	if snap.Completed != int64(len(names)*perWorkload) {
+		t.Errorf("completed = %d, want %d", snap.Completed, len(names)*perWorkload)
+	}
+	for _, name := range names {
+		ps := snap.PerProgram[name]
+		if ps.Runs != perWorkload {
+			t.Errorf("%s: runs = %d, want %d", name, ps.Runs, perWorkload)
+			continue
+		}
+		var sum stats.Counters
+		serial := want[name].ctr
+		for i := 0; i < perWorkload; i++ {
+			sum.Add(&serial)
+		}
+		if ps.Counters != sum {
+			t.Errorf("%s: per-program aggregate mismatch:\ngot:  %+v\nwant: %+v", name, ps.Counters, sum)
+		}
+	}
+}
+
+// TestParallelThroughput demonstrates multi-core scaling: the same request
+// mix through a 4-worker pool must finish materially faster than through a
+// 1-worker pool. Skipped on small machines where there is nothing to scale
+// onto, and under -short.
+func TestParallelThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping throughput measurement in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to demonstrate scaling, have %d", runtime.NumCPU())
+	}
+	mix := LoadGenConfig{
+		Concurrency: 4,
+		Requests:    12,
+		Workloads:   []string{"soot", "raytrace", "javac"},
+		Mode:        core.ModeTrace,
+	}
+	measure := func(workers int) LoadGenResult {
+		s := New(Config{Workers: workers, QueueDepth: mix.Requests})
+		defer s.Close()
+		// Pre-warm the registry so compilation is excluded from both sides.
+		for _, w := range mix.Workloads {
+			if _, err := s.Registry().Workload(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := RunLoadGen(context.Background(), mix, s.Do)
+		if res.Completed != int64(mix.Requests) {
+			t.Fatalf("%d workers: completed %d/%d, errs=%v", workers, res.Completed, mix.Requests, res.Errors)
+		}
+		return res
+	}
+	serial := measure(1)
+	parallel := measure(4)
+	speedup := serial.Wall.Seconds() / parallel.Wall.Seconds()
+	t.Logf("serial(1 worker) %v, parallel(4 workers) %v, speedup %.2fx, throughput %.1f -> %.1f req/s",
+		serial.Wall, parallel.Wall, speedup, serial.Throughput, parallel.Throughput)
+	if speedup < 1.5 {
+		t.Errorf("4-worker speedup %.2fx < 1.5x; sessions are not executing concurrently", speedup)
+	}
+}
+
+// TestRegistrySharding exercises all shards concurrently: many distinct
+// ad-hoc programs compiled and run at once, each exactly once.
+func TestRegistrySharding(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4, QueueDepth: 64})
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := fmt.Sprintf(`class Main { static void main() { Sys.printlnInt(%d); } }`, i)
+			resp, err := s.Do(context.Background(), Request{Source: src})
+			if err != nil {
+				t.Errorf("program %d: %v", i, err)
+				return
+			}
+			if want := fmt.Sprintf("%d\n", i); resp.Output != want {
+				t.Errorf("program %d printed %q", i, resp.Output)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if snap := s.Stats(); snap.Programs != n {
+		t.Errorf("registry holds %d programs, want %d", snap.Programs, n)
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func defaultWorkloads() []string { return workload.Names() }
+
+// Runner executes one request. Service.Do is a Runner; cmd/tracevmd wraps
+// an HTTP client into one, so the same load generator drives both an
+// embedded service and a remote daemon.
+type Runner func(ctx context.Context, req Request) (*Response, error)
+
+// LoadGenConfig shapes a load-generation run.
+type LoadGenConfig struct {
+	// Concurrency is the number of client goroutines (default 4).
+	Concurrency int
+	// Requests is the total request count (default 2×Concurrency).
+	Requests int
+	// Workloads are cycled through round-robin (default: all built-ins).
+	Workloads []string
+	// Mode applies to every request.
+	Mode core.Mode
+	// MaxSteps bounds each request (0 = unlimited).
+	MaxSteps int64
+}
+
+// LoadGenResult summarizes a load-generation run.
+type LoadGenResult struct {
+	Requests  int
+	Completed int64
+	Failed    int64
+	Rejected  int64 // failures that were ErrQueueFull backpressure
+	Wall      time.Duration
+	// Throughput is completed requests per second of wall time.
+	Throughput float64
+	// TotalInstrs sums the Counters.Instrs of completed requests.
+	TotalInstrs int64
+	// Errors holds the first few failure messages for diagnosis.
+	Errors []string
+}
+
+// RunLoadGen drives cfg.Requests requests through run from
+// cfg.Concurrency goroutines and reports aggregate throughput. It is the
+// multi-core scaling demonstrator: with W workers serving, wall time
+// approaches serial-time/W until the machine runs out of cores.
+func RunLoadGen(ctx context.Context, cfg LoadGenConfig, run Runner) LoadGenResult {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 2 * cfg.Concurrency
+	}
+	workloads := cfg.Workloads
+	if len(workloads) == 0 {
+		workloads = defaultWorkloads()
+	}
+
+	var (
+		completed, failed, rejected, instrs atomic.Int64
+		errMu                               sync.Mutex
+		errs                                []string
+	)
+	idx := make(chan int, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		idx <- i
+	}
+	close(idx)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(cfg.Concurrency)
+	for c := 0; c < cfg.Concurrency; c++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				req := Request{
+					Workload: workloads[i%len(workloads)],
+					Mode:     cfg.Mode,
+					MaxSteps: cfg.MaxSteps,
+				}
+				resp, err := run(ctx, req)
+				if err != nil {
+					failed.Add(1)
+					if err == ErrQueueFull {
+						rejected.Add(1)
+					}
+					errMu.Lock()
+					if len(errs) < 8 {
+						errs = append(errs, err.Error())
+					}
+					errMu.Unlock()
+					continue
+				}
+				completed.Add(1)
+				instrs.Add(resp.Counters.Instrs)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := LoadGenResult{
+		Requests:    cfg.Requests,
+		Completed:   completed.Load(),
+		Failed:      failed.Load(),
+		Rejected:    rejected.Load(),
+		Wall:        wall,
+		TotalInstrs: instrs.Load(),
+		Errors:      errs,
+	}
+	if wall > 0 {
+		res.Throughput = float64(res.Completed) / wall.Seconds()
+	}
+	return res
+}

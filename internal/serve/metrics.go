@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyBuckets are the upper bounds (exclusive) of the request latency
+// histogram, in milliseconds, doubling from 1ms; the last bucket is
+// unbounded.
+var latencyBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// LatencyBucket is one histogram cell of the snapshot.
+type LatencyBucket struct {
+	// UpperMs is the exclusive upper bound in milliseconds; 0 means +Inf.
+	UpperMs int64
+	Count   int64
+}
+
+// ProgramStats is the aggregated record of every completed session of one
+// program.
+type ProgramStats struct {
+	Runs     int64
+	Counters stats.Counters
+	Metrics  stats.Metrics
+}
+
+// Snapshot is a point-in-time, self-contained copy of the service's
+// aggregated observability: request accounting, the global merged counters
+// and their derived §5.2 metrics, per-program aggregates, registry state,
+// and the request latency histogram. It shares no memory with the live
+// service and is safe to retain or serialize.
+type Snapshot struct {
+	// Request accounting. Accepted = enqueued; of those, exactly one of
+	// Completed, Failed, or TimedOut is eventually counted per request.
+	Accepted  int64
+	Rejected  int64 // refused with ErrQueueFull (backpressure)
+	Completed int64
+	Failed    int64 // run error, compile errors are not enqueued
+	TimedOut  int64 // cancelled by deadline or caller context
+	Panics    int64 // recovered worker panics (also counted in Failed)
+	// CompileErrors counts requests refused because their program did not
+	// compile; they are never enqueued.
+	CompileErrors int64
+
+	// Pool state at snapshot time.
+	QueueDepth int
+	Workers    int
+
+	// Registry state.
+	Programs       int
+	RegistryHits   int64
+	RegistryMisses int64
+
+	// Global is every completed session's Counters merged via Add.
+	Global        stats.Counters
+	GlobalMetrics stats.Metrics
+	// PerProgram aggregates by Compiled.Name.
+	PerProgram map[string]ProgramStats
+
+	// Latency is the accepted-to-finished request latency histogram.
+	Latency      []LatencyBucket
+	TotalLatency time.Duration
+}
+
+// aggregator is the mutable heart of the snapshot: a mutex-protected merge
+// of per-session counters plus service-level request accounting. Sessions
+// run without any shared mutable state; aggregation happens once per
+// request at completion, so the lock is uncontended in any realistic load.
+type aggregator struct {
+	mu         sync.Mutex
+	accepted   int64
+	rejected   int64
+	completed  int64
+	failed     int64
+	timedOut   int64
+	panics     int64
+	compileErr int64
+	global     stats.Counters
+	perProgram map[string]*programAgg
+	latency    []int64 // len(latencyBuckets)+1, last is overflow
+	totalLat   time.Duration
+}
+
+type programAgg struct {
+	runs int64
+	ctr  stats.Counters
+}
+
+func newAggregator() *aggregator {
+	return &aggregator{
+		perProgram: make(map[string]*programAgg),
+		latency:    make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+func (a *aggregator) accept() {
+	a.mu.Lock()
+	a.accepted++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) reject() {
+	a.mu.Lock()
+	a.rejected++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) compileError() {
+	a.mu.Lock()
+	a.compileErr++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) observeLatency(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for i < len(latencyBuckets) && ms >= latencyBuckets[i] {
+		i++
+	}
+	a.latency[i]++
+	a.totalLat += d
+}
+
+// complete merges one successful session into the per-program and global
+// totals. ctr is a quiescent-point snapshot (the session has finished).
+func (a *aggregator) complete(program string, ctr *stats.Counters, lat time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.completed++
+	a.global.Add(ctr)
+	p := a.perProgram[program]
+	if p == nil {
+		p = &programAgg{}
+		a.perProgram[program] = p
+	}
+	p.runs++
+	p.ctr.Add(ctr)
+	a.observeLatency(lat)
+}
+
+func (a *aggregator) fail(lat time.Duration, panicked bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.failed++
+	if panicked {
+		a.panics++
+	}
+	a.observeLatency(lat)
+}
+
+func (a *aggregator) timeout(lat time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.timedOut++
+	a.observeLatency(lat)
+}
+
+// snapshot deep-copies the aggregate state; pool/registry fields are filled
+// in by the Service.
+func (a *aggregator) snapshot() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := Snapshot{
+		Accepted:      a.accepted,
+		Rejected:      a.rejected,
+		Completed:     a.completed,
+		Failed:        a.failed,
+		TimedOut:      a.timedOut,
+		Panics:        a.panics,
+		CompileErrors: a.compileErr,
+		Global:        a.global.Snapshot(),
+		GlobalMetrics: a.global.Derive(),
+		PerProgram:    make(map[string]ProgramStats, len(a.perProgram)),
+		TotalLatency:  a.totalLat,
+	}
+	for name, p := range a.perProgram {
+		s.PerProgram[name] = ProgramStats{
+			Runs:     p.runs,
+			Counters: p.ctr.Snapshot(),
+			Metrics:  p.ctr.Derive(),
+		}
+	}
+	s.Latency = make([]LatencyBucket, len(a.latency))
+	for i, n := range a.latency {
+		var upper int64
+		if i < len(latencyBuckets) {
+			upper = latencyBuckets[i]
+		}
+		s.Latency[i] = LatencyBucket{UpperMs: upper, Count: n}
+	}
+	return s
+}

@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+const tinySource = `class Main { static void main() { Sys.printlnInt(7); } }`
+
+// spinSource loops forever; only an interrupt or step budget stops it.
+const spinSource = `class Main { static void main() { int i = 0; while (0 < 1) { i = i + 1; } Sys.printlnInt(i); } }`
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestDoSource(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	resp, err := s.Do(context.Background(), Request{Source: tinySource, Mode: core.ModeTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Output != "7\n" {
+		t.Errorf("output = %q, want %q", resp.Output, "7\n")
+	}
+	if resp.Counters.Instrs == 0 {
+		t.Error("no instructions counted")
+	}
+	if !strings.HasPrefix(resp.Program, "minijava:") {
+		t.Errorf("program label = %q", resp.Program)
+	}
+	snap := s.Stats()
+	if snap.Accepted != 1 || snap.Completed != 1 {
+		t.Errorf("accounting: accepted=%d completed=%d", snap.Accepted, snap.Completed)
+	}
+	if snap.Global.Instrs != resp.Counters.Instrs {
+		t.Errorf("global instrs %d != response instrs %d", snap.Global.Instrs, resp.Counters.Instrs)
+	}
+}
+
+func TestRegistryCompilesOnce(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4})
+	const n = 16
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := s.Do(context.Background(), Request{Workload: "soot", Mode: core.ModePlain}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Stats()
+	if snap.Programs != 1 {
+		t.Errorf("registry holds %d programs, want 1", snap.Programs)
+	}
+	if snap.RegistryMisses != 1 || snap.RegistryHits != n-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1", snap.RegistryHits, snap.RegistryMisses, n-1)
+	}
+	if ps := snap.PerProgram["soot"]; ps.Runs != n {
+		t.Errorf("soot runs = %d, want %d", ps.Runs, n)
+	}
+}
+
+func TestCompileErrorNotEnqueued(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	_, err := s.Do(context.Background(), Request{Source: "class {"})
+	if err == nil {
+		t.Fatal("bad program accepted")
+	}
+	// The error is cached: same source, same error, still no run.
+	_, err2 := s.Do(context.Background(), Request{Source: "class {"})
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Errorf("cached compile error mismatch: %v vs %v", err, err2)
+	}
+	snap := s.Stats()
+	if snap.CompileErrors != 2 || snap.Accepted != 0 {
+		t.Errorf("compileErrors=%d accepted=%d", snap.CompileErrors, snap.Accepted)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	if _, err := s.Do(context.Background(), Request{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := s.Do(context.Background(), Request{Workload: "compress", Source: tinySource}); err == nil {
+		t.Error("ambiguous request accepted")
+	}
+	if _, err := s.Do(context.Background(), Request{Workload: "nope"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s.execHook = func(Request) {
+		started <- struct{}{}
+		<-block
+	}
+
+	// First request occupies the worker, second fills the queue.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := s.Do(context.Background(), Request{Source: tinySource})
+			results <- err
+		}()
+	}
+	<-started // the worker is now blocked inside request 1
+
+	// Wait for the second request to occupy the single queue slot.
+	deadline := time.After(5 * time.Second)
+	for len(s.jobs) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// The third must be rejected immediately.
+	if _, err := s.Do(context.Background(), Request{Source: tinySource}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overload error = %v, want ErrQueueFull", err)
+	}
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("queued request failed: %v", err)
+		}
+	}
+	snap := s.Stats()
+	if snap.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", snap.Rejected)
+	}
+}
+
+func TestTimeoutInterruptsRunningSession(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	start := time.Now()
+	_, err := s.Do(context.Background(), Request{Source: spinSource, Timeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("runaway program returned without error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; interrupt did not reach the session", elapsed)
+	}
+	// The worker must be free again: a normal request still runs.
+	if _, err := s.Do(context.Background(), Request{Source: tinySource}); err != nil {
+		t.Errorf("service wedged after timeout: %v", err)
+	}
+	snap := s.Stats()
+	if snap.TimedOut != 1 {
+		t.Errorf("timedOut = %d, want 1", snap.TimedOut)
+	}
+}
+
+func TestTimeoutWhileQueued(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 4})
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	hooked := false
+	var mu sync.Mutex
+	s.execHook = func(Request) {
+		mu.Lock()
+		first := !hooked
+		hooked = true
+		mu.Unlock()
+		if first {
+			started <- struct{}{}
+			<-block
+		}
+	}
+	go s.Do(context.Background(), Request{Source: tinySource}) //nolint:errcheck
+	<-started
+
+	// This one sits in the queue until its context expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := s.Do(ctx, Request{Source: tinySource})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued timeout error = %v", err)
+	}
+	close(block)
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	s.execHook = func(req Request) {
+		if req.Workload == "compress" {
+			panic("injected fault")
+		}
+	}
+	_, err := s.Do(context.Background(), Request{Workload: "compress"})
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	// The pool survives: other requests keep working on every worker.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Do(context.Background(), Request{Source: tinySource}); err != nil {
+			t.Fatalf("service dead after panic: %v", err)
+		}
+	}
+	snap := s.Stats()
+	if snap.Panics != 1 || snap.Failed != 1 {
+		t.Errorf("panics=%d failed=%d, want 1/1", snap.Panics, snap.Failed)
+	}
+}
+
+func TestRunErrorCounted(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	_, err := s.Do(context.Background(), Request{Source: spinSource, MaxSteps: 1000})
+	if err == nil {
+		t.Fatal("step-limited run succeeded")
+	}
+	if snap := s.Stats(); snap.Failed != 1 {
+		t.Errorf("failed = %d, want 1", snap.Failed)
+	}
+}
+
+func TestServiceMaxStepsClamp(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, MaxSteps: 1000})
+	// Unbounded request: clamped to the service cap, so the spin must trap.
+	if _, err := s.Do(context.Background(), Request{Source: spinSource}); err == nil {
+		t.Error("service step cap not applied to unbounded request")
+	}
+	// Oversized request budget: also clamped.
+	if _, err := s.Do(context.Background(), Request{Source: spinSource, MaxSteps: 1 << 40}); err == nil {
+		t.Error("service step cap not applied to oversized request")
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	wg.Add(6)
+	for i := 0; i < 6; i++ {
+		go func() {
+			defer wg.Done()
+			_, err := s.Do(context.Background(), Request{Source: tinySource, Mode: core.ModeTrace})
+			errs <- err
+		}()
+	}
+	wg.Wait() // all six finished before Close: simplest drain case
+	s.Close()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("pre-close request failed: %v", err)
+		}
+	}
+	if _, err := s.Do(context.Background(), Request{Source: tinySource}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close error = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Do(context.Background(), Request{Source: tinySource}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Stats()
+	var total int64
+	for _, b := range snap.Latency {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("histogram holds %d observations, want 3", total)
+	}
+	if snap.Latency[len(snap.Latency)-1].UpperMs != 0 {
+		t.Error("last bucket should be unbounded (UpperMs 0)")
+	}
+}
+
+func TestSourceKindJasm(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	const jasmSrc = `
+.class Main
+.method static main ( ) void
+    return
+.end
+.end
+.entry Main main
+`
+	resp, err := s.Do(context.Background(), Request{Source: jasmSrc, Kind: KindJasm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp.Program, "jasm:") {
+		t.Errorf("program label = %q", resp.Program)
+	}
+}
+
+func TestLoadGen(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueDepth: 32})
+	res := RunLoadGen(context.Background(), LoadGenConfig{
+		Concurrency: 4,
+		Requests:    8,
+		Workloads:   []string{"soot", "raytrace"},
+		Mode:        core.ModePlain,
+	}, s.Do)
+	if res.Completed != 8 || res.Failed != 0 {
+		t.Fatalf("loadgen: completed=%d failed=%d errs=%v", res.Completed, res.Failed, res.Errors)
+	}
+	if res.Throughput <= 0 || res.TotalInstrs == 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+}
+
+func TestModeStringsRoundTrip(t *testing.T) {
+	// The HTTP layer depends on Mode.String values; pin them.
+	want := map[core.Mode]string{
+		core.ModePlain: "plain", core.ModeInstr: "instr", core.ModeProfile: "profile",
+		core.ModeTrace: "trace", core.ModeTraceDeploy: "trace-deploy",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if fmt.Sprint(KindMiniJava, KindJasm) != "minijava jasm" {
+		t.Errorf("SourceKind strings changed: %v %v", KindMiniJava, KindJasm)
+	}
+}

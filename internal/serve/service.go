@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Sentinel errors of the request path.
+var (
+	// ErrQueueFull is the backpressure signal: the request queue is at
+	// capacity and the request was refused without queueing. Callers
+	// should shed load or retry with delay.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrClosed means the service is draining or closed.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Config sizes a Service.
+type Config struct {
+	// Workers is the number of concurrent sessions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-request queue beyond the running
+	// sessions (default 4×Workers). A full queue rejects with
+	// ErrQueueFull rather than blocking the submitter.
+	QueueDepth int
+	// DefaultTimeout applies to requests that set none (0 = no deadline).
+	DefaultTimeout time.Duration
+	// MaxSteps is a hard per-request instruction cap; request budgets are
+	// clamped to it (0 = unlimited).
+	MaxSteps int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+}
+
+// Request is one execution order. Exactly one of Workload (a built-in
+// benchmark name) or Source (inline program text compiled per Kind) must be
+// set. Zero-valued tuning fields take the service/profiler defaults.
+type Request struct {
+	Workload string
+	Source   string
+	Kind     SourceKind
+
+	// Mode is the dispatch configuration (zero value: ModePlain).
+	Mode core.Mode
+	// Threshold overrides the trace completion threshold when non-zero.
+	Threshold float64
+	// StartDelay overrides the start-state delay when non-zero.
+	StartDelay int32
+	// DecayInterval overrides the decay period when non-zero.
+	DecayInterval uint32
+	// MaxSteps bounds the run's instruction count (clamped to the service
+	// cap when that is set).
+	MaxSteps int64
+	// Timeout overrides Config.DefaultTimeout when non-zero.
+	Timeout time.Duration
+}
+
+// Response is one completed run.
+type Response struct {
+	// Program and Key identify the registry entry that ran.
+	Program string
+	Key     string
+	Mode    core.Mode
+	// Output is everything the program printed.
+	Output string
+	// Counters is a quiescent snapshot of the session's raw event record;
+	// Metrics are its derived §5.2 values.
+	Counters stats.Counters
+	Metrics  stats.Metrics
+	// NumTraces is the live trace cache size at exit (0 in plain modes).
+	NumTraces int
+	// BCGNodes is the number of branch contexts discovered (0 in plain
+	// modes).
+	BCGNodes int
+	// Wall is the session execution time (queueing excluded).
+	Wall time.Duration
+}
+
+// Service is the concurrent execution service: a program registry shared by
+// a bounded pool of session workers, with aggregated metrics. Create with
+// New, submit with Do from any number of goroutines, observe with Stats,
+// and Close to drain.
+type Service struct {
+	cfg Config
+	reg *Registry
+	agg *aggregator
+
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	// execHook, when non-nil, runs at the top of every session execution;
+	// tests use it to inject faults (panics, delays) into workers.
+	execHook func(Request)
+}
+
+// Job ownership states: a queued job is claimed either by a worker (which
+// then publishes the result) or by its submitter's expired context (which
+// then accounts the timeout); the CAS decides races exactly once.
+const (
+	jobPending int32 = iota
+	jobRunning
+	jobAbandoned
+)
+
+type job struct {
+	req       Request
+	comp      *Compiled
+	interrupt atomic.Bool
+	state     atomic.Int32
+	enqueued  time.Time
+
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+// New starts a service with cfg.Workers session workers.
+func New(cfg Config) *Service {
+	cfg.fillDefaults()
+	s := &Service{
+		cfg:  cfg,
+		reg:  NewRegistry(),
+		agg:  newAggregator(),
+		jobs: make(chan *job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the shared program registry (e.g. for pre-warming).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// resolve maps the request to a registry entry, compiling on first use.
+func (s *Service) resolve(req Request) (*Compiled, error) {
+	switch {
+	case req.Workload != "" && req.Source != "":
+		return nil, errors.New("serve: request sets both Workload and Source")
+	case req.Workload != "":
+		return s.reg.Workload(req.Workload)
+	case req.Source != "":
+		return s.reg.Source(req.Kind, req.Source)
+	}
+	return nil, errors.New("serve: request names no program")
+}
+
+// Do executes one request and blocks until it finishes, fails, or the
+// context/deadline cancels it. It is safe for concurrent use. A deadline
+// that fires mid-run interrupts the session at the next block boundary, so
+// a runaway program costs at most one dispatch beyond its budget; if the
+// run completed before the cancellation was noticed its result is returned.
+func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
+	comp, err := s.resolve(req)
+	if err != nil {
+		s.agg.compileError()
+		return nil, err
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	j := &job{req: req, comp: comp, enqueued: time.Now(), done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.jobs <- j:
+		s.mu.RUnlock()
+		s.agg.accept()
+	default:
+		s.mu.RUnlock()
+		s.agg.reject()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case <-j.done:
+		return j.resp, j.err
+	case <-ctx.Done():
+		j.interrupt.Store(true)
+		if j.state.CompareAndSwap(jobPending, jobAbandoned) {
+			// Never started; the dequeueing worker will discard it.
+			s.agg.timeout(time.Since(j.enqueued))
+			return nil, fmt.Errorf("serve: cancelled while queued: %w", ctx.Err())
+		}
+		// A worker owns it; the interrupt stops the session at the next
+		// block boundary.
+		<-j.done
+		if j.err == nil {
+			return j.resp, nil
+		}
+		return nil, fmt.Errorf("serve: cancelled while running: %w", ctx.Err())
+	}
+}
+
+// Stats returns a self-contained snapshot of the aggregated metrics,
+// readable at any time while the pool runs.
+func (s *Service) Stats() Snapshot {
+	snap := s.agg.snapshot()
+	snap.QueueDepth = len(s.jobs)
+	snap.Workers = s.cfg.Workers
+	snap.Programs = s.reg.Len()
+	snap.RegistryHits, snap.RegistryMisses = s.reg.HitsMisses()
+	return snap
+}
+
+// Close drains the service: new submissions fail with ErrClosed, queued and
+// running requests finish normally, and Close returns once every worker has
+// exited. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// worker is one pool goroutine: it claims jobs, runs sessions, publishes
+// results, and accounts outcomes. A panicking session is contained by
+// runJob, so one bad program cannot take the service down.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		if !j.state.CompareAndSwap(jobPending, jobRunning) {
+			continue // abandoned while queued; submitter accounted it
+		}
+		resp, err := s.runJob(j)
+		j.resp, j.err = resp, err
+		lat := time.Since(j.enqueued)
+		switch {
+		case err == nil:
+			s.agg.complete(j.comp.Name, &resp.Counters, lat)
+		case isInterrupt(err):
+			s.agg.timeout(lat)
+		default:
+			var pe *panicError
+			s.agg.fail(lat, errors.As(err, &pe))
+		}
+		close(j.done)
+	}
+}
+
+// isInterrupt reports whether err is the host-cancellation trap.
+func isInterrupt(err error) bool {
+	t, ok := vm.AsTrap(err)
+	return ok && t.Kind == vm.TrapInterrupted
+}
+
+// panicError wraps a recovered session panic.
+type panicError struct {
+	val any
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("serve: session panic: %v", e.val) }
+
+// runJob executes one session, recovering panics into errors.
+func (s *Service) runJob(j *job) (resp *Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, &panicError{val: r}
+		}
+	}()
+	if s.execHook != nil {
+		s.execHook(j.req)
+	}
+
+	params := profile.DefaultParams()
+	if j.req.Threshold != 0 {
+		params.Threshold = j.req.Threshold
+	}
+	if j.req.StartDelay != 0 {
+		params.StartDelay = j.req.StartDelay
+	}
+	if j.req.DecayInterval != 0 {
+		params.DecayInterval = j.req.DecayInterval
+	}
+	maxSteps := j.req.MaxSteps
+	if s.cfg.MaxSteps > 0 && (maxSteps == 0 || maxSteps > s.cfg.MaxSteps) {
+		maxSteps = s.cfg.MaxSteps
+	}
+
+	var out bytes.Buffer
+	sess, err := core.NewSession(j.comp.Prog, j.comp.CFG, core.SessionOptions{
+		Mode:      j.req.Mode,
+		Params:    params,
+		Out:       &out,
+		MaxSteps:  maxSteps,
+		Interrupt: &j.interrupt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := sess.Run(); err != nil {
+		return nil, err
+	}
+	resp = &Response{
+		Program:  j.comp.Name,
+		Key:      j.comp.Key,
+		Mode:     j.req.Mode,
+		Output:   out.String(),
+		Counters: sess.Counters.Snapshot(),
+		Metrics:  sess.Metrics(),
+		Wall:     time.Since(start),
+	}
+	if sess.Cache != nil {
+		resp.NumTraces = sess.Cache.NumTraces()
+	}
+	if sess.Graph != nil {
+		resp.BCGNodes = sess.Graph.NumNodes()
+	}
+	return resp, nil
+}

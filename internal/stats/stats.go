@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -87,6 +88,29 @@ func (c *Counters) Derive() Metrics {
 	return m
 }
 
+// MarshalJSON serializes non-finite ratios (no signals ever → +Inf
+// interval) as null, which encoding/json cannot represent and would
+// otherwise reject, breaking any API that ships Metrics over the wire.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	finite := func(v float64) *float64 {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	return json.Marshal(struct {
+		AvgTraceLength      *float64
+		Coverage            *float64
+		CacheCoverage       *float64
+		CompletionRate      *float64
+		DispatchesPerSignal *float64
+		TraceEventInterval  *float64
+	}{
+		finite(m.AvgTraceLength), finite(m.Coverage), finite(m.CacheCoverage),
+		finite(m.CompletionRate), finite(m.DispatchesPerSignal), finite(m.TraceEventInterval),
+	})
+}
+
 func ratioOrInf(num, den int64) float64 {
 	if den == 0 {
 		if num == 0 {
@@ -121,6 +145,12 @@ func (c *Counters) Add(o *Counters) {
 	c.TracesRetired += o.TracesRetired
 	c.RebuildRequests += o.RebuildRequests
 }
+
+// Snapshot returns a value copy of the counters. A session mutates its
+// Counters in place while it runs; aggregators that publish per-run records
+// (the serve layer, the harness) must copy at a quiescent point rather than
+// retain the live pointer.
+func (c *Counters) Snapshot() Counters { return *c }
 
 // String summarizes the counters for human consumption.
 func (c *Counters) String() string {

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -103,5 +105,71 @@ func TestStringMentionsKeyNumbers(t *testing.T) {
 	s := c.String()
 	if !strings.Contains(s, "123456") || !strings.Contains(s, "signals=7") {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestAddCoversEveryField walks Counters with reflection and verifies that
+// Add sums every single field, so a newly added counter cannot silently
+// drift out of aggregation (the serve layer depends on Add for its global
+// totals). It also pins the invariant Add relies on: every field is an
+// int64 event count.
+func TestAddCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Counters{})
+	var a, b Counters
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			t.Fatalf("Counters.%s is %s; every counter must be int64 so Add can sum it", f.Name, f.Type)
+		}
+		// Distinct per-field values so a transposed assignment in Add
+		// (c.X += o.Y) cannot cancel out.
+		av.Field(i).SetInt(int64(1000 + i))
+		bv.Field(i).SetInt(int64(1 << (i % 32)))
+	}
+	sum := a
+	sum.Add(&b)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < typ.NumField(); i++ {
+		want := av.Field(i).Int() + bv.Field(i).Int()
+		if got := sv.Field(i).Int(); got != want {
+			t.Errorf("Add does not aggregate Counters.%s: got %d, want %d", typ.Field(i).Name, got, want)
+		}
+	}
+	// Snapshot must be a value copy, detached from the original.
+	snap := a.Snapshot()
+	a.Instrs++
+	if snap.Instrs != 1000 {
+		t.Errorf("Snapshot aliases the live counters: Instrs = %d", snap.Instrs)
+	}
+}
+
+// TestMetricsMarshalJSON pins that infinite ratios serialize as null (not
+// an encoding error) and that the wire struct covers every Metrics field.
+func TestMetricsMarshalJSON(t *testing.T) {
+	m := Metrics{AvgTraceLength: 1.5, DispatchesPerSignal: math.Inf(1), TraceEventInterval: math.NaN()}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded map[string]*float64
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	typ := reflect.TypeOf(Metrics{})
+	if len(decoded) != typ.NumField() {
+		t.Fatalf("wire form has %d fields, Metrics has %d; update MarshalJSON", len(decoded), typ.NumField())
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		if _, ok := decoded[typ.Field(i).Name]; !ok {
+			t.Errorf("MarshalJSON drops Metrics.%s", typ.Field(i).Name)
+		}
+	}
+	if decoded["DispatchesPerSignal"] != nil || decoded["TraceEventInterval"] != nil {
+		t.Error("non-finite ratios must serialize as null")
+	}
+	if v := decoded["AvgTraceLength"]; v == nil || *v != 1.5 {
+		t.Errorf("AvgTraceLength = %v, want 1.5", v)
 	}
 }

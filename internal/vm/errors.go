@@ -18,8 +18,9 @@ const (
 	TrapStepLimit
 	TrapNoNative
 	TrapAbstractCall
-	TrapUncaught   // an exception unwound past the outermost frame
-	TrapBadProgram // structural impossibility (verifier gap)
+	TrapUncaught    // an exception unwound past the outermost frame
+	TrapBadProgram  // structural impossibility (verifier gap)
+	TrapInterrupted // external cancellation via Options.Interrupt
 )
 
 func (k TrapKind) String() string {
@@ -44,6 +45,8 @@ func (k TrapKind) String() string {
 		return "uncaught exception"
 	case TrapBadProgram:
 		return "malformed program"
+	case TrapInterrupted:
+		return "execution interrupted"
 	}
 	return "unknown trap"
 }

@@ -35,6 +35,9 @@ func (m *Machine) stepBlock(b *cfg.Block) (next *cfg.Block, halted bool, err err
 	f := m.top()
 	n := len(b.Instrs)
 	m.ctr.Instrs += int64(n)
+	if m.interrupt != nil && m.interrupt.Load() {
+		return nil, false, m.trap(TrapInterrupted, b.StartPC(), "cancelled by host")
+	}
 	if m.maxSteps > 0 {
 		m.steps += int64(n)
 		if m.steps > m.maxSteps {

@@ -66,6 +66,9 @@ func (m *Machine) RunInstrMode() (err error) {
 		in := d.ins[pc]
 		m.ctr.Instrs++
 		m.ctr.InstrDispatches++
+		if m.interrupt != nil && m.interrupt.Load() {
+			return m.trap(TrapInterrupted, in.PC, "cancelled by host")
+		}
 		if m.maxSteps > 0 {
 			m.steps++
 			if m.steps > m.maxSteps {

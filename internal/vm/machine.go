@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/classfile"
@@ -40,6 +41,11 @@ type Options struct {
 	MaxSteps int64
 	// MaxFrames bounds call depth (default 1 << 14).
 	MaxFrames int
+	// Interrupt, if set, is polled at block boundaries: storing true makes
+	// the machine stop with a TrapInterrupted trap at the next dispatch.
+	// This is how a serving layer cancels a runaway program without killing
+	// the process; the flag may be set from any goroutine.
+	Interrupt *atomic.Bool
 }
 
 // Machine executes one program. A machine is single-threaded and not safe
@@ -55,6 +61,7 @@ type Machine struct {
 	ctr              *stats.Counters
 	maxSteps         int64
 	maxFrames        int
+	interrupt        *atomic.Bool
 
 	natives map[string]NativeFunc
 	statics [][]Value // per class ID
@@ -103,6 +110,7 @@ func New(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts Options) (*Machine,
 		ctr:              opts.Counters,
 		maxSteps:         opts.MaxSteps,
 		maxFrames:        opts.MaxFrames,
+		interrupt:        opts.Interrupt,
 		natives:          builtinNatives(),
 	}
 	m.statics = make([][]Value, len(prog.Classes))

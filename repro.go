@@ -29,6 +29,7 @@ import (
 	"repro/internal/jasm"
 	"repro/internal/minijava"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -206,6 +207,47 @@ func (v *VM) NumBCGNodes() int {
 	}
 	return v.session.Graph.NumNodes()
 }
+
+// Service is the concurrent multi-session execution service: a shared
+// program registry (compile once, run many), a bounded worker pool with
+// backpressure and per-request deadlines, and aggregated metrics across
+// every completed session. cmd/tracevmd serves it over HTTP.
+type Service = serve.Service
+
+// ServiceConfig sizes a Service (workers, queue depth, default timeout,
+// step cap).
+type ServiceConfig = serve.Config
+
+// ServiceRequest is one execution order submitted to a Service.
+type ServiceRequest = serve.Request
+
+// ServiceResponse is one completed run.
+type ServiceResponse = serve.Response
+
+// ServiceSnapshot is a point-in-time copy of a Service's aggregated
+// metrics.
+type ServiceSnapshot = serve.Snapshot
+
+// SourceKind selects the frontend for ServiceRequest.Source.
+type SourceKind = serve.SourceKind
+
+// Source kinds.
+const (
+	SourceMiniJava = serve.KindMiniJava
+	SourceJasm     = serve.KindJasm
+)
+
+// Service submission errors.
+var (
+	// ErrQueueFull is the service's backpressure signal.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrServiceClosed reports submission to a draining/closed service.
+	ErrServiceClosed = serve.ErrClosed
+)
+
+// NewService starts a concurrent execution service. Submit with Do from
+// any number of goroutines; Close drains it.
+func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
 
 // Verify runs quick internal consistency checks over the run's counters and
 // trace accounting; it is primarily a debugging aid.
