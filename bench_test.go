@@ -251,6 +251,58 @@ func BenchmarkBaselines(b *testing.B) {
 	})
 }
 
+// edgeRecorder captures the dispatch edge stream of a run for replay.
+type edgeRecorder struct {
+	from, to []cfg.BlockID
+}
+
+func (r *edgeRecorder) OnDispatch(from, to cfg.BlockID) {
+	r.from = append(r.from, from)
+	r.to = append(r.to, to)
+}
+
+// BenchmarkProfilerOverhead replays a real workload's dispatch-edge stream
+// through a warmed branch correlation graph, isolating the profiler's
+// steady-state per-dispatch cost from interpretation. This is the
+// regression benchmark for the dense-index/arena BCG: ns/dispatch should
+// stay in single digits and allocs/op at zero.
+func BenchmarkProfilerOverhead(b *testing.B) {
+	c := compiled(b, "compress")
+	rec := &edgeRecorder{}
+	m, err := vm.New(c.prog, c.cfg, vm.Options{Hook: rec, MaxSteps: 400_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		if t, ok := vm.AsTrap(err); !ok || t.Kind != vm.TrapStepLimit {
+			b.Fatal(err)
+		}
+	}
+	if len(rec.from) == 0 {
+		b.Fatal("recorded no dispatch edges")
+	}
+
+	g, err := profile.New(profile.DefaultParams(), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Reserve(c.cfg.NumBlocks())
+	replay := func() {
+		g.ResetContext()
+		for i := range rec.from {
+			g.OnDispatch(rec.from[i], rec.to[i])
+		}
+	}
+	replay() // warm: build the graph's working set once
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(rec.from)), "ns/dispatch")
+}
+
 // BenchmarkProfilerHook isolates the per-dispatch cost of the BCG hook's
 // inline-cache fast path (the "two comparisons, two pointer evaluations,
 // one assignment" of §5.4).
@@ -282,6 +334,21 @@ func BenchmarkTraceLookup(b *testing.B) {
 	var hit *trace.Trace
 	for i := 0; i < b.N; i++ {
 		hit = src.Lookup(cfg.BlockID(i%8), cfg.BlockID((i+1)%8))
+	}
+	_ = hit
+}
+
+// BenchmarkTraceLookupIndexed measures the same lookup through the dense
+// two-level index the engine's dispatch loop actually uses — the common
+// "no trace on this edge" case is one bounds check and a slice load.
+func BenchmarkTraceLookupIndexed(b *testing.B) {
+	var ix trace.Index
+	ix.Reserve(8)
+	tr := trace.New(0, []cfg.BlockID{2, 3}, 0.97)
+	ix.Set(1, 2, tr)
+	var hit *trace.Trace
+	for i := 0; i < b.N; i++ {
+		hit = ix.Lookup(cfg.BlockID(i%8), cfg.BlockID((i+1)%8))
 	}
 	_ = hit
 }

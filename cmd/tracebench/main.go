@@ -1,19 +1,30 @@
 // Command tracebench regenerates the paper's evaluation: Tables I–VII, the
-// dispatch-granularity figure data, and the baseline comparison.
+// dispatch-granularity figure data, and the baseline comparison. It also
+// maintains the repo's benchmark trajectory: -bench-json emits a
+// machine-readable overhead report, and -bench-gate compares a report
+// against a committed baseline for the CI regression gate.
 //
 // Usage:
 //
-//	tracebench                 # everything, in paper order
-//	tracebench -table 3        # one table (1..7)
-//	tracebench -figures        # dispatch-granularity figure data
-//	tracebench -baselines      # Dynamo-NET / rePLay / Whaley comparison
-//	tracebench -repeats 5      # wall-clock repetitions for Tables VI/VII
+//	tracebench                           # everything, in paper order
+//	tracebench -table 3                  # one table (1..7)
+//	tracebench -figures                  # dispatch-granularity figure data
+//	tracebench -baselines                # Dynamo-NET / rePLay / Whaley comparison
+//	tracebench -repeats 5                # wall-clock repetitions for Tables VI/VII
+//	tracebench -bench-json               # measure, write BENCH_<date>.json
+//	tracebench -bench-json -out F.json   # measure, write F.json
+//	tracebench -bench-gate BENCH_baseline.json -in F.json
+//	                                     # compare F.json to the baseline;
+//	                                     # exit 1 on >10% overhead regression
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -27,20 +38,102 @@ func main() {
 	stability := flag.Bool("stability", false, "print the phase-change cache stability experiment")
 	repeats := flag.Int("repeats", 3, "wall-clock repetitions for overhead tables")
 	maxSteps := flag.Int64("maxsteps", 0, "instruction budget per run (0 = unlimited)")
+	benchJSON := flag.Bool("bench-json", false, "measure per-workload profiler overhead and write a JSON report")
+	out := flag.String("out", "", "output path for -bench-json (default BENCH_<date>.json)")
+	benchGate := flag.String("bench-gate", "", "baseline report to gate against; exits 1 on regression")
+	in := flag.String("in", "", "pre-measured report for -bench-gate (default: measure fresh)")
+	gateRel := flag.Float64("gate-rel", harness.DefaultGateOptions().RelOverheadPct, "allowed relative overhead regression (0.10 = 10%)")
+	gateAbs := flag.Float64("gate-abs", harness.DefaultGateOptions().AbsOverheadPct, "absolute overhead slack in percentage points")
 	flag.Parse()
 
 	s := harness.NewSuite()
 	s.Repeats = *repeats
 	s.MaxSteps = *maxSteps
 
-	if err := run(s, *table, *figures, *baselines, *optim, *ablations, *stability); err != nil {
+	var err error
+	switch {
+	case *benchGate != "":
+		opt := harness.DefaultGateOptions()
+		opt.RelOverheadPct = *gateRel
+		opt.AbsOverheadPct = *gateAbs
+		err = runBenchGate(s, os.Stdout, *benchGate, *in, opt)
+	case *benchJSON:
+		err = runBenchJSON(s, os.Stdout, *out)
+	default:
+		err = run(s, os.Stdout, *table, *figures, *baselines, *optim, *ablations, *stability)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(s *harness.Suite, table int, figures, baselines, optim, ablations, stability bool) error {
-	out := os.Stdout
+// runBenchJSON measures the suite's overhead report and writes it to path
+// (default BENCH_<date>.json), echoing the table to w.
+func runBenchJSON(s *harness.Suite, w io.Writer, path string) error {
+	rep, err := s.BenchReport()
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, harness.FormatBenchReport(rep))
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}
+
+// runBenchGate loads the baseline, obtains the current report (from inPath
+// if given, else by measuring fresh), and fails on regressions.
+func runBenchGate(s *harness.Suite, w io.Writer, basePath, inPath string, opt harness.GateOptions) error {
+	base, err := loadBenchReport(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var cur harness.BenchReport
+	if inPath != "" {
+		cur, err = loadBenchReport(inPath)
+		if err != nil {
+			return fmt.Errorf("current report: %w", err)
+		}
+	} else {
+		cur, err = s.BenchReport()
+		if err != nil {
+			return err
+		}
+	}
+	violations := harness.CompareBenchReports(base, cur, opt)
+	if len(violations) == 0 {
+		fmt.Fprintf(w, "bench gate passed: %d workloads within %.0f%% (+%.1fpp) of baseline\n",
+			len(cur.Workloads), opt.RelOverheadPct*100, opt.AbsOverheadPct)
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintf(w, "bench gate violation: %s\n", v)
+	}
+	return fmt.Errorf("%d benchmark regression(s) against %s", len(violations), basePath)
+}
+
+func loadBenchReport(path string) (harness.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return harness.BenchReport{}, err
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return harness.BenchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func run(s *harness.Suite, out io.Writer, table int, figures, baselines, optim, ablations, stability bool) error {
 	switch {
 	case stability:
 		t, err := s.Stability()

@@ -63,7 +63,7 @@ type Cache struct {
 	graph *profile.Graph
 	ctr   *stats.Counters
 
-	byEdge map[uint64]*trace.Trace          // entry edge -> trace
+	ix     trace.Index                      // entry edge -> trace (dispatch-hot)
 	byKey  map[string]*trace.Trace          // block sequence -> trace (hash-consing)
 	byPair map[uint64]map[*trace.Trace]bool // block pair -> traces containing it
 	regs   map[*trace.Trace]map[uint64]bool // trace -> its entry edges
@@ -81,7 +81,6 @@ func NewCache(conf Config, ctr *stats.Counters) *Cache {
 	return &Cache{
 		conf:   conf,
 		ctr:    ctr,
-		byEdge: make(map[uint64]*trace.Trace),
 		byKey:  make(map[string]*trace.Trace),
 		byPair: make(map[uint64]map[*trace.Trace]bool),
 		regs:   make(map[*trace.Trace]map[uint64]bool),
@@ -96,8 +95,17 @@ func (c *Cache) Config() Config { return c.conf }
 
 // Lookup implements trace.Source.
 func (c *Cache) Lookup(from, to cfg.BlockID) *trace.Trace {
-	return c.byEdge[trace.EdgeKey(from, to)]
+	return c.ix.Lookup(from, to)
 }
+
+// Index exposes the dense entry-edge index; the dispatch engine uses it to
+// bypass the interface call on its per-dispatch lookup
+// (trace.IndexedSource).
+func (c *Cache) Index() *trace.Index { return &c.ix }
+
+// Reserve pre-sizes the entry-edge index for a program with numBlocks
+// global block IDs.
+func (c *Cache) Reserve(numBlocks int) { c.ix.Reserve(numBlocks) }
 
 // NumTraces returns the number of live traces.
 func (c *Cache) NumTraces() int { return len(c.regs) }
@@ -340,10 +348,9 @@ func (c *Cache) register(nodes []*profile.Node, prob float64) {
 	}
 
 	// Link the entry edge, replacing any previous trace registered there.
-	if old := c.byEdge[entryEdge]; old != nil && old != t {
+	if old := c.ix.Set(nodes[0].X, nodes[0].Y, t); old != nil && old != t {
 		c.unregisterEdge(old, entryEdge)
 	}
-	c.byEdge[entryEdge] = t
 	if c.regs[t] == nil {
 		c.regs[t] = make(map[uint64]bool)
 		// The entry-edge pair also participates in invalidation.
@@ -387,8 +394,9 @@ func (c *Cache) unregisterEdge(t *trace.Trace, edge uint64) {
 // retire removes a trace from every index and marks it dead.
 func (c *Cache) retire(t *trace.Trace) {
 	for edge := range c.regs[t] {
-		if c.byEdge[edge] == t {
-			delete(c.byEdge, edge)
+		from, to := cfg.BlockID(edge>>32), cfg.BlockID(edge)
+		if c.ix.Lookup(from, to) == t {
+			c.ix.Delete(from, to)
 		}
 		c.unindexPair(edge, t)
 	}

@@ -95,6 +95,12 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 			return nil, err
 		}
 		cache.Bind(g)
+		if pcfg != nil {
+			// Pre-size the dense dispatch-path indices to the program's
+			// block count so the hot loop never grows them.
+			g.Reserve(pcfg.NumBlocks())
+			cache.Reserve(pcfg.NumBlocks())
+		}
 		s.Graph = g
 		s.Cache = cache
 		mopts.Hook = g

@@ -1,0 +1,270 @@
+// Machine-readable benchmark reports and the CI bench gate. BenchReport
+// measures the paper's central performance claim — per-dispatch profiler
+// overhead — for every workload and serializes it as JSON
+// (cmd/tracebench -bench-json); CompareBenchReports checks a fresh report
+// against a committed baseline and reports regressions
+// (cmd/tracebench -bench-gate).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// BenchSchema identifies the JSON layout of BenchReport. Bump on any
+// incompatible field change so the CI gate fails loudly instead of
+// comparing mismatched reports.
+const BenchSchema = "tracebench/bench/v1"
+
+// BenchWorkload is one workload's overhead measurement.
+type BenchWorkload struct {
+	Name       string `json:"name"`
+	Dispatches int64  `json:"dispatches"`
+	// PlainNsPerDispatch and ProfiledNsPerDispatch are wall-clock
+	// (minimum of Repeats runs) divided by block dispatches, without and
+	// with the BCG profiler hook attached.
+	PlainNsPerDispatch    float64 `json:"plain_ns_per_dispatch"`
+	ProfiledNsPerDispatch float64 `json:"profiled_ns_per_dispatch"`
+	// OverheadNsPerDispatch = profiled − plain; may be slightly negative
+	// in the noise when the profiler is effectively free.
+	OverheadNsPerDispatch float64 `json:"overhead_ns_per_dispatch"`
+	// OverheadPct normalizes the overhead by the plain dispatch cost
+	// (machine-independent, which is what the CI gate compares).
+	OverheadPct float64 `json:"overhead_pct"`
+	// AllocsPerDispatch is heap allocations per block dispatch over a
+	// whole profiled run (includes VM frame churn and BCG warm-up).
+	AllocsPerDispatch float64 `json:"allocs_per_dispatch"`
+}
+
+// BenchReport is the full benchmark trajectory record.
+type BenchReport struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Repeats   int    `json:"repeats"`
+	MaxSteps  int64  `json:"max_steps"`
+	// HookFastPathAllocs is the steady-state allocations per profiler hook
+	// invocation on a warmed branch context; the dense-index BCG pins it
+	// at exactly 0.
+	HookFastPathAllocs float64         `json:"hook_fast_path_allocs"`
+	Notes              string          `json:"notes,omitempty"`
+	Workloads          []BenchWorkload `json:"workloads"`
+}
+
+// BenchReport measures every workload in the suite and assembles the
+// report. Wall-clock fields honour Suite.Repeats and Suite.MaxSteps.
+func (s *Suite) BenchReport() (BenchReport, error) {
+	rep := BenchReport{
+		Schema:             BenchSchema,
+		GoVersion:          runtime.Version(),
+		GOOS:               runtime.GOOS,
+		GOARCH:             runtime.GOARCH,
+		Repeats:            s.Repeats,
+		MaxSteps:           s.MaxSteps,
+		HookFastPathAllocs: HookFastPathAllocs(),
+	}
+	for _, name := range s.Workloads {
+		o, err := s.MeasureOverhead(name)
+		if err != nil {
+			return BenchReport{}, err
+		}
+		allocs, err := s.measureRunAllocs(name)
+		if err != nil {
+			return BenchReport{}, err
+		}
+		w := BenchWorkload{
+			Name:              name,
+			Dispatches:        o.Dispatches,
+			AllocsPerDispatch: allocs,
+		}
+		if o.Dispatches > 0 {
+			w.PlainNsPerDispatch = float64(o.PlainWall.Nanoseconds()) / float64(o.Dispatches)
+			w.ProfiledNsPerDispatch = float64(o.ProfileWall.Nanoseconds()) / float64(o.Dispatches)
+			w.OverheadNsPerDispatch = w.ProfiledNsPerDispatch - w.PlainNsPerDispatch
+			if w.PlainNsPerDispatch > 0 {
+				w.OverheadPct = w.OverheadNsPerDispatch / w.PlainNsPerDispatch * 100
+			}
+		}
+		rep.Workloads = append(rep.Workloads, w)
+	}
+	return rep, nil
+}
+
+// measureRunAllocs counts heap allocations per block dispatch over one
+// profiled run. Session construction is excluded; the run itself (VM frame
+// churn, BCG node/edge creation during warm-up) is included.
+func (s *Suite) measureRunAllocs(name string) (float64, error) {
+	c, err := s.compileWorkload(name)
+	if err != nil {
+		return 0, err
+	}
+	sess, err := core.NewSession(c.prog, c.cfg, core.SessionOptions{
+		Mode:     core.ModeProfile,
+		Params:   profile.Params{StartDelay: DefaultDelay, Threshold: DefaultThreshold, DecayInterval: 256},
+		MaxSteps: s.MaxSteps,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := sess.Run(); err != nil && !stepLimited(err) {
+		return 0, err
+	}
+	runtime.ReadMemStats(&m1)
+	if sess.Counters.BlockDispatches == 0 {
+		return 0, nil
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(sess.Counters.BlockDispatches), nil
+}
+
+// HookFastPathAllocs measures steady-state allocations per OnDispatch on a
+// warmed branch context — the paper's "two comparisons, two pointer
+// evaluations, one assignment" fast path. The arena/free-list BCG keeps
+// this at exactly 0.
+func HookFastPathAllocs() float64 {
+	g, err := profile.New(profile.DefaultParams(), nil, nil)
+	if err != nil {
+		return -1
+	}
+	seq := []cfg.BlockID{1, 2, 3, 4}
+	dispatch := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for i := 1; i < len(seq); i++ {
+				g.OnDispatch(seq[i-1], seq[i])
+			}
+			g.OnDispatch(seq[len(seq)-1], seq[0])
+		}
+	}
+	dispatch(1024) // warm: past start delay and several decay cycles
+	const rounds = 25_000
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	dispatch(rounds)
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(rounds*len(seq))
+}
+
+// GateOptions are the regression thresholds of the CI bench gate.
+type GateOptions struct {
+	// RelOverheadPct is the allowed relative growth of a workload's
+	// overhead_pct (0.10 = a 10% regression fails).
+	RelOverheadPct float64
+	// AbsOverheadPct is the absolute slack in percentage points, the noise
+	// floor for workloads whose overhead is near (or below) zero. A single
+	// workload's wall clock on a shared CI runner is noisy, so this floor
+	// is generous; the mean and allocation gates below are the tight ones.
+	AbsOverheadPct float64
+	// MeanAbsOverheadPct is the absolute slack for the suite-wide mean
+	// overhead_pct. Noise averages out across workloads, so the mean gate
+	// runs much tighter than the per-workload one and is the primary
+	// wall-clock regression signal.
+	MeanAbsOverheadPct float64
+	// RelAllocs is the allowed relative growth of a workload's
+	// allocs_per_dispatch. Allocation counts are deterministic, so this
+	// gate is tight and catches hot-path regressions wall clock cannot.
+	RelAllocs float64
+	// AbsAllocs is the absolute allocs/dispatch slack under RelAllocs.
+	AbsAllocs float64
+}
+
+// DefaultGateOptions returns the thresholds the CI job uses: >10% relative
+// regression in per-dispatch profiler overhead fails — judged tightly on
+// the suite mean (3pp absolute floor) and loosely per workload (15pp floor
+// for single-run noise) — as does >10% growth in allocations per dispatch
+// or any allocation on the hook fast path.
+func DefaultGateOptions() GateOptions {
+	return GateOptions{
+		RelOverheadPct:     0.10,
+		AbsOverheadPct:     15.0,
+		MeanAbsOverheadPct: 3.0,
+		RelAllocs:          0.10,
+		AbsAllocs:          0.005,
+	}
+}
+
+// CompareBenchReports checks cur against base and returns a human-readable
+// violation per regression (empty means the gate passes). Raw ns/dispatch
+// is machine-dependent, so the gate compares overhead_pct — profiled vs
+// plain on the same machine and run — plus the zero-allocation pin on the
+// hook fast path.
+func CompareBenchReports(base, cur BenchReport, opt GateOptions) []string {
+	var violations []string
+	if base.Schema != BenchSchema || cur.Schema != BenchSchema {
+		return []string{fmt.Sprintf("schema mismatch: baseline %q, current %q, want %q", base.Schema, cur.Schema, BenchSchema)}
+	}
+	if cur.HookFastPathAllocs > 0 {
+		violations = append(violations, fmt.Sprintf(
+			"hook fast path allocates: %.4f allocs/dispatch, want 0", cur.HookFastPathAllocs))
+	}
+	baseByName := make(map[string]BenchWorkload, len(base.Workloads))
+	for _, w := range base.Workloads {
+		baseByName[w.Name] = w
+	}
+	var baseMeanSum, curMeanSum float64
+	var meanN int
+	for _, w := range cur.Workloads {
+		b, ok := baseByName[w.Name]
+		if !ok {
+			continue // new workload: nothing to compare against
+		}
+		delete(baseByName, w.Name)
+		baseMeanSum += b.OverheadPct
+		curMeanSum += w.OverheadPct
+		meanN++
+		limit := b.OverheadPct + opt.AbsOverheadPct
+		if rel := b.OverheadPct * (1 + opt.RelOverheadPct); rel > limit {
+			limit = rel
+		}
+		if w.OverheadPct > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: profiler overhead %.2f%% of dispatch cost exceeds gate %.2f%% (baseline %.2f%%; %.1f vs %.1f ns/dispatch overhead)",
+				w.Name, w.OverheadPct, limit, b.OverheadPct, w.OverheadNsPerDispatch, b.OverheadNsPerDispatch))
+		}
+		if allocLimit := b.AllocsPerDispatch*(1+opt.RelAllocs) + opt.AbsAllocs; w.AllocsPerDispatch > allocLimit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.4f allocs/dispatch exceeds gate %.4f (baseline %.4f)",
+				w.Name, w.AllocsPerDispatch, allocLimit, b.AllocsPerDispatch))
+		}
+	}
+	if meanN > 0 {
+		baseMean := baseMeanSum / float64(meanN)
+		curMean := curMeanSum / float64(meanN)
+		limit := baseMean*(1+opt.RelOverheadPct) + opt.MeanAbsOverheadPct
+		if curMean > limit {
+			violations = append(violations, fmt.Sprintf(
+				"suite mean profiler overhead %.2f%% of dispatch cost exceeds gate %.2f%% (baseline mean %.2f%% over %d workloads)",
+				curMean, limit, baseMean, meanN))
+		}
+	}
+	for name := range baseByName {
+		violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from current report", name))
+	}
+	return violations
+}
+
+// FormatBenchReport renders the report as an aligned table for stdout.
+func FormatBenchReport(rep BenchReport) string {
+	t := Table{
+		Title: fmt.Sprintf("Benchmark report (%s, %s/%s, repeats %d, maxsteps %d, hook allocs %.4f)",
+			rep.GoVersion, rep.GOOS, rep.GOARCH, rep.Repeats, rep.MaxSteps, rep.HookFastPathAllocs),
+		Columns: []string{"benchmark", "dispatches (M)", "plain ns/disp", "profiled ns/disp", "overhead ns", "overhead %", "allocs/disp"},
+	}
+	for _, w := range rep.Workloads {
+		t.Rows = append(t.Rows, []string{
+			w.Name,
+			fmt.Sprintf("%.2f", float64(w.Dispatches)/1e6),
+			fmt.Sprintf("%.1f", w.PlainNsPerDispatch),
+			fmt.Sprintf("%.1f", w.ProfiledNsPerDispatch),
+			fmt.Sprintf("%.1f", w.OverheadNsPerDispatch),
+			fmt.Sprintf("%.1f%%", w.OverheadPct),
+			fmt.Sprintf("%.3f", w.AllocsPerDispatch),
+		})
+	}
+	return t.Format()
+}

@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -110,7 +111,7 @@ func (s *Suite) Run(name string, mode core.Mode, params profile.Params) (Result,
 		return Result{}, err
 	}
 	start := time.Now()
-	if err := sess.Run(); err != nil {
+	if err := sess.Run(); err != nil && !stepLimited(err) {
 		return Result{}, fmt.Errorf("harness: %s (%s): %w", name, mode, err)
 	}
 	res := Result{
@@ -354,44 +355,47 @@ func (s *Suite) MeasureOverhead(name string) (Overhead, error) {
 		repeats = 3
 	}
 
-	timed := func(mode core.Mode) (time.Duration, *stats.Counters, error) {
-		best := time.Duration(0)
-		var ctr *stats.Counters
-		for i := 0; i < repeats; i++ {
-			sess, err := core.NewSession(c.prog, c.cfg, core.SessionOptions{
-				Mode:     mode,
-				Params:   profile.Params{StartDelay: DefaultDelay, Threshold: DefaultThreshold, DecayInterval: 256},
-				MaxSteps: s.MaxSteps,
-			})
-			if err != nil {
-				return 0, nil, err
-			}
-			start := time.Now()
-			if err := sess.Run(); err != nil {
-				return 0, nil, err
-			}
-			w := time.Since(start)
-			if ctr == nil || w < best {
-				best = w
-				ctr = sess.Counters
-			}
+	timedOnce := func(mode core.Mode) (time.Duration, *stats.Counters, error) {
+		sess, err := core.NewSession(c.prog, c.cfg, core.SessionOptions{
+			Mode:     mode,
+			Params:   profile.Params{StartDelay: DefaultDelay, Threshold: DefaultThreshold, DecayInterval: 256},
+			MaxSteps: s.MaxSteps,
+		})
+		if err != nil {
+			return 0, nil, err
 		}
-		return best, ctr, nil
+		// Collect garbage from session construction and earlier runs so a
+		// deferred GC cycle does not land inside the timed region.
+		runtime.GC()
+		start := time.Now()
+		if err := sess.Run(); err != nil && !stepLimited(err) {
+			return 0, nil, err
+		}
+		return time.Since(start), sess.Counters, nil
 	}
 
-	plainWall, plainCtr, err := timed(core.ModePlain)
-	if err != nil {
-		return Overhead{}, err
+	// Interleave the modes within each repeat (plain, profiled, deploy,
+	// plain, ...) so machine-load drift during the measurement biases all
+	// modes equally instead of whichever phase ran last; keep the minimum
+	// per mode across repeats.
+	modes := []core.Mode{core.ModePlain, core.ModeProfile, core.ModeTraceDeploy}
+	walls := make([]time.Duration, len(modes))
+	ctrs := make([]*stats.Counters, len(modes))
+	for i := 0; i < repeats; i++ {
+		for mi, mode := range modes {
+			w, ctr, err := timedOnce(mode)
+			if err != nil {
+				return Overhead{}, err
+			}
+			if ctrs[mi] == nil || w < walls[mi] {
+				walls[mi] = w
+				ctrs[mi] = ctr
+			}
+		}
 	}
-	profWall, _, err := timed(core.ModeProfile)
-	if err != nil {
-		return Overhead{}, err
-	}
-	deployWall, deployCtr, err := timed(core.ModeTraceDeploy)
-	if err != nil {
-		return Overhead{}, err
-	}
-	_ = deployWall
+	plainWall, plainCtr := walls[0], ctrs[0]
+	profWall := walls[1]
+	deployCtr := ctrs[2]
 
 	o := Overhead{
 		Workload:    name,
@@ -566,6 +570,14 @@ func (s *Suite) Baselines() (Table, error) {
 		Columns: []string{"benchmark", "selector", "coverage", "completion", "avg len", "traces"},
 		Rows:    rows,
 	}, nil
+}
+
+// stepLimited reports whether err is the step-limit trap: a run truncated
+// by Suite.MaxSteps is a deliberately scaled-down measurement, not a
+// failure.
+func stepLimited(err error) bool {
+	t, ok := vm.AsTrap(err)
+	return ok && t.Kind == vm.TrapStepLimit
 }
 
 // runWithSelector executes a compiled workload with an arbitrary hook and

@@ -1,0 +1,61 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+)
+
+// TestDispatchFastPathZeroAllocs pins the warmed OnDispatch fast path at
+// zero allocations per call. The dense two-level index, node/edge arenas and
+// inline edge arrays exist precisely so the hook appended to every block
+// dispatch never touches the allocator once the graph has seen the
+// program's working set.
+func TestDispatchFastPathZeroAllocs(t *testing.T) {
+	g, _, _ := newGraph(t, Params{StartDelay: 1, Threshold: 0.97, DecayInterval: 256})
+
+	// A small loop nest: an inner hot cycle plus an alternating outer edge,
+	// so the fast path exercises both the inline-cache hit and the sorted
+	// edge-scan miss.
+	warm := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			feed(g, 1, 2, 3, 4, 1, 2, 3, 5, 1)
+		}
+	}
+	warm(512) // past the start delay and many decay cycles
+
+	allocs := testing.AllocsPerRun(200, func() {
+		warm(8) // 64 dispatches per run, crossing decay boundaries
+	})
+	if allocs != 0 {
+		t.Errorf("warmed OnDispatch path allocates: %.2f allocs per 64 dispatches, want 0", allocs)
+	}
+}
+
+// TestDecayPruneRecycleZeroAllocs drives phase changes that repeatedly prune
+// and recreate edges: decay's free list must recycle pruned edges so phase
+// churn stays allocation-free once the peak working set has been reached.
+func TestDecayPruneRecycleZeroAllocs(t *testing.T) {
+	g, _, _ := newGraph(t, Params{StartDelay: 1, Threshold: 0.97, DecayInterval: 64})
+
+	// Two alternating phases on node (1,2): successor 3 in phase A,
+	// successor 4 in phase B. Each phase runs long enough for decay to
+	// prune the other phase's edge to zero.
+	phase := func(z cfg.BlockID, rounds int) {
+		for r := 0; r < rounds; r++ {
+			feed(g, 1, 2, z, 1)
+		}
+	}
+	for i := 0; i < 16; i++ { // reach steady state: both edges exist or recycle
+		phase(3, 600)
+		phase(4, 600)
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		phase(3, 600)
+		phase(4, 600)
+	})
+	if allocs != 0 {
+		t.Errorf("phase churn allocates: %.2f allocs per phase pair, want 0 (edge free list must recycle)", allocs)
+	}
+}

@@ -65,7 +65,9 @@ func (s State) String() string {
 func (s State) Correlated() bool { return s == StateStrong || s == StateUnique }
 
 // Edge is a branch correlation E_XYZ: "given that the last branch taken was
-// (X, Y), branch (Y, Z) followed Count times (decayed)".
+// (X, Y), branch (Y, Z) followed Count times (decayed)". Edges are allocated
+// from the graph's chunked arena and recycled through a free list when decay
+// prunes them, so steady-state profiling performs no heap allocation.
 type Edge struct {
 	Owner *Node // N_XY
 	To    *Node // N_YZ
@@ -82,38 +84,54 @@ func (e *Edge) Correlation() float64 {
 	return float64(e.Count) / float64(e.Owner.Total)
 }
 
-// Node is a branch context N_XY.
+// inlineEdges is the per-node successor capacity before the edge list spills
+// to the heap. Almost every branch context has one or two successors (the
+// whole premise of trace construction), so four pointers inline keeps the
+// common case free of separate edge-list allocations.
+const inlineEdges = 4
+
+// Node is a branch context N_XY. Field order is deliberate: everything the
+// per-dispatch fast path touches (Y, Best, Total, the countdowns, State)
+// lives in the node's first cache line; the spillable edge lists and the
+// inline backing arrays follow.
 type Node struct {
 	X, Y cfg.BlockID
+
+	// Best is the inline-cached most likely successor edge.
+	Best *Edge
 
 	// Total is the decayed execution counter; the invariant
 	// Total == Σ edge.Count holds at all times.
 	Total uint16
-	// Edges are the observed successor correlations. Out[0] is not
-	// special; Best caches the argmax.
+	// State is the current correlation summary.
+	State State
+	// ackState/ackBest are the last (state, best successor) acknowledged by
+	// the trace cache; a signal is raised only when the evaluation diverges
+	// from them, which prevents cascades of identical signals (§4.2).
+	ackState State
+	// startDelay counts down executions until the node leaves StateNew.
+	startDelay int32
+	// untilDecay counts down executions until the next periodic decay.
+	untilDecay uint32
+	ackBest    cfg.BlockID
+
+	// Edges are the observed successor correlations, sorted by Z. Edges[0]
+	// is not special; Best caches the argmax.
 	Edges []*Edge
 	// In lists edges arriving at this node (E_WXY for predecessors W);
 	// trace construction backtracks along these.
 	In []*Edge
 
-	// Best is the inline-cached most likely successor edge.
-	Best *Edge
-	// State is the current correlation summary.
-	State State
-
-	// startDelay counts down executions until the node leaves StateNew.
-	startDelay int32
-	// untilDecay counts down executions until the next periodic decay.
-	untilDecay uint32
-
-	// ackState/ackBest are the last (state, best successor) acknowledged by
-	// the trace cache; a signal is raised only when the evaluation diverges
-	// from them, which prevents cascades of identical signals (§4.2).
-	ackState State
-	ackBest  cfg.BlockID
+	// ein/iin are the inline backing arrays Edges and In start on; append
+	// spills them to the heap only when a node exceeds inlineEdges
+	// successors or predecessors.
+	ein [inlineEdges]*Edge
+	iin [inlineEdges]*Edge
 }
 
-// Key packs a block pair into a map key.
+// Key packs a block pair into one ordered 64-bit value (diagnostics and
+// deterministic ordering; the node index itself is the dense two-level
+// rows[X][Y] table).
 func Key(x, y cfg.BlockID) uint64 { return uint64(x)<<32 | uint64(y) }
 
 // Signal describes a state change delivered to the trace cache.
@@ -163,16 +181,38 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// nodeChunk/edgeChunk size the arena chunks nodes and edges are allocated
+// from. Chunked allocation keeps node/edge creation at one heap allocation
+// per chunk instead of one per element, and clusters hot nodes and edges on
+// adjacent cache lines.
+const (
+	nodeChunk = 256
+	edgeChunk = 512
+)
+
 // Graph is the branch correlation graph plus the dispatch-time profiler.
+//
+// Node storage is a dense two-level index keyed by global block ID:
+// rows[X][Y] is the node N_XY (or nil), so the (X, Y) lookup on the dispatch
+// path is two slice indexings instead of a hashed map probe. Rows grow
+// lazily and geometrically; Reserve pre-sizes the outer level when the
+// program's block count is known up front.
 type Graph struct {
 	params   Params
-	nodes    map[uint64]*Node
+	rows     [][]*Node
+	all      []*Node // every node, in creation order
 	ctr      *stats.Counters
 	listener Listener
 
 	// cur is the current branch context — "the branch context pointer which
 	// reflects the last branch taken by the program".
 	cur *Node
+
+	// nodeMem/edgeMem are the active arena chunks; edgeFree recycles edges
+	// pruned by decay, so steady-state phase churn allocates nothing.
+	nodeMem  []Node
+	edgeMem  []Edge
+	edgeFree []*Edge
 }
 
 // New creates an empty graph. ctr and listener may be nil.
@@ -185,24 +225,41 @@ func New(params Params, ctr *stats.Counters, listener Listener) (*Graph, error) 
 	}
 	return &Graph{
 		params:   params,
-		nodes:    make(map[uint64]*Node),
 		ctr:      ctr,
 		listener: listener,
 	}, nil
+}
+
+// Reserve pre-sizes the index's outer level for a program with numBlocks
+// global block IDs, avoiding growth reallocations during the run. Optional;
+// the index grows on demand without it.
+func (g *Graph) Reserve(numBlocks int) {
+	if numBlocks > len(g.rows) {
+		rows := make([][]*Node, numBlocks)
+		copy(rows, g.rows)
+		g.rows = rows
+	}
 }
 
 // Params returns the graph's configuration.
 func (g *Graph) Params() Params { return g.params }
 
 // NumNodes returns the number of branch contexts discovered so far.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return len(g.all) }
 
 // Node returns the branch context for the pair (x, y), or nil.
-func (g *Graph) Node(x, y cfg.BlockID) *Node { return g.nodes[Key(x, y)] }
+func (g *Graph) Node(x, y cfg.BlockID) *Node {
+	if int(x) < len(g.rows) {
+		if row := g.rows[x]; int(y) < len(row) {
+			return row[y]
+		}
+	}
+	return nil
+}
 
-// Nodes calls fn for every node in an unspecified order.
+// Nodes calls fn for every node, in creation order.
 func (g *Graph) Nodes(fn func(*Node)) {
-	for _, n := range g.nodes {
+	for _, n := range g.all {
 		fn(n)
 	}
 }
@@ -229,20 +286,33 @@ func (g *Graph) OnDispatch(from, to cfg.BlockID) {
 		return
 	}
 
-	// Slow path: search the node's other correlations.
-	for _, e := range ctx.Edges {
-		if e.Z == to {
-			bumpEdge(e)
-			g.bumpNode(ctx)
-			g.cur = e.To
-			return
+	// Slow path: search the node's other correlations. Edges are sorted by
+	// Z, so the scan stops at the insertion point on a miss.
+	edges := ctx.Edges
+	i := 0
+	for ; i < len(edges); i++ {
+		e := edges[i]
+		if e.Z >= to {
+			if e.Z == to {
+				bumpEdge(e)
+				g.bumpNode(ctx)
+				g.cur = e.To
+				return
+			}
+			break
 		}
 	}
 
 	// Never seen in this context: construct a new branch correlation and
-	// insert it into the branch context.
-	e := &Edge{Owner: ctx, To: g.getNode(from, to), Z: to, Count: 1}
-	ctx.Edges = append(ctx.Edges, e)
+	// insert it into the branch context at its sorted position.
+	e := g.allocEdge()
+	*e = Edge{Owner: ctx, To: g.getNode(from, to), Z: to, Count: 1}
+	if len(ctx.Edges) == cap(ctx.Edges) {
+		g.ctr.EdgeSpills++
+	}
+	ctx.Edges = append(ctx.Edges, nil)
+	copy(ctx.Edges[i+1:], ctx.Edges[i:])
+	ctx.Edges[i] = e
 	e.To.In = append(e.To.In, e)
 	g.ctr.EdgesCreated++
 	if ctx.Best == nil {
@@ -252,13 +322,40 @@ func (g *Graph) OnDispatch(from, to cfg.BlockID) {
 	g.cur = e.To
 }
 
+// allocEdge takes an edge from the free list or the arena.
+func (g *Graph) allocEdge() *Edge {
+	if n := len(g.edgeFree); n > 0 {
+		e := g.edgeFree[n-1]
+		g.edgeFree = g.edgeFree[:n-1]
+		return e
+	}
+	if len(g.edgeMem) == cap(g.edgeMem) {
+		g.edgeMem = make([]Edge, 0, edgeChunk)
+	}
+	g.edgeMem = g.edgeMem[:len(g.edgeMem)+1]
+	return &g.edgeMem[len(g.edgeMem)-1]
+}
+
 // getNode returns (creating if necessary) the node N_xy.
 func (g *Graph) getNode(x, y cfg.BlockID) *Node {
-	k := Key(x, y)
-	if n := g.nodes[k]; n != nil {
+	if n := g.Node(x, y); n != nil {
 		return n
 	}
-	n := &Node{
+	if int(x) >= len(g.rows) {
+		g.rows = append(g.rows, make([][]*Node, int(x)+1-len(g.rows))...)
+	}
+	if row := g.rows[x]; int(y) >= len(row) {
+		grown := make([]*Node, growTo(int(y)+1))
+		copy(grown, row)
+		g.rows[x] = grown
+	}
+
+	if len(g.nodeMem) == cap(g.nodeMem) {
+		g.nodeMem = make([]Node, 0, nodeChunk)
+	}
+	g.nodeMem = g.nodeMem[:len(g.nodeMem)+1]
+	n := &g.nodeMem[len(g.nodeMem)-1]
+	*n = Node{
 		X:          x,
 		Y:          y,
 		State:      StateNew,
@@ -267,15 +364,28 @@ func (g *Graph) getNode(x, y cfg.BlockID) *Node {
 		ackState:   StateNew,
 		ackBest:    cfg.NoBlock,
 	}
+	n.Edges = n.ein[:0:inlineEdges]
+	n.In = n.iin[:0:inlineEdges]
 	if n.startDelay <= 0 {
 		// A delay of zero (or the paper's "delay 1" with its single
 		// mandatory execution handled below) still starts in StateNew until
 		// first evaluated.
 		n.startDelay = 0
 	}
-	g.nodes[k] = n
+	g.rows[x][y] = n
+	g.all = append(g.all, n)
 	g.ctr.NodesCreated++
 	return n
+}
+
+// growTo rounds a row length up to the next power of two, bounding row
+// reallocations to O(log numBlocks) per context.
+func growTo(n int) int {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	return c
 }
 
 // bumpEdge increments a 16-bit correlation counter, saturating rather than
@@ -319,11 +429,14 @@ func (g *Graph) decay(n *Node) {
 	for _, e := range n.Edges {
 		e.Count >>= 1
 		if e.Count == 0 {
-			// Fully decayed: forget the correlation and unlink the in-edge.
+			// Fully decayed: forget the correlation, unlink the in-edge,
+			// and recycle the allocation.
 			removeIn(e.To, e)
 			if n.Best == e {
 				n.Best = nil
 			}
+			*e = Edge{}
+			g.edgeFree = append(g.edgeFree, e)
 			continue
 		}
 		total += e.Count
@@ -426,11 +539,15 @@ func (n *Node) BestCorrelation() float64 {
 	return n.Best.Correlation()
 }
 
-// EdgeTo returns the correlation edge toward successor z, or nil.
+// EdgeTo returns the correlation edge toward successor z, or nil. Edges are
+// sorted by Z, so the scan stops early on a miss.
 func (n *Node) EdgeTo(z cfg.BlockID) *Edge {
 	for _, e := range n.Edges {
-		if e.Z == z {
-			return e
+		if e.Z >= z {
+			if e.Z == z {
+				return e
+			}
+			break
 		}
 	}
 	return nil
@@ -453,20 +570,15 @@ func (n *Node) StrongIn() []*Edge {
 // DumpDOT renders the graph in Graphviz format; hot nodes only (Total >=
 // minTotal) to keep output readable.
 func (g *Graph) DumpDOT(minTotal int) string {
-	type row struct {
-		key uint64
-		n   *Node
-	}
-	var rows []row
-	for k, n := range g.nodes {
+	var rows []*Node
+	for _, n := range g.all {
 		if int(n.Total) >= minTotal {
-			rows = append(rows, row{k, n})
+			rows = append(rows, n)
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	sort.Slice(rows, func(i, j int) bool { return Key(rows[i].X, rows[i].Y) < Key(rows[j].X, rows[j].Y) })
 	s := "digraph bcg {\n"
-	for _, r := range rows {
-		n := r.n
+	for _, n := range rows {
 		s += fmt.Sprintf("  n%d_%d [label=\"(%d,%d)\\n%s total=%d\"];\n", n.X, n.Y, n.X, n.Y, n.State, n.Total)
 		for _, e := range n.Edges {
 			s += fmt.Sprintf("  n%d_%d -> n%d_%d [label=\"%d (%.2f)\"];\n", n.X, n.Y, e.To.X, e.To.Y, e.Count, e.Correlation())

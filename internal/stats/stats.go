@@ -35,6 +35,7 @@ type Counters struct {
 	ProfiledDispatches int64 // dispatches that executed the profiler hook
 	NodesCreated       int64 // branch correlation graph nodes created
 	EdgesCreated       int64 // branch correlation edges created
+	EdgeSpills         int64 // edge lists grown past their inline capacity
 	DecayChecks        int64 // periodic decay invocations
 	Signals            int64 // state-change signals sent to the trace cache
 
@@ -138,6 +139,7 @@ func (c *Counters) Add(o *Counters) {
 	c.ProfiledDispatches += o.ProfiledDispatches
 	c.NodesCreated += o.NodesCreated
 	c.EdgesCreated += o.EdgesCreated
+	c.EdgeSpills += o.EdgeSpills
 	c.DecayChecks += o.DecayChecks
 	c.Signals += o.Signals
 	c.TracesBuilt += o.TracesBuilt

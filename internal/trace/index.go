@@ -1,0 +1,100 @@
+package trace
+
+import "repro/internal/cfg"
+
+// Index is a dense edge-keyed trace registry: the dispatch engine's
+// per-dispatch Lookup is a bounds check plus one slice indexing on the
+// destination block ID, and — because the overwhelmingly common case is "no
+// trace registered here" — usually ends after touching a single cache line.
+// Entries are bucketed by the trace's entry block (the "to" side of the
+// dispatch edge); a bucket holds the handful of predecessor-qualified
+// registrations for that entry block, scanned linearly.
+//
+// Registration and removal are management-time operations (the trace cache
+// rebuilds rarely, §4.2); only Lookup is dispatch-hot.
+type Index struct {
+	byTo [][]indexEntry
+	n    int
+}
+
+type indexEntry struct {
+	from cfg.BlockID
+	t    *Trace
+}
+
+// Lookup returns the trace registered on the dispatch edge from→to, or nil.
+func (ix *Index) Lookup(from, to cfg.BlockID) *Trace {
+	if int(to) >= len(ix.byTo) {
+		return nil
+	}
+	for _, e := range ix.byTo[to] {
+		if e.from == from {
+			return e.t
+		}
+	}
+	return nil
+}
+
+// Set registers t on the edge from→to and returns the trace previously
+// registered there, if any.
+func (ix *Index) Set(from, to cfg.BlockID, t *Trace) *Trace {
+	if int(to) >= len(ix.byTo) {
+		grown := make([][]indexEntry, growTo(int(to)+1))
+		copy(grown, ix.byTo)
+		ix.byTo = grown
+	}
+	bucket := ix.byTo[to]
+	for i, e := range bucket {
+		if e.from == from {
+			bucket[i].t = t
+			return e.t
+		}
+	}
+	ix.byTo[to] = append(bucket, indexEntry{from: from, t: t})
+	ix.n++
+	return nil
+}
+
+// Delete removes the registration on the edge from→to, if present.
+func (ix *Index) Delete(from, to cfg.BlockID) {
+	if int(to) >= len(ix.byTo) {
+		return
+	}
+	bucket := ix.byTo[to]
+	for i, e := range bucket {
+		if e.from == from {
+			bucket[i] = bucket[len(bucket)-1]
+			ix.byTo[to] = bucket[:len(bucket)-1]
+			ix.n--
+			return
+		}
+	}
+}
+
+// Len returns the number of registered entry edges.
+func (ix *Index) Len() int { return ix.n }
+
+// Reserve pre-sizes the index for a program with numBlocks global block IDs.
+func (ix *Index) Reserve(numBlocks int) {
+	if numBlocks > len(ix.byTo) {
+		grown := make([][]indexEntry, numBlocks)
+		copy(grown, ix.byTo)
+		ix.byTo = grown
+	}
+}
+
+func growTo(n int) int {
+	c := 64
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// IndexedSource is implemented by trace sources whose lookups are backed by
+// a dense Index. The dispatch engine detects it at construction and calls
+// the concrete index directly, removing the per-dispatch interface call.
+type IndexedSource interface {
+	Source
+	Index() *Index
+}

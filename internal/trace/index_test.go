@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+)
+
+func TestIndexSetLookupDelete(t *testing.T) {
+	var ix Index
+	t1 := New(1, []cfg.BlockID{2, 3}, 0.97)
+	t2 := New(2, []cfg.BlockID{2, 4}, 0.97)
+
+	if got := ix.Lookup(1, 2); got != nil {
+		t.Fatalf("empty index Lookup = %v, want nil", got)
+	}
+	if prev := ix.Set(1, 2, t1); prev != nil {
+		t.Fatalf("Set on empty edge returned %v, want nil", prev)
+	}
+	if got := ix.Lookup(1, 2); got != t1 {
+		t.Fatalf("Lookup(1,2) = %v, want t1", got)
+	}
+	// Different predecessor on the same entry block is a distinct edge.
+	if got := ix.Lookup(9, 2); got != nil {
+		t.Fatalf("Lookup(9,2) = %v, want nil", got)
+	}
+	ix.Set(9, 2, t2)
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+
+	// Replacement returns the previous registration and does not grow Len.
+	if prev := ix.Set(1, 2, t2); prev != t1 {
+		t.Fatalf("replacing Set returned %v, want t1", prev)
+	}
+	if got := ix.Lookup(1, 2); got != t2 {
+		t.Fatalf("Lookup after replace = %v, want t2", got)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len after replace = %d, want 2", ix.Len())
+	}
+
+	ix.Delete(1, 2)
+	if got := ix.Lookup(1, 2); got != nil {
+		t.Fatalf("Lookup after Delete = %v, want nil", got)
+	}
+	if got := ix.Lookup(9, 2); got != t2 {
+		t.Fatalf("Delete removed the wrong edge: Lookup(9,2) = %v, want t2", got)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len after Delete = %d, want 1", ix.Len())
+	}
+	ix.Delete(1, 2)     // deleting a missing edge is a no-op
+	ix.Delete(1, 1<<20) // as is deleting beyond the grown range
+	if ix.Len() != 1 {
+		t.Fatalf("Len after no-op deletes = %d, want 1", ix.Len())
+	}
+}
+
+func TestIndexGrowthAndReserve(t *testing.T) {
+	var ix Index
+	tr := New(1, []cfg.BlockID{1000, 3}, 0.97)
+	ix.Set(7, 1000, tr) // forces growth well past the initial capacity
+	if got := ix.Lookup(7, 1000); got != tr {
+		t.Fatalf("Lookup after growth = %v, want tr", got)
+	}
+	if got := ix.Lookup(7, 1_000_000); got != nil {
+		t.Fatalf("Lookup beyond capacity = %v, want nil", got)
+	}
+
+	var rx Index
+	rx.Reserve(512)
+	rx.Set(1, 2, tr)
+	rx.Reserve(8) // shrinking Reserve is a no-op
+	if got := rx.Lookup(1, 2); got != tr {
+		t.Fatalf("Lookup after Reserve = %v, want tr", got)
+	}
+}

@@ -32,6 +32,12 @@ type Trace struct {
 	// Retired marks traces that have been replaced; the cache unregisters
 	// them, so the engine never dispatches a retired trace.
 	Retired bool
+
+	// Prepared is the engine-resolved block sequence, filled lazily on the
+	// trace's first execution so subsequent runs skip the per-block ID
+	// resolution. Valid only for the ProgramCFG the trace was built against
+	// (a trace never outlives its session).
+	Prepared []*cfg.Block
 }
 
 // New creates a trace over the given block sequence.

@@ -63,6 +63,11 @@ type Machine struct {
 	maxFrames        int
 	interrupt        *atomic.Bool
 
+	// traceIx is the concrete dense index behind traces when the source
+	// implements trace.IndexedSource; the dispatch loop calls it directly,
+	// skipping the per-dispatch interface call.
+	traceIx *trace.Index
+
 	natives map[string]NativeFunc
 	statics [][]Value // per class ID
 	frames  []*frame
@@ -113,6 +118,9 @@ func New(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts Options) (*Machine,
 		interrupt:        opts.Interrupt,
 		natives:          builtinNatives(),
 	}
+	if is, ok := opts.Traces.(trace.IndexedSource); ok {
+		m.traceIx = is.Index()
+	}
 	m.statics = make([][]Value, len(prog.Classes))
 	for i, c := range prog.Classes {
 		m.statics[i] = make([]Value, c.NumStatic)
@@ -143,9 +151,16 @@ func (m *Machine) Run() error {
 	prev := cfg.NoBlock
 	for {
 		// Trace dispatch: if a trace is registered on the arrival edge,
-		// execute it as a unit.
-		if m.traces != nil && prev != cfg.NoBlock {
-			if t := m.traces.Lookup(prev, cur.ID); t != nil && !t.Retired {
+		// execute it as a unit. The dense-index path is the common one; the
+		// interface path serves baseline selectors with custom sources.
+		if prev != cfg.NoBlock {
+			var t *trace.Trace
+			if m.traceIx != nil {
+				t = m.traceIx.Lookup(prev, cur.ID)
+			} else if m.traces != nil {
+				t = m.traces.Lookup(prev, cur.ID)
+			}
+			if t != nil && !t.Retired {
 				next, last, halted, err := m.runTrace(t)
 				if err != nil {
 					return err
@@ -185,14 +200,25 @@ func (m *Machine) runTrace(t *trace.Trace) (next *cfg.Block, last cfg.BlockID, h
 	m.ctr.TraceDispatches++ // the whole trace costs one dispatch
 	instrsBefore := m.ctr.Instrs
 
+	// Resolve the block sequence once per trace; later executions reuse it.
+	blocks := t.Prepared
+	if blocks == nil {
+		blocks = make([]*cfg.Block, len(t.Blocks))
+		for i, id := range t.Blocks {
+			b := m.cfg.Block(id)
+			if b == nil {
+				return nil, cfg.NoBlock, false, &Trap{Kind: TrapBadProgram, Detail: fmt.Sprintf("trace %d references unknown block %d", t.ID, id)}
+			}
+			blocks[i] = b
+		}
+		t.Prepared = blocks
+	}
+
 	blocksRun := 0
 	completed := false
 	last = cfg.NoBlock
-	for i := 0; i < len(t.Blocks); i++ {
-		b := m.cfg.Block(t.Blocks[i])
-		if b == nil {
-			return nil, last, false, &Trap{Kind: TrapBadProgram, Detail: fmt.Sprintf("trace %d references unknown block %d", t.ID, t.Blocks[i])}
-		}
+	for i := 0; i < len(blocks); i++ {
+		b := blocks[i]
 		nxt, h, err := m.stepBlock(b)
 		if err != nil {
 			return nil, last, false, err
@@ -203,7 +229,7 @@ func (m *Machine) runTrace(t *trace.Trace) (next *cfg.Block, last cfg.BlockID, h
 		if h {
 			// The program ended inside the trace. Account the blocks run so
 			// far; reaching the final block counts as completion.
-			completed = i == len(t.Blocks)-1
+			completed = i == len(blocks)-1
 			m.accountTrace(t, blocksRun, m.ctr.Instrs-instrsBefore, completed)
 			return nil, last, true, nil
 		}
@@ -211,12 +237,12 @@ func (m *Machine) runTrace(t *trace.Trace) (next *cfg.Block, last cfg.BlockID, h
 			m.ctr.ProfiledDispatches++
 			m.hook.OnDispatch(b.ID, nxt.ID)
 		}
-		if i == len(t.Blocks)-1 {
+		if i == len(blocks)-1 {
 			completed = true
 			next = nxt
 			break
 		}
-		if nxt.ID != t.Blocks[i+1] {
+		if nxt != blocks[i+1] {
 			// Side exit: the actual successor diverged from the recorded
 			// path; fall back to ordinary dispatch at the actual successor.
 			t.SideExits[i]++
