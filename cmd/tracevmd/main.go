@@ -5,7 +5,10 @@
 //
 // Server:
 //
-//	tracevmd -addr :8077 -workers 8 -queue 64 -timeout 30s
+//	tracevmd -addr :8077 -workers 8 -queue 64 -timeout 30s \
+//	         -max-traces 512 -max-trace-blocks 8192 \
+//	         -breaker-churn 8 -breaker-after 3 -breaker-cooldown 30s \
+//	         -quarantine-after 3
 //
 // Endpoints:
 //
@@ -13,10 +16,11 @@
 //	              {"source":"class Main {...}","kind":"minijava",...}
 //	GET  /stats   aggregated service + execution metrics snapshot
 //	GET  /healthz liveness plus queue depth
+//	GET  /readyz  readiness: healthy / degraded (200), draining (503)
 //
 // Load generator (drives a running daemon):
 //
-//	tracevmd -loadgen -addr localhost:8077 -n 8 -requests 64 -workloads compress,soot
+//	tracevmd -loadgen -addr localhost:8077 -n 8 -requests 64 -workloads compress,soot -retries 5
 package main
 
 import (
@@ -51,18 +55,36 @@ func main() {
 		requests  = flag.Int("requests", 0, "loadgen: total requests (0 = 2x -n)")
 		workloads = flag.String("workloads", "", "loadgen: comma-separated workload names (default: all)")
 		modeStr   = flag.String("mode", "trace", "loadgen: dispatch mode: plain, instr, profile, trace, trace-deploy")
+		retries   = flag.Int("retries", 5, "loadgen: backoff attempts per request on backpressure (1 = no retry)")
+
+		maxTraces   = flag.Int("max-traces", 512, "per-session live trace budget (0 = unbounded)")
+		maxTrBlocks = flag.Int("max-trace-blocks", 8192, "per-session cached trace block budget (0 = unbounded)")
+		brkChurn    = flag.Float64("breaker-churn", 8, "churn breaker threshold in trace build+retire events per 1k dispatches (0 = disabled)")
+		brkAfter    = flag.Int("breaker-after", 3, "consecutive churny runs before the breaker opens")
+		brkCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker demotes a program before probing")
+		quarAfter   = flag.Int("quarantine-after", 3, "VM panics before a program is quarantined (-1 = disabled)")
 	)
 	flag.Parse()
 
 	var err error
 	if *loadgen {
-		err = runLoadgen(*addr, *conc, *requests, *workloads, *modeStr)
+		err = runLoadgen(*addr, *conc, *requests, *workloads, *modeStr, *retries)
 	} else {
 		err = runServer(*addr, serve.Config{
 			Workers:        *workers,
 			QueueDepth:     *queue,
 			DefaultTimeout: *timeout,
 			MaxSteps:       *maxSteps,
+			TraceCache: core.Config{
+				MaxTraces:       *maxTraces,
+				MaxCachedBlocks: *maxTrBlocks,
+			},
+			Breaker: serve.BreakerConfig{
+				ChurnPerK: *brkChurn,
+				TripAfter: *brkAfter,
+				Cooldown:  *brkCooldown,
+			},
+			QuarantineAfter: *quarAfter,
 		})
 	}
 	if err != nil {
@@ -139,6 +161,8 @@ type runResponse struct {
 	Metrics   any     `json:"metrics"`
 	NumTraces int     `json:"numTraces"`
 	BCGNodes  int     `json:"bcgNodes"`
+	Cached    int     `json:"cachedBlocks"`
+	Demoted   bool    `json:"demoted,omitempty"`
 	WallMs    float64 `json:"wallMs"`
 }
 
@@ -173,6 +197,9 @@ func newMux(svc *serve.Service) *http.ServeMux {
 			case errors.Is(err, serve.ErrQueueFull):
 				w.Header().Set("Retry-After", "1")
 				writeJSON(w, http.StatusTooManyRequests, errResponse{Error: err.Error()})
+			case errors.Is(err, serve.ErrQuarantined):
+				// The program is locked out until the daemon restarts.
+				writeJSON(w, http.StatusLocked, errResponse{Error: err.Error()})
 			case errors.Is(err, serve.ErrClosed):
 				writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -192,6 +219,8 @@ func newMux(svc *serve.Service) *http.ServeMux {
 			Metrics:   resp.Metrics,
 			NumTraces: resp.NumTraces,
 			BCGNodes:  resp.BCGNodes,
+			Cached:    resp.CachedBlocks,
+			Demoted:   resp.Demoted,
 			WallMs:    float64(resp.Wall) / float64(time.Millisecond),
 		})
 	})
@@ -209,7 +238,37 @@ func newMux(svc *serve.Service) *http.ServeMux {
 		})
 	})
 
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		code, body := readiness(svc.Stats())
+		writeJSON(w, code, body)
+	})
+
 	return mux
+}
+
+// readiness classifies the service for orchestrators: "healthy" and
+// "degraded" both accept traffic (200); "draining" tells the balancer to
+// stop sending (503). Degraded means the service is up but some governor
+// has engaged — open breakers, quarantined programs, or a queue running at
+// three quarters of capacity.
+func readiness(snap serve.Snapshot) (int, map[string]any) {
+	status := "healthy"
+	code := http.StatusOK
+	switch {
+	case snap.Draining:
+		status, code = "draining", http.StatusServiceUnavailable
+	case snap.OpenBreakers > 0 || snap.QuarantinedPrograms > 0 ||
+		(snap.QueueCap > 0 && snap.QueueDepth*4 >= snap.QueueCap*3):
+		status = "degraded"
+	}
+	return code, map[string]any{
+		"status":              status,
+		"queueDepth":          snap.QueueDepth,
+		"queueCap":            snap.QueueCap,
+		"openBreakers":        snap.OpenBreakers,
+		"halfOpenBreakers":    snap.HalfOpenBreakers,
+		"quarantinedPrograms": snap.QuarantinedPrograms,
+	}
 }
 
 // serveListener runs the HTTP server on l until ctx is cancelled, then
@@ -300,7 +359,7 @@ func httpRunner(client *http.Client, baseURL string) serve.Runner {
 	}
 }
 
-func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string) error {
+func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string, retries int) error {
 	mode, err := parseMode(modeStr)
 	if err != nil {
 		return err
@@ -320,10 +379,14 @@ func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string) e
 		Workloads:   workloads,
 		Mode:        mode,
 	}
+	if retries > 1 {
+		cfg.Retry = &serve.Backoff{Attempts: retries}
+	}
 	res := serve.RunLoadGen(context.Background(), cfg, httpRunner(http.DefaultClient, baseURL))
 	fmt.Printf("requests:    %d\n", res.Requests)
 	fmt.Printf("completed:   %d\n", res.Completed)
 	fmt.Printf("failed:      %d (rejected %d)\n", res.Failed, res.Rejected)
+	fmt.Printf("retries:     %d\n", res.Retries)
 	fmt.Printf("wall:        %v\n", res.Wall)
 	fmt.Printf("throughput:  %.2f req/s\n", res.Throughput)
 	fmt.Printf("instrs:      %d (%.1f M/s)\n", res.TotalInstrs,

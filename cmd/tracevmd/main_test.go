@@ -143,6 +143,67 @@ func TestStatsAndHealthEndpoints(t *testing.T) {
 	}
 }
 
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return resp, m
+}
+
+func TestReadyzHealthy(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 2})
+	resp, m := getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || m["status"] != "healthy" {
+		t.Errorf("readyz: status %d, body %v", resp.StatusCode, m)
+	}
+}
+
+func TestReadyzDegradedByQuarantine(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{
+		Workers:         1,
+		QuarantineAfter: 1,
+		Injector: serve.InjectorFuncs{
+			Exec: func(req serve.Request) {
+				if req.Workload == "compress" {
+					panic("injected")
+				}
+			},
+		},
+	})
+	// One panic quarantines the program and degrades readiness.
+	postRun(t, srv.URL, `{"workload":"compress","mode":"plain"}`)
+	resp, m := getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || m["status"] != "degraded" {
+		t.Errorf("readyz after quarantine: status %d, body %v", resp.StatusCode, m)
+	}
+	if m["quarantinedPrograms"].(float64) != 1 {
+		t.Errorf("quarantinedPrograms = %v, want 1", m["quarantinedPrograms"])
+	}
+	// The quarantined program gets HTTP 423 Locked.
+	hresp, em := postRun(t, srv.URL, `{"workload":"compress","mode":"plain"}`)
+	if hresp.StatusCode != http.StatusLocked {
+		t.Errorf("quarantined run: status %d, want 423 (%v)", hresp.StatusCode, em)
+	}
+}
+
+func TestReadyzDrainingAfterClose(t *testing.T) {
+	svc := serve.New(serve.Config{Workers: 1})
+	srv := httptest.NewServer(newMux(svc))
+	t.Cleanup(srv.Close)
+	svc.Close()
+	resp, m := getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Errorf("readyz after close: status %d, body %v", resp.StatusCode, m)
+	}
+}
+
 func TestHTTPRunnerAndLoadgen(t *testing.T) {
 	srv, svc := newTestServer(t, serve.Config{Workers: 2, QueueDepth: 16})
 	res := serve.RunLoadGen(context.Background(), serve.LoadGenConfig{

@@ -36,6 +36,15 @@ type Config struct {
 	MaxBlocks int
 	// MaxBacktrack bounds the entry-point search (default 4096 nodes).
 	MaxBacktrack int
+	// MaxTraces bounds the number of live traces; exceeding it evicts the
+	// coldest traces (0 = unbounded). The trace being registered is exempt
+	// from the eviction pass it triggers, so a budget of n may transiently
+	// hold n+1 traces within one signal.
+	MaxTraces int
+	// MaxCachedBlocks bounds the total block count across live traces —
+	// the cache's memory budget in the paper's unit of trace size
+	// (0 = unbounded).
+	MaxCachedBlocks int
 }
 
 // DefaultConfig returns the standard constructor configuration.
@@ -67,6 +76,7 @@ type Cache struct {
 	byKey  map[string]*trace.Trace          // block sequence -> trace (hash-consing)
 	byPair map[uint64]map[*trace.Trace]bool // block pair -> traces containing it
 	regs   map[*trace.Trace]map[uint64]bool // trace -> its entry edges
+	blocks int                              // total blocks across live traces
 	nextID int
 }
 
@@ -109,6 +119,10 @@ func (c *Cache) Reserve(numBlocks int) { c.ix.Reserve(numBlocks) }
 
 // NumTraces returns the number of live traces.
 func (c *Cache) NumTraces() int { return len(c.regs) }
+
+// CachedBlocks returns the total block count across live traces — the
+// quantity Config.MaxCachedBlocks budgets.
+func (c *Cache) CachedBlocks() int { return c.blocks }
 
 // Traces returns the live traces, ordered by ID for determinism.
 func (c *Cache) Traces() []*trace.Trace {
@@ -339,6 +353,7 @@ func (c *Cache) register(nodes []*profile.Node, prob float64) {
 		t = trace.New(c.nextID, blocks, prob)
 		c.nextID++
 		c.byKey[key] = t
+		c.blocks += len(blocks)
 		c.ctr.TracesBuilt++
 		for i := 1; i < len(blocks); i++ {
 			c.indexPair(trace.EdgeKey(blocks[i-1], blocks[i]), t)
@@ -359,6 +374,7 @@ func (c *Cache) register(nodes []*profile.Node, prob float64) {
 		c.regs[t][entryEdge] = true
 		c.indexPair(entryEdge, t)
 	}
+	c.enforceBudget(t)
 }
 
 func (c *Cache) indexPair(pair uint64, t *trace.Trace) {
@@ -402,11 +418,89 @@ func (c *Cache) retire(t *trace.Trace) {
 	}
 	delete(c.regs, t)
 	delete(c.byKey, trace.Key(t.Blocks))
+	c.blocks -= len(t.Blocks)
 	for i := 1; i < len(t.Blocks); i++ {
 		c.unindexPair(trace.EdgeKey(t.Blocks[i-1], t.Blocks[i]), t)
 	}
 	t.Retired = true
 	c.ctr.TracesRetired++
+}
+
+// overBudget reports whether either cache budget is currently exceeded.
+func (c *Cache) overBudget() bool {
+	return (c.conf.MaxTraces > 0 && len(c.regs) > c.conf.MaxTraces) ||
+		(c.conf.MaxCachedBlocks > 0 && c.blocks > c.conf.MaxCachedBlocks)
+}
+
+// enforceBudget evicts the coldest traces until the cache fits its budgets
+// again. keep — the trace whose registration triggered the pass — is exempt,
+// so a single oversized trace cannot evict itself into a rebuild loop.
+func (c *Cache) enforceBudget(keep *trace.Trace) {
+	if !c.overBudget() {
+		return
+	}
+	evicted := false
+	for c.overBudget() {
+		victim := c.coldest(keep)
+		if victim == nil {
+			break
+		}
+		c.evict(victim)
+		evicted = true
+	}
+	if evicted {
+		c.ctr.BudgetPressure++
+	}
+}
+
+// heat scores a trace for eviction: its actual dispatch count plus the
+// decayed execution counters of its entry branch contexts, so a trace in a
+// currently-hot region outranks one whose region went cold even if neither
+// has been dispatched yet. Reusing the BCG node counters keeps the policy
+// free: the profiler already maintains the recency signal.
+func (c *Cache) heat(t *trace.Trace) int64 {
+	h := t.Entered
+	if c.graph != nil {
+		for edge := range c.regs[t] {
+			if n := c.graph.Node(cfg.BlockID(edge>>32), cfg.BlockID(edge)); n != nil {
+				h += int64(n.Total)
+			}
+		}
+	}
+	return h
+}
+
+// coldest returns the live trace with the lowest heat (ties broken toward
+// the oldest ID, deterministically), excluding keep; nil if none qualifies.
+func (c *Cache) coldest(keep *trace.Trace) *trace.Trace {
+	var victim *trace.Trace
+	var vh int64
+	for t := range c.regs {
+		if t == keep {
+			continue
+		}
+		h := c.heat(t)
+		if victim == nil || h < vh || (h == vh && t.ID < victim.ID) {
+			victim, vh = t, h
+		}
+	}
+	return victim
+}
+
+// evict retires a trace for budget reasons. The entry branch contexts are
+// un-acknowledged first so the profiler re-signals if the region is hot
+// again and the trace is rebuilt on demand — eviction sheds memory, not the
+// ability to trace.
+func (c *Cache) evict(t *trace.Trace) {
+	if c.graph != nil {
+		for edge := range c.regs[t] {
+			if n := c.graph.Node(cfg.BlockID(edge>>32), cfg.BlockID(edge)); n != nil {
+				n.Unacknowledge()
+			}
+		}
+	}
+	c.retire(t)
+	c.ctr.TracesEvicted++
 }
 
 // Dump renders the cache contents for diagnostics.

@@ -22,15 +22,27 @@ type driver struct {
 type Graph = profile.Graph
 
 func newDriver(t *testing.T, p profile.Params) *driver {
+	return newDriverConf(t, p, Config{})
+}
+
+func newDriverConf(t *testing.T, p profile.Params, conf Config) *driver {
 	t.Helper()
 	ctr := &stats.Counters{}
-	c := NewCache(Config{}, ctr)
+	c := NewCache(conf, ctr)
 	g, err := profile.New(p, ctr, c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Bind(g)
 	return &driver{g: g, c: c, ctr: ctr}
+}
+
+// check asserts the cache's structural invariants hold.
+func (d *driver) check(t *testing.T) {
+	t.Helper()
+	if err := d.c.CheckInvariants(); err != nil {
+		t.Fatalf("cache invariants violated: %v\n%s", err, d.c.Dump())
+	}
 }
 
 // replay feeds the block sequence repeatedly as disconnected chains (the
@@ -72,6 +84,7 @@ func TestCacheBuildsLoopTraceUnrolledOnce(t *testing.T) {
 	if !found {
 		t.Errorf("no unrolled loop trace found:\n%s", d.c.Dump())
 	}
+	d.check(t)
 }
 
 func TestCacheLookupIsEdgeKeyed(t *testing.T) {
@@ -173,6 +186,7 @@ func TestInvalidationOnPhaseChange(t *testing.T) {
 	if !fresh {
 		t.Errorf("no trace covers the phase-2 path:\n%s", d.c.Dump())
 	}
+	d.check(t)
 }
 
 func TestColdTracesStayCachedAcrossPhaseChange(t *testing.T) {
@@ -299,6 +313,81 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
+// coverage reports which of the given regions (disjoint block ranges) are
+// covered by at least one live trace.
+func coverage(c *Cache, lo, hi cfg.BlockID) bool {
+	for _, tr := range c.Traces() {
+		for _, b := range tr.Blocks {
+			if b >= lo && b <= hi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestBudgetEvictsColdTraceFirst(t *testing.T) {
+	d := newDriverConf(t, profile.Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 64}, Config{MaxTraces: 2})
+	d.cycle(2000, 1, 2, 3) // hot region: node counters stay high
+	if !coverage(d.c, 1, 3) {
+		t.Fatal("hot region built no traces")
+	}
+	d.cycle(60, 11, 12, 13) // cold region: barely enough to trace
+	// A third region forces the budget; the cold region must be the victim.
+	d.cycle(400, 21, 22, 23)
+	if d.ctr.TracesEvicted == 0 || d.ctr.BudgetPressure == 0 {
+		t.Fatalf("no eviction under budget: evicted=%d pressure=%d\n%s",
+			d.ctr.TracesEvicted, d.ctr.BudgetPressure, d.c.Dump())
+	}
+	if n := d.c.NumTraces(); n > 2 {
+		t.Errorf("%d live traces exceed MaxTraces=2", n)
+	}
+	if !coverage(d.c, 1, 3) {
+		t.Errorf("hot region evicted ahead of the cold one:\n%s", d.c.Dump())
+	}
+	d.check(t)
+}
+
+func TestBlockBudgetBoundsCacheSize(t *testing.T) {
+	const budget = 10
+	d := newDriverConf(t, profile.Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 64}, Config{MaxCachedBlocks: budget})
+	// Several disjoint loops would normally hold ~6 blocks each.
+	for base := cfg.BlockID(0); base < 50; base += 10 {
+		d.cycle(400, base+1, base+2, base+3)
+		if got := d.c.CachedBlocks(); got > budget && d.c.NumTraces() > 1 {
+			t.Fatalf("cached blocks %d exceed budget %d", got, budget)
+		}
+	}
+	if d.ctr.TracesEvicted == 0 {
+		t.Error("block budget never evicted")
+	}
+	d.check(t)
+}
+
+func TestEvictedHotRegionRebuilds(t *testing.T) {
+	// Eviction sheds memory, not the ability to trace: because evict
+	// un-acknowledges the entry branch contexts, re-running the region
+	// re-signals the cache and the trace comes back without any profiler
+	// warm-up from scratch.
+	d := newDriverConf(t, profile.Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 64}, Config{MaxTraces: 1})
+	d.cycle(400, 1, 2, 3)
+	if !coverage(d.c, 1, 3) {
+		t.Fatal("region A built no traces")
+	}
+	d.cycle(400, 11, 12, 13) // region B evicts A's trace (budget 1)
+	if coverage(d.c, 1, 3) {
+		t.Fatalf("region A survived a MaxTraces=1 budget:\n%s", d.c.Dump())
+	}
+	if d.ctr.TracesEvicted == 0 {
+		t.Fatal("nothing evicted")
+	}
+	d.cycle(400, 1, 2, 3) // A hot again: must re-signal and rebuild
+	if !coverage(d.c, 1, 3) {
+		t.Errorf("evicted region never rebuilt its trace:\n%s", d.c.Dump())
+	}
+	d.check(t)
+}
+
 // TestPropertyCacheInvariants drives the profiler+cache with random
 // dispatch streams over a small block universe and checks structural
 // invariants of the cache afterwards.
@@ -323,6 +412,9 @@ func TestPropertyCacheInvariants(t *testing.T) {
 			cur = next
 		}
 
+		if d.c.CheckInvariants() != nil {
+			return false
+		}
 		conf := d.c.Config()
 		for _, tr := range d.c.Traces() {
 			if tr.Retired {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/trace"
+)
+
+// CheckInvariants verifies the cache's structural invariants and returns the
+// first violation found, or nil. It is meant for tests — the cache tests and
+// the chaos harness call it after driving the cache hard — and is O(total
+// cached blocks), far too slow for the dispatch path.
+//
+// Checked invariants:
+//   - hash-consing uniqueness: every live trace is registered in byKey under
+//     exactly its own block-sequence key, and no retired trace is reachable;
+//   - index/cache agreement: every registered entry edge resolves through
+//     the dense index to its trace and vice versa, and the index holds no
+//     entries beyond the registrations;
+//   - every live trace clears the completion threshold it was built under
+//     and respects the configured length bounds;
+//   - the cached-blocks tally matches the live traces, and both budgets
+//     hold (an eviction pass keeps at least the trace that triggered it, so
+//     a budget is only ever exceeded while a single trace remains).
+func (c *Cache) CheckInvariants() error {
+	for key, t := range c.byKey {
+		if trace.Key(t.Blocks) != key {
+			return fmt.Errorf("core: trace %d hash-consed under foreign key %q", t.ID, key)
+		}
+		if t.Retired {
+			return fmt.Errorf("core: retired trace %d still hash-consed", t.ID)
+		}
+		if len(c.regs[t]) == 0 {
+			return fmt.Errorf("core: hash-consed trace %d has no entry-edge registrations", t.ID)
+		}
+	}
+
+	blocks, edges := 0, 0
+	for t, regs := range c.regs {
+		if t.Retired {
+			return fmt.Errorf("core: retired trace %d still registered", t.ID)
+		}
+		if c.byKey[trace.Key(t.Blocks)] != t {
+			return fmt.Errorf("core: live trace %d missing from the hash-cons table", t.ID)
+		}
+		if len(regs) == 0 {
+			return fmt.Errorf("core: live trace %d has no entry edges", t.ID)
+		}
+		if t.Len() < c.conf.MinBlocks || t.Len() > c.conf.MaxBlocks {
+			return fmt.Errorf("core: trace %d length %d outside [%d, %d]", t.ID, t.Len(), c.conf.MinBlocks, c.conf.MaxBlocks)
+		}
+		if c.graph != nil {
+			if th := c.graph.Params().Threshold; t.ExpectedCompletion < th-1e-9 {
+				return fmt.Errorf("core: trace %d completion estimate %.4f below threshold %.4f", t.ID, t.ExpectedCompletion, th)
+			}
+		}
+		blocks += t.Len()
+		edges += len(regs)
+		for edge := range regs {
+			from, to := cfg.BlockID(edge>>32), cfg.BlockID(edge)
+			if to != t.Entry() {
+				return fmt.Errorf("core: trace %d registered on edge (%d,%d) that does not enter it", t.ID, from, to)
+			}
+			if got := c.ix.Lookup(from, to); got != t {
+				return fmt.Errorf("core: index disagrees on edge (%d,%d): trace %d registered, lookup found %v", from, to, t.ID, got)
+			}
+		}
+	}
+
+	var ixErr error
+	n := 0
+	c.ix.Range(func(from, to cfg.BlockID, t *trace.Trace) bool {
+		n++
+		if t == nil || t.Retired || !c.regs[t][trace.EdgeKey(from, to)] {
+			ixErr = fmt.Errorf("core: index entry (%d,%d) points at an unregistered or retired trace", from, to)
+			return false
+		}
+		return true
+	})
+	if ixErr != nil {
+		return ixErr
+	}
+	if n != edges {
+		return fmt.Errorf("core: index holds %d edges, registrations hold %d", n, edges)
+	}
+
+	if blocks != c.blocks {
+		return fmt.Errorf("core: cached-blocks tally %d, live traces hold %d", c.blocks, blocks)
+	}
+	if c.conf.MaxTraces > 0 && len(c.regs) > c.conf.MaxTraces && len(c.regs) > 1 {
+		return fmt.Errorf("core: %d live traces exceed the budget of %d", len(c.regs), c.conf.MaxTraces)
+	}
+	if c.conf.MaxCachedBlocks > 0 && c.blocks > c.conf.MaxCachedBlocks && len(c.regs) > 1 {
+		return fmt.Errorf("core: %d cached blocks exceed the budget of %d", c.blocks, c.conf.MaxCachedBlocks)
+	}
+	return nil
+}

@@ -35,6 +35,10 @@ const (
 	ModeTraceDeploy
 )
 
+// Profiled reports whether the mode attaches the BCG profiler and therefore
+// constructs traces — the modes the serving layer's churn breaker governs.
+func (m Mode) Profiled() bool { return m != ModePlain && m != ModeInstr }
+
 func (m Mode) String() string {
 	switch m {
 	case ModePlain:
@@ -72,6 +76,11 @@ type SessionOptions struct {
 	// stored true; the machine stops with a TrapInterrupted trap. Used by
 	// the serving layer to enforce per-request deadlines.
 	Interrupt *atomic.Bool
+	// WrapHook, if set, wraps (or, in unprofiled modes, supplies) the
+	// machine's dispatch hook. This is the fault-injection seam: the chaos
+	// harness uses it to delay or perturb the dispatch stream. Production
+	// paths leave it nil and pay nothing.
+	WrapHook func(vm.DispatchHook) vm.DispatchHook
 }
 
 // NewSession builds a session over a linked program and its CFGs.
@@ -108,6 +117,9 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 			mopts.Traces = cache
 			mopts.HookInsideTraces = opts.Mode == ModeTrace
 		}
+	}
+	if opts.WrapHook != nil {
+		mopts.Hook = opts.WrapHook(mopts.Hook)
 	}
 	m, err := vm.New(prog, pcfg, mopts)
 	if err != nil {

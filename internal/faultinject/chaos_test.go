@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// loopSource is a steady 2000-iteration loop: enough block dispatches for
+// the profiler to converge and build loop traces, with a known output.
+const loopSource = `class Main { static void main() { int i = 0; int s = 0; while (i < 2000) { s = s + i; i = i + 1; } Sys.printlnInt(s); } }`
+
+const loopOutput = "1999000\n"
+
+func newService(t *testing.T, cfg serve.Config) *serve.Service {
+	t.Helper()
+	s := serve.New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestStormRespectsBudgetsAndInvariants drives the cache with a signal
+// storm under tight budgets: every injection must leave the cache
+// structurally sound and inside its block budget, and the pressure must
+// show up as evictions in the counters.
+func TestStormRespectsBudgetsAndInvariants(t *testing.T) {
+	storm := &Storm{Seed: 7}
+	storm.SetEnabled(true)
+	const maxBlocks = 48
+	s := newService(t, serve.Config{
+		Workers:    2,
+		TraceCache: core.Config{MaxTraces: 4, MaxCachedBlocks: maxBlocks},
+		Injector:   &Faults{Storm: storm},
+	})
+	req := serve.Request{Source: loopSource, Mode: core.ModeProfile}
+	for i := 0; i < 6; i++ {
+		resp, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if resp.Output != loopOutput {
+			t.Fatalf("run %d output = %q, want %q", i, resp.Output, loopOutput)
+		}
+		if resp.CachedBlocks > maxBlocks {
+			t.Fatalf("run %d: %d cached blocks exceed budget %d", i, resp.CachedBlocks, maxBlocks)
+		}
+	}
+	if v := storm.Violations(); v != 0 {
+		t.Fatalf("%d invariant violations under storm: %v", v, storm.Err())
+	}
+	snap := s.Stats()
+	if snap.Global.TracesEvicted == 0 || snap.Global.BudgetPressure == 0 {
+		t.Errorf("storm caused no eviction pressure: evicted=%d pressure=%d",
+			snap.Global.TracesEvicted, snap.Global.BudgetPressure)
+	}
+}
+
+// TestStormBreakerRecovery is the acceptance chaos scenario: under an
+// injected signal storm the cache stays within budget, the churn breaker
+// trips (visible in the service metrics), demoted block-dispatch results
+// stay correct, and once the storm ends the program returns to traced
+// execution.
+func TestStormBreakerRecovery(t *testing.T) {
+	storm := &Storm{Seed: 99}
+	storm.SetEnabled(true)
+	clk := NewClock(time.Unix(1_000_000, 0))
+	const cooldown = time.Minute
+	const maxBlocks = 48
+	s := newService(t, serve.Config{
+		Workers:    2,
+		TraceCache: core.Config{MaxTraces: 4, MaxCachedBlocks: maxBlocks},
+		Breaker:    serve.BreakerConfig{ChurnPerK: 8, TripAfter: 2, Cooldown: cooldown},
+		Clock:      clk.Now,
+		Injector:   &Faults{Storm: storm},
+	})
+	req := serve.Request{Source: loopSource, Mode: core.ModeTrace}
+
+	// Phase 1: the storm rages. Within a few runs the breaker must trip;
+	// every result — traced or demoted — must stay correct.
+	tripped := false
+	for i := 0; i < 10 && !tripped; i++ {
+		resp, err := s.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("storm run %d: %v", i, err)
+		}
+		if resp.Output != loopOutput {
+			t.Fatalf("storm run %d output = %q, want %q", i, resp.Output, loopOutput)
+		}
+		if resp.CachedBlocks > maxBlocks {
+			t.Fatalf("storm run %d: cache over budget: %d > %d", i, resp.CachedBlocks, maxBlocks)
+		}
+		tripped = s.Stats().BreakerTrips > 0
+	}
+	if !tripped {
+		t.Fatal("breaker never tripped under the signal storm")
+	}
+	if v := storm.Violations(); v != 0 {
+		t.Fatalf("%d cache invariant violations: %v", v, storm.Err())
+	}
+	snap := s.Stats()
+	if snap.Global.TracesEvicted == 0 {
+		t.Error("no evictions despite storm under budget")
+	}
+
+	// Phase 2: the breaker is open — runs demote to plain dispatch and
+	// still compute the right answer.
+	resp, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Demoted || resp.Mode != core.ModePlain {
+		t.Fatalf("open breaker: demoted=%v mode=%v", resp.Demoted, resp.Mode)
+	}
+	if resp.Output != loopOutput {
+		t.Fatalf("demoted output = %q, want %q", resp.Output, loopOutput)
+	}
+
+	// Phase 3: the storm ends and the cool-down passes. The half-open
+	// probe runs traced, measures calm churn, and the breaker closes —
+	// the program is back to traced execution.
+	storm.SetEnabled(false)
+	clk.Advance(cooldown + time.Second)
+	probe, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Demoted || probe.Mode != core.ModeTrace {
+		t.Fatalf("probe: demoted=%v mode=%v, want traced", probe.Demoted, probe.Mode)
+	}
+	after, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Demoted {
+		t.Fatal("breaker still open after a calm probe")
+	}
+	if after.NumTraces == 0 || after.Counters.TraceDispatches == 0 {
+		t.Errorf("no traced execution after recovery: traces=%d dispatches=%d",
+			after.NumTraces, after.Counters.TraceDispatches)
+	}
+	if after.Output != loopOutput {
+		t.Errorf("post-recovery output = %q, want %q", after.Output, loopOutput)
+	}
+}
+
+// TestPanicQuarantine crashes workers with the panic injector until the
+// service quarantines the program, leaving other programs unharmed.
+func TestPanicQuarantine(t *testing.T) {
+	crash := NewPanic(-1, func(req serve.Request) bool { return req.Workload == "compress" })
+	s := newService(t, serve.Config{
+		Workers:         2,
+		QuarantineAfter: 2,
+		Injector:        &Faults{Panic: crash},
+	})
+	for i := 0; i < 2; i++ {
+		_, err := s.Do(context.Background(), serve.Request{Workload: "compress"})
+		if err == nil || errors.Is(err, serve.ErrQuarantined) {
+			t.Fatalf("crash %d: err = %v, want raw panic error", i, err)
+		}
+	}
+	if _, err := s.Do(context.Background(), serve.Request{Workload: "compress"}); !errors.Is(err, serve.ErrQuarantined) {
+		t.Fatalf("err = %v, want ErrQuarantined", err)
+	}
+	if crash.Fired() != 2 {
+		t.Errorf("injector fired %d times, want 2 (quarantine must reject before execution)", crash.Fired())
+	}
+	// A healthy program on the same service still runs.
+	resp, err := s.Do(context.Background(), serve.Request{Source: loopSource})
+	if err != nil || resp.Output != loopOutput {
+		t.Fatalf("healthy program: %v, %+v", err, resp)
+	}
+	snap := s.Stats()
+	if snap.QuarantinedPrograms != 1 || snap.Panics != 2 {
+		t.Errorf("quarantinedPrograms=%d panics=%d, want 1/2", snap.QuarantinedPrograms, snap.Panics)
+	}
+}
+
+// TestDelayedDispatchHitsDeadline slows every block dispatch down so a
+// modest program blows its deadline, then checks the service recovered.
+func TestDelayedDispatchHitsDeadline(t *testing.T) {
+	delay := &Delay{Every: 64, Sleep: 2 * time.Millisecond}
+	s := newService(t, serve.Config{
+		Workers:  1,
+		Injector: &Faults{Delay: delay},
+	})
+	_, err := s.Do(context.Background(), serve.Request{
+		Source:  loopSource,
+		Mode:    core.ModeProfile,
+		Timeout: 50 * time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if snap := s.Stats(); snap.TimedOut != 1 {
+		t.Errorf("timedOut = %d, want 1", snap.TimedOut)
+	}
+}
+
+// TestLoadGenBackoffAbsorbsOverload overloads a deliberately tiny service;
+// with the backoff helper engaged the load generator must complete every
+// request, converting rejections into retries.
+func TestLoadGenBackoffAbsorbsOverload(t *testing.T) {
+	s := newService(t, serve.Config{Workers: 2, QueueDepth: 2})
+	// The retry budget must dominate the drain time of the backlog even on
+	// slow machines (the race detector makes runs ~10× slower), so it is
+	// deliberately over-provisioned: ~20s of cumulative backoff against a
+	// few seconds of actual work.
+	res := serve.RunLoadGen(context.Background(), serve.LoadGenConfig{
+		Concurrency: 8,
+		Requests:    12,
+		Workloads:   []string{"soot"},
+		Mode:        core.ModePlain,
+		Retry:       &serve.Backoff{Attempts: 90, Base: 5 * time.Millisecond, Max: 250 * time.Millisecond, Seed: 3},
+	}, s.Do)
+	if res.Failed != 0 {
+		t.Fatalf("failures despite backoff: %+v", res)
+	}
+	if res.Completed != 12 {
+		t.Fatalf("completed = %d, want 12", res.Completed)
+	}
+	t.Logf("absorbed %d rejections as retries", res.Retries)
+}

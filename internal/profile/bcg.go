@@ -530,6 +530,18 @@ func (n *Node) Acknowledge() {
 	}
 }
 
+// Unacknowledge clears the trace cache's acknowledgement of this node, so
+// the next evaluation signals even if the summary has not changed since. The
+// cache calls this when budget pressure evicts a trace through this branch
+// context: if the region is (or becomes) hot again, its next decay
+// re-signals and the evicted trace is rebuilt on demand instead of being
+// lost for good; a region that stays cold never decays and never re-signals,
+// which is exactly the heat-aware behaviour eviction wants.
+func (n *Node) Unacknowledge() {
+	n.ackState = StateNew
+	n.ackBest = cfg.NoBlock
+}
+
 // BestCorrelation returns the correlation of the cached best successor, or
 // 0 when there is none.
 func (n *Node) BestCorrelation() float64 {

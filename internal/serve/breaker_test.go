@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// calmSource runs a long steady loop: thousands of block dispatches and at
+// most a handful of trace builds, so its natural churn sits far below any
+// sensible breaker threshold.
+const calmSource = `class Main { static void main() { int i = 0; int s = 0; while (i < 2000) { s = s + i; i = i + 1; } Sys.printlnInt(s); } }`
+
+const calmOutput = "1999000\n"
+
+// fakeClock is a manually advanced time source for breaker cool-downs.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func mustDo(t *testing.T, s *Service, req Request) *Response {
+	t.Helper()
+	resp, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	return resp
+}
+
+// breakerState returns the single test program's reported breaker state.
+func breakerState(s *Service) string {
+	for _, ps := range s.Stats().PerProgram {
+		if ps.Breaker != "" {
+			return ps.Breaker
+		}
+	}
+	return ""
+}
+
+// TestBreakerLifecycle drives one program's breaker through every
+// transition — closed, open (trip under churn), half-open (probe after the
+// cool-down), closed again (calm probe), and re-open (churny probe) — with
+// concurrent sessions in flight at the trip and probe points.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
+	var storm, blockProbe atomic.Bool
+	probeStarted := make(chan struct{})
+	probeRelease := make(chan struct{})
+	s := newTestService(t, Config{
+		Workers: 4,
+		Breaker: BreakerConfig{ChurnPerK: 50, TripAfter: 3, Cooldown: time.Minute},
+		Clock:   clk.Now,
+		Injector: InjectorFuncs{
+			Exec: func(Request) {
+				if blockProbe.CompareAndSwap(true, false) {
+					probeStarted <- struct{}{}
+					<-probeRelease
+				}
+			},
+			// The storm models a program whose phase behaviour churns the
+			// cache: it inflates the run's construct/retire counters after
+			// the run, before the breaker reads them.
+			After: func(_ Request, sess *core.Session) {
+				if storm.Load() && sess.Graph != nil {
+					sess.Counters.TracesBuilt += 10000
+					sess.Counters.TracesRetired += 10000
+				}
+			},
+		},
+	})
+	req := Request{Source: calmSource, Mode: core.ModeProfile}
+
+	// Closed: calm runs trace normally.
+	for i := 0; i < 3; i++ {
+		if resp := mustDo(t, s, req); resp.Demoted {
+			t.Fatal("calm run demoted while closed")
+		}
+	}
+	if st := breakerState(s); st != "closed" {
+		t.Fatalf("state after calm runs = %q, want closed", st)
+	}
+
+	// Storm: concurrent churny runs trip the breaker exactly once.
+	storm.Store(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Do(context.Background(), req)
+		}()
+	}
+	wg.Wait()
+	snap := s.Stats()
+	if snap.BreakerTrips != 1 || snap.OpenBreakers != 1 {
+		t.Fatalf("after storm: trips=%d open=%d, want 1/1", snap.BreakerTrips, snap.OpenBreakers)
+	}
+
+	// Open: profiled requests demote to plain dispatch, results stay
+	// correct, and the cool-down holds even after the storm ends.
+	storm.Store(false)
+	resp := mustDo(t, s, req)
+	if !resp.Demoted || resp.Mode != core.ModePlain {
+		t.Fatalf("open breaker: demoted=%v mode=%v, want plain demotion", resp.Demoted, resp.Mode)
+	}
+	if resp.Output != calmOutput {
+		t.Fatalf("demoted output = %q, want %q", resp.Output, calmOutput)
+	}
+	if snap := s.Stats(); snap.BreakerDemoted == 0 {
+		t.Error("demotions not counted")
+	}
+
+	// Cool-down expiry: the next profiled run becomes the half-open probe;
+	// concurrent runs while it is in flight stay demoted.
+	clk.Advance(2 * time.Minute)
+	blockProbe.Store(true)
+	probeDone := make(chan *Response, 1)
+	go func() {
+		r, _ := s.Do(context.Background(), req)
+		probeDone <- r
+	}()
+	<-probeStarted
+	if snap := s.Stats(); snap.HalfOpenBreakers != 1 || snap.BreakerProbes != 1 {
+		t.Errorf("mid-probe: halfOpen=%d probes=%d, want 1/1", snap.HalfOpenBreakers, snap.BreakerProbes)
+	}
+	if r := mustDo(t, s, req); !r.Demoted {
+		t.Error("concurrent run during probe was not demoted")
+	}
+	close(probeRelease)
+	probe := <-probeDone
+	if probe == nil || probe.Demoted {
+		t.Fatalf("probe run demoted or failed: %+v", probe)
+	}
+
+	// Calm probe: breaker closes; tracing resumes.
+	if st := breakerState(s); st != "closed" {
+		t.Fatalf("state after calm probe = %q, want closed", st)
+	}
+	if resp := mustDo(t, s, req); resp.Demoted {
+		t.Error("run demoted after breaker closed")
+	}
+
+	// Churny probe: trips again, then re-opens straight from half-open.
+	storm.Store(true)
+	for i := 0; i < 3; i++ {
+		mustDo(t, s, req)
+	}
+	clk.Advance(2 * time.Minute)
+	if resp := mustDo(t, s, req); resp.Demoted {
+		t.Fatal("probe run was demoted")
+	}
+	snap = s.Stats()
+	if snap.OpenBreakers != 1 {
+		t.Error("churny probe did not re-open the breaker")
+	}
+	if snap.BreakerTrips != 3 {
+		t.Errorf("trips = %d, want 3 (storm, re-trip, churny probe)", snap.BreakerTrips)
+	}
+}
+
+// TestBreakerDisabled checks the zero-config path: no breaker state is
+// created and nothing demotes, whatever the churn.
+func TestBreakerDisabled(t *testing.T) {
+	var storm atomic.Bool
+	storm.Store(true)
+	s := newTestService(t, Config{
+		Workers: 2,
+		Injector: InjectorFuncs{
+			After: func(_ Request, sess *core.Session) {
+				if sess.Graph != nil {
+					sess.Counters.TracesBuilt += 10000
+				}
+			},
+		},
+	})
+	req := Request{Source: calmSource, Mode: core.ModeProfile}
+	for i := 0; i < 5; i++ {
+		if resp := mustDo(t, s, req); resp.Demoted {
+			t.Fatal("demotion with the breaker disabled")
+		}
+	}
+	snap := s.Stats()
+	if snap.BreakerTrips != 0 || snap.OpenBreakers != 0 {
+		t.Errorf("breaker activity while disabled: %+v", snap)
+	}
+	if st := breakerState(s); st != "" {
+		t.Errorf("program reports breaker state %q while disabled", st)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,11 @@ type LoadGenConfig struct {
 	Mode core.Mode
 	// MaxSteps bounds each request (0 = unlimited).
 	MaxSteps int64
+	// Retry, when non-nil, retries backpressure rejections with jittered
+	// exponential backoff instead of counting them as failures. Each
+	// request derives its jitter stream from Retry.Seed and its index, so
+	// concurrent clients spread out deterministically.
+	Retry *Backoff
 }
 
 // LoadGenResult summarizes a load-generation run.
@@ -37,7 +43,10 @@ type LoadGenResult struct {
 	Completed int64
 	Failed    int64
 	Rejected  int64 // failures that were ErrQueueFull backpressure
-	Wall      time.Duration
+	// Retries counts backpressure retries absorbed by the backoff helper
+	// (0 unless LoadGenConfig.Retry is set).
+	Retries int64
+	Wall    time.Duration
 	// Throughput is completed requests per second of wall time.
 	Throughput float64
 	// TotalInstrs sums the Counters.Instrs of completed requests.
@@ -63,9 +72,9 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig, run Runner) LoadGenResul
 	}
 
 	var (
-		completed, failed, rejected, instrs atomic.Int64
-		errMu                               sync.Mutex
-		errs                                []string
+		completed, failed, rejected, instrs, retries atomic.Int64
+		errMu                                        sync.Mutex
+		errs                                         []string
 	)
 	idx := make(chan int, cfg.Requests)
 	for i := 0; i < cfg.Requests; i++ {
@@ -85,10 +94,20 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig, run Runner) LoadGenResul
 					Mode:     cfg.Mode,
 					MaxSteps: cfg.MaxSteps,
 				}
-				resp, err := run(ctx, req)
+				var resp *Response
+				var err error
+				if cfg.Retry != nil {
+					b := *cfg.Retry
+					b.Seed += uint64(i) // per-request jitter stream
+					var r int
+					resp, r, err = b.Retry(ctx, run, req)
+					retries.Add(int64(r))
+				} else {
+					resp, err = run(ctx, req)
+				}
 				if err != nil {
 					failed.Add(1)
-					if err == ErrQueueFull {
+					if errors.Is(err, ErrQueueFull) {
 						rejected.Add(1)
 					}
 					errMu.Lock()
@@ -111,6 +130,7 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig, run Runner) LoadGenResul
 		Completed:   completed.Load(),
 		Failed:      failed.Load(),
 		Rejected:    rejected.Load(),
+		Retries:     retries.Load(),
 		Wall:        wall,
 		TotalInstrs: instrs.Load(),
 		Errors:      errs,

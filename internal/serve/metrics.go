@@ -25,6 +25,10 @@ type ProgramStats struct {
 	Runs     int64
 	Counters stats.Counters
 	Metrics  stats.Metrics
+	// Breaker is the program's churn-breaker state ("closed", "open",
+	// "half-open"), or "" when the breaker is disabled or has never seen
+	// the program.
+	Breaker string
 }
 
 // Snapshot is a point-in-time, self-contained copy of the service's
@@ -44,10 +48,26 @@ type Snapshot struct {
 	// CompileErrors counts requests refused because their program did not
 	// compile; they are never enqueued.
 	CompileErrors int64
+	// Quarantined counts requests refused with ErrQuarantined; they are
+	// never enqueued.
+	Quarantined int64
 
-	// Pool state at snapshot time.
+	// Churn-breaker accounting, summed over all per-program breakers.
+	BreakerTrips   int64 // transitions into the open state
+	BreakerDemoted int64 // profiled runs forced down to plain dispatch
+	BreakerProbes  int64 // half-open probe runs admitted
+	// OpenBreakers/HalfOpenBreakers count programs currently in each
+	// non-closed state; QuarantinedPrograms counts programs past the panic
+	// threshold.
+	OpenBreakers        int
+	HalfOpenBreakers    int
+	QuarantinedPrograms int
+
+	// Pool state at snapshot time. Draining is set once Close has begun.
 	QueueDepth int
+	QueueCap   int
 	Workers    int
+	Draining   bool
 
 	// Registry state.
 	Programs       int
@@ -70,18 +90,19 @@ type Snapshot struct {
 // run without any shared mutable state; aggregation happens once per
 // request at completion, so the lock is uncontended in any realistic load.
 type aggregator struct {
-	mu         sync.Mutex
-	accepted   int64
-	rejected   int64
-	completed  int64
-	failed     int64
-	timedOut   int64
-	panics     int64
-	compileErr int64
-	global     stats.Counters
-	perProgram map[string]*programAgg
-	latency    []int64 // len(latencyBuckets)+1, last is overflow
-	totalLat   time.Duration
+	mu           sync.Mutex
+	accepted     int64
+	rejected     int64
+	completed    int64
+	failed       int64
+	timedOut     int64
+	panics       int64
+	compileErr   int64
+	quarantRejct int64
+	global       stats.Counters
+	perProgram   map[string]*programAgg
+	latency      []int64 // len(latencyBuckets)+1, last is overflow
+	totalLat     time.Duration
 }
 
 type programAgg struct {
@@ -111,6 +132,12 @@ func (a *aggregator) reject() {
 func (a *aggregator) compileError() {
 	a.mu.Lock()
 	a.compileErr++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) quarantined() {
+	a.mu.Lock()
+	a.quarantRejct++
 	a.mu.Unlock()
 }
 
@@ -171,6 +198,7 @@ func (a *aggregator) snapshot() Snapshot {
 		TimedOut:      a.timedOut,
 		Panics:        a.panics,
 		CompileErrors: a.compileErr,
+		Quarantined:   a.quarantRejct,
 		Global:        a.global.Snapshot(),
 		GlobalMetrics: a.global.Derive(),
 		PerProgram:    make(map[string]ProgramStats, len(a.perProgram)),

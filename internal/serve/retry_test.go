@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{2, 4, 8, 16, 16, 16}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	a := Backoff{Seed: 42}
+	b := Backoff{Seed: 42}
+	c := Backoff{Seed: 43}
+	different := false
+	for i := 0; i < 4; i++ {
+		if a.Delay(i) != b.Delay(i) {
+			t.Fatalf("same seed diverged at retry %d", i)
+		}
+		if a.Delay(i) != c.Delay(i) {
+			different = true
+		}
+		lo, hi := 3*a.norm().Delay(i)/4, 5*a.norm().Delay(i)/4 // Jitter 0.5 ⇒ ±25%
+		if d := a.Delay(i); d < lo/2 || d > 2*hi {
+			t.Errorf("Delay(%d) = %v implausibly far from schedule", i, d)
+		}
+	}
+	if !different {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestRetryRecoversFromBackpressure(t *testing.T) {
+	rejections := 2
+	calls := 0
+	run := Runner(func(ctx context.Context, req Request) (*Response, error) {
+		calls++
+		if calls <= rejections {
+			return nil, ErrQueueFull
+		}
+		return &Response{Program: "ok"}, nil
+	})
+	b := Backoff{Attempts: 5, Base: time.Microsecond, Max: 10 * time.Microsecond}
+	resp, retries, err := b.Retry(context.Background(), run, Request{})
+	if err != nil || resp == nil || resp.Program != "ok" {
+		t.Fatalf("Retry = %v, %v", resp, err)
+	}
+	if retries != rejections || calls != rejections+1 {
+		t.Errorf("retries=%d calls=%d, want %d/%d", retries, calls, rejections, rejections+1)
+	}
+}
+
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	calls := 0
+	run := Runner(func(ctx context.Context, req Request) (*Response, error) {
+		calls++
+		return nil, ErrQueueFull
+	})
+	b := Backoff{Attempts: 3, Base: time.Microsecond, Max: 10 * time.Microsecond}
+	_, retries, err := b.Retry(context.Background(), run, Request{})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Errorf("calls=%d retries=%d, want 3/2", calls, retries)
+	}
+}
+
+func TestRetryPassesThroughOtherErrors(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	run := Runner(func(ctx context.Context, req Request) (*Response, error) {
+		calls++
+		return nil, boom
+	})
+	_, retries, err := b0().Retry(context.Background(), run, Request{})
+	if !errors.Is(err, boom) || calls != 1 || retries != 0 {
+		t.Errorf("err=%v calls=%d retries=%d, want boom/1/0", err, calls, retries)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	run := Runner(func(ctx context.Context, req Request) (*Response, error) {
+		cancel() // expire during the first backoff pause
+		return nil, ErrQueueFull
+	})
+	b := Backoff{Attempts: 5, Base: time.Hour} // would hang without ctx
+	start := time.Now()
+	_, _, err := b.Retry(ctx, run, Request{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Error("Retry slept through a cancelled context")
+	}
+}
+
+func b0() Backoff { return Backoff{Base: time.Microsecond, Max: 10 * time.Microsecond} }

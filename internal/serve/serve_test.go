@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -105,13 +106,14 @@ func TestRequestValidation(t *testing.T) {
 }
 
 func TestBackpressure(t *testing.T) {
-	s := newTestService(t, Config{Workers: 1, QueueDepth: 1})
 	block := make(chan struct{})
 	started := make(chan struct{}, 16)
-	s.execHook = func(Request) {
-		started <- struct{}{}
-		<-block
-	}
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 1, Injector: InjectorFuncs{
+		Exec: func(Request) {
+			started <- struct{}{}
+			<-block
+		},
+	}})
 
 	// First request occupies the worker, second fills the queue.
 	results := make(chan error, 2)
@@ -173,21 +175,22 @@ func TestTimeoutInterruptsRunningSession(t *testing.T) {
 }
 
 func TestTimeoutWhileQueued(t *testing.T) {
-	s := newTestService(t, Config{Workers: 1, QueueDepth: 4})
 	block := make(chan struct{})
 	started := make(chan struct{}, 1)
 	hooked := false
 	var mu sync.Mutex
-	s.execHook = func(Request) {
-		mu.Lock()
-		first := !hooked
-		hooked = true
-		mu.Unlock()
-		if first {
-			started <- struct{}{}
-			<-block
-		}
-	}
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 4, Injector: InjectorFuncs{
+		Exec: func(Request) {
+			mu.Lock()
+			first := !hooked
+			hooked = true
+			mu.Unlock()
+			if first {
+				started <- struct{}{}
+				<-block
+			}
+		},
+	}})
 	go s.Do(context.Background(), Request{Source: tinySource}) //nolint:errcheck
 	<-started
 
@@ -202,12 +205,13 @@ func TestTimeoutWhileQueued(t *testing.T) {
 }
 
 func TestPanicRecovery(t *testing.T) {
-	s := newTestService(t, Config{Workers: 2})
-	s.execHook = func(req Request) {
-		if req.Workload == "compress" {
-			panic("injected fault")
-		}
-	}
+	s := newTestService(t, Config{Workers: 2, Injector: InjectorFuncs{
+		Exec: func(req Request) {
+			if req.Workload == "compress" {
+				panic("injected fault")
+			}
+		},
+	}})
 	_, err := s.Do(context.Background(), Request{Workload: "compress"})
 	if err == nil || !strings.Contains(err.Error(), "injected fault") {
 		t.Fatalf("panic not surfaced as error: %v", err)
@@ -221,6 +225,76 @@ func TestPanicRecovery(t *testing.T) {
 	snap := s.Stats()
 	if snap.Panics != 1 || snap.Failed != 1 {
 		t.Errorf("panics=%d failed=%d, want 1/1", snap.Panics, snap.Failed)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QuarantineAfter: 2, Injector: InjectorFuncs{
+		Exec: func(req Request) {
+			if req.Workload == "compress" {
+				panic("chaos")
+			}
+		},
+	}})
+	for i := 0; i < 2; i++ {
+		_, err := s.Do(context.Background(), Request{Workload: "compress"})
+		if err == nil || errors.Is(err, ErrQuarantined) {
+			t.Fatalf("run %d: err = %v, want a panic error before the threshold", i, err)
+		}
+	}
+	// Third submission: the panic count has hit the threshold, so the
+	// request is rejected before it can take down another worker.
+	_, err := s.Do(context.Background(), Request{Workload: "compress"})
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("past threshold: err = %v, want ErrQuarantined", err)
+	}
+	// Other programs are unaffected.
+	if _, err := s.Do(context.Background(), Request{Source: tinySource}); err != nil {
+		t.Fatalf("healthy program rejected: %v", err)
+	}
+	snap := s.Stats()
+	if snap.Quarantined != 1 || snap.QuarantinedPrograms != 1 || snap.Panics != 2 {
+		t.Errorf("quarantined=%d programs=%d panics=%d, want 1/1/2",
+			snap.Quarantined, snap.QuarantinedPrograms, snap.Panics)
+	}
+}
+
+func TestQuarantineDisabled(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QuarantineAfter: -1, Injector: InjectorFuncs{
+		Exec: func(Request) { panic("chaos") },
+	}})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Do(context.Background(), Request{Source: tinySource}); errors.Is(err, ErrQuarantined) {
+			t.Fatal("quarantine engaged while disabled")
+		}
+	}
+	if snap := s.Stats(); snap.QuarantinedPrograms != 0 {
+		t.Errorf("quarantinedPrograms = %d, want 0", snap.QuarantinedPrograms)
+	}
+}
+
+func TestLoadGenRetriesBackpressure(t *testing.T) {
+	// A runner that rejects the first few calls forces the backoff path;
+	// with retries enabled none of the requests may fail.
+	var calls atomic.Int64
+	s := newTestService(t, Config{Workers: 2})
+	run := Runner(func(ctx context.Context, req Request) (*Response, error) {
+		if calls.Add(1) <= 3 {
+			return nil, ErrQueueFull
+		}
+		return s.Do(ctx, req)
+	})
+	res := RunLoadGen(context.Background(), LoadGenConfig{
+		Concurrency: 2,
+		Requests:    6,
+		Workloads:   []string{"soot"},
+		Retry:       &Backoff{Base: time.Microsecond, Max: 10 * time.Microsecond, Seed: 1},
+	}, run)
+	if res.Failed != 0 {
+		t.Fatalf("failures despite retry: %+v", res)
+	}
+	if res.Retries == 0 {
+		t.Error("no retries recorded")
 	}
 }
 

@@ -24,6 +24,9 @@ var (
 	ErrQueueFull = errors.New("serve: request queue full")
 	// ErrClosed means the service is draining or closed.
 	ErrClosed = errors.New("serve: service closed")
+	// ErrQuarantined means the program has panicked the VM too many times
+	// and the service refuses to run it again.
+	ErrQuarantined = errors.New("serve: program quarantined after repeated panics")
 )
 
 // Config sizes a Service.
@@ -39,6 +42,22 @@ type Config struct {
 	// MaxSteps is a hard per-request instruction cap; request budgets are
 	// clamped to it (0 = unlimited).
 	MaxSteps int64
+	// TraceCache configures every session's trace constructor; its
+	// MaxTraces/MaxCachedBlocks budgets bound per-session cache growth
+	// (zero values: unbounded, paper defaults for the rest).
+	TraceCache core.Config
+	// Breaker configures the per-program churn circuit breaker
+	// (Breaker.ChurnPerK == 0 disables it).
+	Breaker BreakerConfig
+	// QuarantineAfter rejects a program with ErrQuarantined once it has
+	// panicked the VM this many times (default 3; negative disables).
+	QuarantineAfter int
+	// Clock substitutes the time source for breaker cool-downs; tests use
+	// a manual clock for deterministic transitions (default time.Now).
+	Clock func() time.Time
+	// Injector, when non-nil, interposes on every run (see Injector). The
+	// fault-injection harness is its only intended user.
+	Injector Injector
 }
 
 func (c *Config) fillDefaults() {
@@ -48,6 +67,13 @@ func (c *Config) fillDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
 	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	c.Breaker.fillDefaults()
 }
 
 // Request is one execution order. Exactly one of Workload (a built-in
@@ -90,6 +116,11 @@ type Response struct {
 	// BCGNodes is the number of branch contexts discovered (0 in plain
 	// modes).
 	BCGNodes int
+	// CachedBlocks is the total block count held by live traces at exit.
+	CachedBlocks int
+	// Demoted reports that the churn breaker forced this run down to plain
+	// block dispatch; when set, Mode records the effective (plain) mode.
+	Demoted bool
 	// Wall is the session execution time (queueing excluded).
 	Wall time.Duration
 }
@@ -109,9 +140,15 @@ type Service struct {
 	mu     sync.RWMutex
 	closed bool
 
-	// execHook, when non-nil, runs at the top of every session execution;
-	// tests use it to inject faults (panics, delays) into workers.
-	execHook func(Request)
+	// breakers holds one churn breaker per registry entry, keyed by
+	// Compiled.Key; nil map when the breaker is disabled.
+	bmu      sync.Mutex
+	breakers map[string]*breaker
+
+	// panics counts recovered session panics per registry entry for the
+	// quarantine decision.
+	qmu    sync.Mutex
+	panics map[string]int
 }
 
 // Job ownership states: a queued job is claimed either by a worker (which
@@ -139,10 +176,14 @@ type job struct {
 func New(cfg Config) *Service {
 	cfg.fillDefaults()
 	s := &Service{
-		cfg:  cfg,
-		reg:  NewRegistry(),
-		agg:  newAggregator(),
-		jobs: make(chan *job, cfg.QueueDepth),
+		cfg:    cfg,
+		reg:    NewRegistry(),
+		agg:    newAggregator(),
+		jobs:   make(chan *job, cfg.QueueDepth),
+		panics: make(map[string]int),
+	}
+	if cfg.Breaker.ChurnPerK > 0 {
+		s.breakers = make(map[string]*breaker)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -167,6 +208,50 @@ func (s *Service) resolve(req Request) (*Compiled, error) {
 	return nil, errors.New("serve: request names no program")
 }
 
+// breakerFor returns the program's churn breaker, creating it on first use;
+// nil when the breaker is disabled.
+func (s *Service) breakerFor(comp *Compiled) *breaker {
+	if s.breakers == nil {
+		return nil
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	b := s.breakers[comp.Key]
+	if b == nil {
+		b = &breaker{cfg: s.cfg.Breaker, name: comp.Name}
+		s.breakers[comp.Key] = b
+	}
+	return b
+}
+
+// quarantined reports whether the program's panic count has crossed the
+// quarantine threshold.
+func (s *Service) quarantined(comp *Compiled) bool {
+	if s.cfg.QuarantineAfter < 0 {
+		return false
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.panics[comp.Key] >= s.cfg.QuarantineAfter
+}
+
+// notePanic records one recovered session panic against the program.
+func (s *Service) notePanic(comp *Compiled) {
+	s.qmu.Lock()
+	s.panics[comp.Key]++
+	s.qmu.Unlock()
+}
+
+// churnPerK converts one run's counters to the breaker's churn metric:
+// trace construct+retire events per 1000 block dispatches.
+func churnPerK(ctr *stats.Counters) float64 {
+	d := ctr.BlockDispatches
+	if d < 1 {
+		d = 1
+	}
+	return 1000 * float64(ctr.TracesBuilt+ctr.TracesRetired) / float64(d)
+}
+
 // Do executes one request and blocks until it finishes, fails, or the
 // context/deadline cancels it. It is safe for concurrent use. A deadline
 // that fires mid-run interrupts the session at the next block boundary, so
@@ -177,6 +262,10 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		s.agg.compileError()
 		return nil, err
+	}
+	if s.quarantined(comp) {
+		s.agg.quarantined()
+		return nil, fmt.Errorf("serve: program %q: %w", comp.Name, ErrQuarantined)
 	}
 	timeout := req.Timeout
 	if timeout == 0 {
@@ -232,9 +321,36 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 func (s *Service) Stats() Snapshot {
 	snap := s.agg.snapshot()
 	snap.QueueDepth = len(s.jobs)
+	snap.QueueCap = s.cfg.QueueDepth
 	snap.Workers = s.cfg.Workers
 	snap.Programs = s.reg.Len()
 	snap.RegistryHits, snap.RegistryMisses = s.reg.HitsMisses()
+	s.mu.RLock()
+	snap.Draining = s.closed
+	s.mu.RUnlock()
+
+	if s.breakers != nil {
+		states := make(map[string]string)
+		s.bmu.Lock()
+		for _, b := range s.breakers {
+			b.snapshotInto(&snap, states)
+		}
+		s.bmu.Unlock()
+		for name, st := range states {
+			p := snap.PerProgram[name]
+			p.Breaker = st
+			snap.PerProgram[name] = p
+		}
+	}
+	if s.cfg.QuarantineAfter >= 0 {
+		s.qmu.Lock()
+		for _, n := range s.panics {
+			if n >= s.cfg.QuarantineAfter {
+				snap.QuarantinedPrograms++
+			}
+		}
+		s.qmu.Unlock()
+	}
 	return snap
 }
 
@@ -262,8 +378,24 @@ func (s *Service) worker() {
 		if !j.state.CompareAndSwap(jobPending, jobRunning) {
 			continue // abandoned while queued; submitter accounted it
 		}
-		resp, err := s.runJob(j)
+		mode := j.req.Mode
+		var demote, probe bool
+		brk := s.breakerFor(j.comp)
+		if brk != nil {
+			demote, probe = brk.plan(s.cfg.Clock(), mode.Profiled())
+			if demote {
+				mode = core.ModePlain
+			}
+		}
+		resp, err := s.runJob(j, mode, demote)
 		j.resp, j.err = resp, err
+		if brk != nil && mode.Profiled() {
+			churn := -1.0 // inconclusive: failed runs yield no counters
+			if err == nil {
+				churn = churnPerK(&resp.Counters)
+			}
+			brk.observe(s.cfg.Clock(), churn, demote, probe)
+		}
 		lat := time.Since(j.enqueued)
 		switch {
 		case err == nil:
@@ -272,7 +404,11 @@ func (s *Service) worker() {
 			s.agg.timeout(lat)
 		default:
 			var pe *panicError
-			s.agg.fail(lat, errors.As(err, &pe))
+			panicked := errors.As(err, &pe)
+			if panicked {
+				s.notePanic(j.comp)
+			}
+			s.agg.fail(lat, panicked)
 		}
 		close(j.done)
 	}
@@ -291,15 +427,17 @@ type panicError struct {
 
 func (e *panicError) Error() string { return fmt.Sprintf("serve: session panic: %v", e.val) }
 
-// runJob executes one session, recovering panics into errors.
-func (s *Service) runJob(j *job) (resp *Response, err error) {
+// runJob executes one session, recovering panics into errors. mode is the
+// effective dispatch mode after any breaker demotion; demoted records it in
+// the response.
+func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp, err = nil, &panicError{val: r}
 		}
 	}()
-	if s.execHook != nil {
-		s.execHook(j.req)
+	if s.cfg.Injector != nil {
+		s.cfg.Injector.BeforeExec(j.req)
 	}
 
 	params := profile.DefaultParams()
@@ -318,13 +456,18 @@ func (s *Service) runJob(j *job) (resp *Response, err error) {
 	}
 
 	var out bytes.Buffer
-	sess, err := core.NewSession(j.comp.Prog, j.comp.CFG, core.SessionOptions{
-		Mode:      j.req.Mode,
+	sopts := core.SessionOptions{
+		Mode:      mode,
 		Params:    params,
+		Config:    s.cfg.TraceCache,
 		Out:       &out,
 		MaxSteps:  maxSteps,
 		Interrupt: &j.interrupt,
-	})
+	}
+	if s.cfg.Injector != nil {
+		sopts.WrapHook = s.cfg.Injector.WrapDispatch
+	}
+	sess, err := core.NewSession(j.comp.Prog, j.comp.CFG, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -332,17 +475,22 @@ func (s *Service) runJob(j *job) (resp *Response, err error) {
 	if err := sess.Run(); err != nil {
 		return nil, err
 	}
+	if s.cfg.Injector != nil {
+		s.cfg.Injector.AfterRun(j.req, sess)
+	}
 	resp = &Response{
 		Program:  j.comp.Name,
 		Key:      j.comp.Key,
-		Mode:     j.req.Mode,
+		Mode:     mode,
 		Output:   out.String(),
 		Counters: sess.Counters.Snapshot(),
 		Metrics:  sess.Metrics(),
+		Demoted:  demoted,
 		Wall:     time.Since(start),
 	}
 	if sess.Cache != nil {
 		resp.NumTraces = sess.Cache.NumTraces()
+		resp.CachedBlocks = sess.Cache.CachedBlocks()
 	}
 	if sess.Graph != nil {
 		resp.BCGNodes = sess.Graph.NumNodes()

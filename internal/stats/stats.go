@@ -44,6 +44,8 @@ type Counters struct {
 	TracesReused    int64 // constructions that hash-consed an existing trace
 	TracesRetired   int64 // traces removed from the dispatch map
 	RebuildRequests int64 // signal-triggered reconstruction passes
+	TracesEvicted   int64 // traces retired by cache budget eviction (also in TracesRetired)
+	BudgetPressure  int64 // trace registrations that forced at least one eviction
 }
 
 // Metrics are the derived dependent values of §5.2.
@@ -146,6 +148,8 @@ func (c *Counters) Add(o *Counters) {
 	c.TracesReused += o.TracesReused
 	c.TracesRetired += o.TracesRetired
 	c.RebuildRequests += o.RebuildRequests
+	c.TracesEvicted += o.TracesEvicted
+	c.BudgetPressure += o.BudgetPressure
 }
 
 // Snapshot returns a value copy of the counters. A session mutates its

@@ -74,6 +74,19 @@ func (ix *Index) Delete(from, to cfg.BlockID) {
 // Len returns the number of registered entry edges.
 func (ix *Index) Len() int { return ix.n }
 
+// Range calls fn for every registered entry edge until fn returns false.
+// Iteration order is unspecified; the invariant checker uses it to verify
+// index/cache agreement.
+func (ix *Index) Range(fn func(from, to cfg.BlockID, t *Trace) bool) {
+	for to, bucket := range ix.byTo {
+		for _, e := range bucket {
+			if !fn(e.from, cfg.BlockID(to), e.t) {
+				return
+			}
+		}
+	}
+}
+
 // Reserve pre-sizes the index for a program with numBlocks global block IDs.
 func (ix *Index) Reserve(numBlocks int) {
 	if numBlocks > len(ix.byTo) {

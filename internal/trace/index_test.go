@@ -76,3 +76,48 @@ func TestIndexGrowthAndReserve(t *testing.T) {
 		t.Fatalf("Lookup after Reserve = %v, want tr", got)
 	}
 }
+
+func TestIndexRange(t *testing.T) {
+	var ix Index
+	t1 := New(1, []cfg.BlockID{2, 3}, 0.97)
+	t2 := New(2, []cfg.BlockID{5, 6}, 0.97)
+	ix.Set(1, 2, t1)
+	ix.Set(9, 2, t1) // second entry edge, same trace
+	ix.Set(4, 5, t2)
+
+	seen := map[[2]cfg.BlockID]*Trace{}
+	ix.Range(func(from, to cfg.BlockID, tr *Trace) bool {
+		seen[[2]cfg.BlockID{from, to}] = tr
+		return true
+	})
+	want := map[[2]cfg.BlockID]*Trace{{1, 2}: t1, {9, 2}: t1, {4, 5}: t2}
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %d edges, want %d", len(seen), len(want))
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Errorf("Range edge %v = %v, want %v", k, seen[k], v)
+		}
+	}
+
+	// Early termination: the callback returning false stops the walk.
+	n := 0
+	ix.Range(func(cfg.BlockID, cfg.BlockID, *Trace) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("Range after false visited %d edges, want 1", n)
+	}
+
+	// Deleted edges disappear from the walk.
+	ix.Delete(9, 2)
+	n = 0
+	ix.Range(func(cfg.BlockID, cfg.BlockID, *Trace) bool {
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Errorf("Range after Delete visited %d edges, want 2", n)
+	}
+}

@@ -1,0 +1,12 @@
+package vm
+
+import "repro/internal/cfg"
+
+// HookFunc adapts a plain function to the DispatchHook interface, the way
+// http.HandlerFunc adapts handlers. The fault-injection harness uses it to
+// interpose on the dispatch stream (delayed blocks, storm generators)
+// without defining a type per injector.
+type HookFunc func(from, to cfg.BlockID)
+
+// OnDispatch implements DispatchHook.
+func (f HookFunc) OnDispatch(from, to cfg.BlockID) { f(from, to) }

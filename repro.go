@@ -214,9 +214,17 @@ func (v *VM) NumBCGNodes() int {
 // every completed session. cmd/tracevmd serves it over HTTP.
 type Service = serve.Service
 
-// ServiceConfig sizes a Service (workers, queue depth, default timeout,
-// step cap).
+// ServiceConfig sizes and governs a Service: workers, queue depth, default
+// timeout, step cap, trace-cache budgets, the churn circuit breaker, and
+// panic quarantine.
 type ServiceConfig = serve.Config
+
+// BreakerConfig tunes the per-program churn circuit breaker.
+type BreakerConfig = serve.BreakerConfig
+
+// Backoff retries service submissions on backpressure with jittered
+// exponential delays.
+type Backoff = serve.Backoff
 
 // ServiceRequest is one execution order submitted to a Service.
 type ServiceRequest = serve.Request
@@ -243,6 +251,8 @@ var (
 	ErrQueueFull = serve.ErrQueueFull
 	// ErrServiceClosed reports submission to a draining/closed service.
 	ErrServiceClosed = serve.ErrClosed
+	// ErrQuarantined reports a program refused after repeated VM panics.
+	ErrQuarantined = serve.ErrQuarantined
 )
 
 // NewService starts a concurrent execution service. Submit with Do from
