@@ -1,0 +1,190 @@
+// Command tracelint statically checks programs for the trace-cache VM: it
+// runs the abstract-interpretation bytecode verifier over every input and,
+// for programs that pass, prints the CFG dataflow facts the runtime consumes
+// as hints (dominators, loop headers, single-successor blocks).
+//
+// Inputs are MiniJava sources (.mj), jasm assembly (.jasm, analyzed without
+// linking so malformed programs still produce a report), or serialized
+// modules (.jtm).
+//
+// Usage:
+//
+//	tracelint prog.jasm other.mj           # human-readable report + facts
+//	tracelint -json prog.jasm              # machine-readable report
+//	tracelint -no-facts prog.jtm           # verification only
+//
+// Exit status is 1 if any input fails to load or is rejected.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/jasm"
+	"repro/internal/minijava"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON object per input file")
+	noFacts := flag.Bool("no-facts", false, "skip the CFG/dominator fact dump, verify only")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint [-json] [-no-facts] file.{mj,jasm,jtm}...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if !lintFile(os.Stdout, path, *jsonOut, !*noFacts) {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// methodFacts is the per-method slice of the JSON fact dump.
+type methodFacts struct {
+	Method       string   `json:"method"`
+	Blocks       int      `json:"blocks"`
+	LoopHeaders  []uint32 `json:"loopHeaderPCs"`
+	UniqueBlocks []uint32 `json:"uniqueBlockPCs"`
+}
+
+type fileResult struct {
+	File   string           `json:"file"`
+	OK     bool             `json:"ok"`
+	Error  string           `json:"error,omitempty"`
+	Report *analysis.Report `json:"report,omitempty"`
+	Facts  []methodFacts    `json:"facts,omitempty"`
+}
+
+// load parses path into a (possibly unlinked) program.
+func load(path string) (*classfile.Program, error) {
+	switch {
+	case strings.HasSuffix(path, ".jtm"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return classfile.Read(f)
+	case strings.HasSuffix(path, ".jasm"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return jasm.AssembleUnlinked(string(src))
+	default:
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return minijava.Compile(string(src))
+	}
+}
+
+// facts links the program (verification already passed, so linking errors
+// are symbol-resolution problems, reported as such) and extracts the
+// dataflow facts per method.
+func facts(prog *classfile.Program) ([]methodFacts, error) {
+	if !prog.Linked() {
+		if err := prog.Link(); err != nil {
+			return nil, err
+		}
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	hints := analysis.ComputeHints(pcfg)
+	var out []methodFacts
+	for _, mc := range pcfg.Methods {
+		if mc == nil {
+			continue
+		}
+		mf := methodFacts{Method: mc.Method.QName(), Blocks: len(mc.Blocks)}
+		for _, b := range mc.Blocks {
+			if hints.IsLoopHeader(b.ID) {
+				mf.LoopHeaders = append(mf.LoopHeaders, b.StartPC())
+			}
+			if hints.UniqueSucc[b.ID] != cfg.NoBlock {
+				mf.UniqueBlocks = append(mf.UniqueBlocks, b.StartPC())
+			}
+		}
+		out = append(out, mf)
+	}
+	return out, nil
+}
+
+func lintFile(w *os.File, path string, jsonOut, wantFacts bool) bool {
+	res := fileResult{File: path}
+	prog, err := load(path)
+	if err != nil {
+		res.Error = err.Error()
+	} else {
+		res.Report = analysis.Verify(prog)
+		res.OK = !res.Report.Reject()
+		if res.OK && wantFacts {
+			if fs, err := facts(prog); err != nil {
+				res.Error = err.Error()
+				res.OK = false
+			} else {
+				res.Facts = fs
+			}
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
+		return res.OK
+	}
+
+	switch {
+	case res.Error != "" && res.Report == nil:
+		fmt.Fprintf(w, "%s: error: %s\n", path, res.Error)
+	case res.Error != "":
+		fmt.Fprintf(w, "%s: error: %s\n", path, res.Error)
+		printReport(w, path, res.Report)
+	default:
+		printReport(w, path, res.Report)
+	}
+	if res.OK {
+		fmt.Fprintf(w, "%s: ok\n", path)
+		for _, mf := range res.Facts {
+			fmt.Fprintf(w, "  %s: %d blocks", mf.Method, mf.Blocks)
+			if len(mf.LoopHeaders) > 0 {
+				fmt.Fprintf(w, ", loop headers at pc %s", pcList(mf.LoopHeaders))
+			}
+			if len(mf.UniqueBlocks) > 0 {
+				fmt.Fprintf(w, ", single-successor blocks at pc %s", pcList(mf.UniqueBlocks))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return res.OK
+}
+
+func printReport(w *os.File, path string, rep *analysis.Report) {
+	for _, f := range rep.Findings {
+		sev := "error"
+		if f.Warn {
+			sev = "warning"
+		}
+		fmt.Fprintf(w, "%s: %s: %s: pc %d: %s: %s\n", path, sev, f.Method, f.PC, f.Rule, f.Message)
+	}
+}
+
+func pcList(pcs []uint32) string {
+	parts := make([]string, len(pcs))
+	for i, pc := range pcs {
+		parts[i] = fmt.Sprint(pc)
+	}
+	return strings.Join(parts, ",")
+}

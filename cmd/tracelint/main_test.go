@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run lints one source written to a temp file and returns (ok, output).
+func run(t *testing.T, name, src string, jsonOut bool) (bool, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	ok := lintFile(out, path, jsonOut, true)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok, string(data)
+}
+
+func TestLintAcceptsAndPrintsFacts(t *testing.T) {
+	ok, out := run(t, "prog.mj", `
+class Main {
+    static void main() {
+        int i = 0;
+        while (i < 10) { i = i + 1; }
+        Sys.printlnInt(i);
+    }
+}
+`, false)
+	if !ok {
+		t.Fatalf("valid program rejected:\n%s", out)
+	}
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "loop headers at pc") {
+		t.Fatalf("missing facts in output:\n%s", out)
+	}
+	if !strings.Contains(out, "single-successor blocks") {
+		t.Fatalf("missing unique-successor facts:\n%s", out)
+	}
+}
+
+func TestLintRejectsWithRule(t *testing.T) {
+	ok, out := run(t, "bad.jasm", `
+.class Main
+.method static main ( ) void
+    pop
+    return
+.end
+.end
+`, false)
+	if ok {
+		t.Fatalf("stack underflow accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "stack-underflow") || !strings.Contains(out, "Main.main") {
+		t.Fatalf("report missing rule or method:\n%s", out)
+	}
+}
+
+func TestLintJSONShape(t *testing.T) {
+	ok, out := run(t, "bad.jasm", `
+.class Main
+.method static main ( ) void
+    pop
+    return
+.end
+.end
+`, true)
+	if ok {
+		t.Fatal("stack underflow accepted")
+	}
+	var res struct {
+		File   string `json:"file"`
+		OK     bool   `json:"ok"`
+		Report struct {
+			Findings []struct {
+				Rule string `json:"rule"`
+			} `json:"findings"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.OK || len(res.Report.Findings) != 1 || res.Report.Findings[0].Rule != "stack-underflow" {
+		t.Fatalf("unexpected JSON result: %+v", res)
+	}
+}
+
+func TestLintUnlinkableJasmStillReported(t *testing.T) {
+	// References a missing method: unlinkable, but the verifier still
+	// produces a precise report because the jasm path analyzes unlinked.
+	ok, out := run(t, "unlinkable.jasm", `
+.class Main
+.method static main ( ) void
+    invokestatic Missing.run
+    return
+.end
+.end
+`, false)
+	if ok {
+		t.Fatalf("bad ref accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "bad-ref-index") {
+		t.Fatalf("missing bad-ref-index finding:\n%s", out)
+	}
+}

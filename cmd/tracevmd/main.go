@@ -39,8 +39,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -63,6 +65,7 @@ func main() {
 		brkAfter    = flag.Int("breaker-after", 3, "consecutive churny runs before the breaker opens")
 		brkCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker demotes a program before probing")
 		quarAfter   = flag.Int("quarantine-after", 3, "VM panics before a program is quarantined (-1 = disabled)")
+		noVerify    = flag.Bool("no-verify", false, "skip bytecode verification of submitted sources")
 	)
 	flag.Parse()
 
@@ -85,6 +88,7 @@ func main() {
 				Cooldown:  *brkCooldown,
 			},
 			QuarantineAfter: *quarAfter,
+			NoVerify:        *noVerify,
 		})
 	}
 	if err != nil {
@@ -168,6 +172,9 @@ type runResponse struct {
 
 type errResponse struct {
 	Error string `json:"error"`
+	// Report carries the structured verification findings when the program
+	// was rejected by the bytecode verifier.
+	Report *analysis.Report `json:"report,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -205,8 +212,15 @@ func newMux(svc *serve.Service) *http.ServeMux {
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 				writeJSON(w, http.StatusGatewayTimeout, errResponse{Error: err.Error()})
 			default:
-				// Compile and runtime errors are the client's fault.
-				writeJSON(w, http.StatusUnprocessableEntity, errResponse{Error: err.Error()})
+				// Compile and runtime errors are the client's fault. A
+				// verifier rejection additionally ships the structured
+				// report so clients can point at the offending instruction.
+				resp := errResponse{Error: err.Error()}
+				var verr *analysis.VerifyError
+				if errors.As(err, &verr) {
+					resp.Report = verr.Report
+				}
+				writeJSON(w, http.StatusUnprocessableEntity, resp)
 			}
 			return
 		}
@@ -353,8 +367,10 @@ func httpRunner(client *http.Client, baseURL string) serve.Runner {
 		if err := json.NewDecoder(hresp.Body).Decode(&wireResp); err != nil {
 			return nil, err
 		}
-		resp := &serve.Response{Output: wireResp.Output}
-		resp.Counters.Instrs = wireResp.Counters.Instrs
+		resp := &serve.Response{
+			Output:   wireResp.Output,
+			Counters: stats.Counters{Instrs: wireResp.Counters.Instrs},
+		}
 		return resp, nil
 	}
 }

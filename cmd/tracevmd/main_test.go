@@ -273,3 +273,58 @@ func TestParseModeAllFive(t *testing.T) {
 		t.Error("parseMode(warp) succeeded")
 	}
 }
+
+func TestRunEndpointVerifierRejection(t *testing.T) {
+	srv, svc := newTestServer(t, serve.Config{Workers: 1})
+
+	// Reads a local never written: runs fine on the zero-initializing VM,
+	// but the verifier must refuse it with a structured report.
+	src := ".class Main\n.method static main ( ) void\n    .locals 1\n    iload 0\n    pop\n    return\n.end\n.end\n.entry Main main\n"
+	body, _ := json.Marshal(map[string]string{"source": src, "kind": "jasm"})
+	resp, m := postRun(t, srv.URL, string(body))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %v", resp.StatusCode, m)
+	}
+	rep, ok := m["report"].(map[string]any)
+	if !ok {
+		t.Fatalf("no structured report in 422 body: %v", m)
+	}
+	findings, ok := rep["findings"].([]any)
+	if !ok || len(findings) == 0 {
+		t.Fatalf("report has no findings: %v", m)
+	}
+	first := findings[0].(map[string]any)
+	if first["rule"] != "uninit-local" {
+		t.Fatalf("rule = %v, want uninit-local", first["rule"])
+	}
+	if first["method"] != "Main.main" {
+		t.Fatalf("method = %v, want Main.main", first["method"])
+	}
+	if snap := svc.Stats(); snap.ProgramsRejected != 1 {
+		t.Errorf("ProgramsRejected = %d, want 1", snap.ProgramsRejected)
+	}
+}
+
+func TestRunEndpointNoVerify(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 1, NoVerify: true})
+	src := ".class Main\n.method static main ( ) void\n    .locals 1\n    iload 0\n    invokestatic Main.print\n    return\n.end\n.native static print ( int ) void println_int\n.end\n.entry Main main\n"
+	body, _ := json.Marshal(map[string]string{"source": src, "kind": "jasm"})
+	resp, m := postRun(t, srv.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with -no-verify: %v", resp.StatusCode, m)
+	}
+	if m["output"] != "0\n" {
+		t.Fatalf("output = %v, want 0", m["output"])
+	}
+}
+
+func TestRunEndpointCompileErrorHasNoReport(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{Workers: 1})
+	resp, m := postRun(t, srv.URL, `{"source":"class {","kind":"minijava"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %v", resp.StatusCode, m)
+	}
+	if _, present := m["report"]; present {
+		t.Fatalf("plain compile error carries a verifier report: %v", m)
+	}
+}

@@ -1,0 +1,198 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+	"repro/internal/jasm"
+	"repro/internal/minijava"
+)
+
+func buildCFG(t *testing.T, src string) *cfg.ProgramCFG {
+	t.Helper()
+	prog, err := jasm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return pcfg
+}
+
+func TestHintsLoopHeaderAndUnique(t *testing.T) {
+	// main: entry → loop header L (cond) → body (goto L, unique) → exit.
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+    .locals 1
+    iconst 0
+    istore 0
+L:  iload 0
+    iconst 10
+    if_icmpge E
+    iinc 0 1
+    goto L
+E:  return
+.end
+.end
+.entry Main main
+`)
+	h := analysis.ComputeHints(pcfg)
+	mc := pcfg.Methods[pcfg.Program.Main.ID]
+
+	if len(h.LoopHeaders()) != 1 {
+		t.Fatalf("want exactly 1 loop header, got %v", h.LoopHeaders())
+	}
+	headerID := h.LoopHeaders()[0]
+	// The loop header is the conditional block at label L.
+	if b := pcfg.Block(headerID); b.Kind != bytecode.FlowCond {
+		t.Fatalf("loop header %v has kind %v, want conditional", b, b.Kind)
+	}
+
+	// The entry block (iconst/istore, split by leader L) and the goto-L
+	// body block both have exactly one static successor.
+	entryID := mc.Entry.ID
+	if h.UniqueSucc[entryID] != headerID {
+		t.Fatalf("entry block unique successor = %d, want %d", h.UniqueSucc[entryID], headerID)
+	}
+	// The conditional header has two successors: not unique.
+	if h.UniqueSucc[headerID] != cfg.NoBlock {
+		t.Fatalf("conditional header classified unique")
+	}
+}
+
+func TestHintsSwitchClassification(t *testing.T) {
+	// A switch whose arms all target the same block is still one static
+	// successor; a switch with distinct arms is not.
+	pcfg := buildCFG(t, `
+.class Main
+.method static degenerate ( int ) void
+    iload 0
+    tableswitch 0 S S S
+S:  return
+.end
+.method static spread ( int ) void
+    iload 0
+    tableswitch 0 A B C
+A:  return
+B:  return
+C:  return
+.end
+.method static main ( ) void
+    return
+.end
+.end
+.entry Main main
+`)
+	h := analysis.ComputeHints(pcfg)
+	prog := pcfg.Program
+	var degen, spread *cfg.MethodCFG
+	for _, m := range prog.Methods {
+		switch m.Name {
+		case "degenerate":
+			degen = pcfg.Methods[m.ID]
+		case "spread":
+			spread = pcfg.Methods[m.ID]
+		}
+	}
+	dswitch := degen.Entry
+	if got := h.UniqueSucc[dswitch.ID]; got == cfg.NoBlock {
+		t.Fatalf("degenerate switch (all arms to one block) not classified unique")
+	}
+	if got := h.UniqueSucc[spread.Entry.ID]; got != cfg.NoBlock {
+		t.Fatalf("spread switch classified unique (successor %d)", got)
+	}
+}
+
+func TestHintsExceptionCoverageDisqualifies(t *testing.T) {
+	// A straight-line block under a catch range must not be classified
+	// unique: any instruction in it can transfer to the handler.
+	prog, err := minijava.Compile(`
+class Oops { int code; }
+class Main {
+    static void main() {
+        int x = 0;
+        try {
+            x = x + 1;
+            if (x > 10) { throw new Oops(); }
+        } catch (Oops e) {
+            x = 2;
+        }
+        Sys.printlnInt(x);
+    }
+}
+`)
+	if err != nil {
+		t.Fatalf("minijava compile failed: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := analysis.ComputeHints(pcfg)
+	for _, mc := range pcfg.Methods {
+		if mc == nil {
+			continue
+		}
+		for _, hd := range mc.Method.Handlers {
+			for _, b := range mc.Blocks {
+				if hd.Covers(b.StartPC()) && h.UniqueSucc[b.ID] != cfg.NoBlock {
+					t.Fatalf("covered block %v classified unique", b)
+				}
+			}
+		}
+	}
+}
+
+func TestHintsExceptionCoverageDisqualifiesJasm(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Err
+.end
+.class Main
+.method static main ( ) void
+    .locals 1
+    iconst 1
+    istore 0
+L0: iconst 2
+    istore 0
+    goto E
+L1: astore 0
+E:  return
+    .catch Err from L0 to L1 using L1
+.end
+.end
+.entry Main main
+`)
+	h := analysis.ComputeHints(pcfg)
+	mc := pcfg.Methods[pcfg.Program.Main.ID]
+	hd := mc.Method.Handlers[0]
+	var covered []*cfg.Block
+	for _, b := range mc.Blocks {
+		for _, in := range b.Instrs {
+			if hd.Covers(in.PC) {
+				covered = append(covered, b)
+				break
+			}
+		}
+	}
+	if len(covered) == 0 {
+		t.Fatal("no block inside the protected range")
+	}
+	for _, b := range covered {
+		if h.UniqueSucc[b.ID] != cfg.NoBlock {
+			t.Fatalf("handler-covered block %v classified unique", b)
+		}
+	}
+	// The handler entry must be a dominator-tree root: no idom.
+	he := mc.HandlerEntries()
+	if len(he) != 1 {
+		t.Fatalf("want 1 handler entry, got %d", len(he))
+	}
+	if h.Idom[he[0].ID] != cfg.NoBlock {
+		t.Fatalf("handler entry has idom %d, want none", h.Idom[he[0].ID])
+	}
+}

@@ -96,6 +96,30 @@ type MethodCFG struct {
 // BlockAtPC returns the block starting at the given byte offset, or nil.
 func (m *MethodCFG) BlockAtPC(pc uint32) *Block { return m.byPC[pc] }
 
+// HandlerEntries returns the blocks that begin the method's exception
+// handlers, deduplicated, in exception-table order. These are the targets of
+// the method's dynamic (throw) edges.
+func (m *MethodCFG) HandlerEntries() []*Block {
+	var out []*Block
+	for _, h := range m.Method.Handlers {
+		b := m.byPC[h.HandlerPC]
+		if b == nil {
+			continue
+		}
+		dup := false
+		for _, x := range out {
+			if x == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // ProgramCFG holds the CFGs of every method plus the global block table.
 type ProgramCFG struct {
 	Program *classfile.Program

@@ -346,3 +346,146 @@ handler:
 		t.Fatal("handler pc is not a block leader")
 	}
 }
+
+func TestSwitchSuccessorsDeduplicated(t *testing.T) {
+	// A switch whose default and every arm share one target must report a
+	// single deduplicated static successor; partially shared arms dedup to
+	// the distinct set.
+	pcfg := build(t, `
+.class Main
+.method static degenerate ( int ) void
+    iload 0
+    tableswitch 0 s s s s
+s:
+    return
+.end
+.method static shared ( int ) void
+    iload 0
+    lookupswitch d 1:a 2:a 3:b
+a:
+    return
+b:
+    return
+d:
+    return
+.end
+.method static main ( ) void
+    return
+.end
+.end
+.entry Main main
+`)
+	var degen, shared *cfg.MethodCFG
+	for _, m := range pcfg.Program.Methods {
+		switch m.Name {
+		case "degenerate":
+			degen = pcfg.Methods[m.ID]
+		case "shared":
+			shared = pcfg.Methods[m.ID]
+		}
+	}
+	dsw := degen.Entry
+	if dsw.Kind != bytecode.FlowSwitch {
+		t.Fatalf("degenerate entry kind = %v", dsw.Kind)
+	}
+	if len(dsw.SwitchTargets) != 3 {
+		t.Fatalf("degenerate switch targets = %d, want 3", len(dsw.SwitchTargets))
+	}
+	if succ := dsw.StaticSuccessors(); len(succ) != 1 {
+		t.Errorf("degenerate successors = %v, want 1 after dedup", succ)
+	}
+	ssw := shared.Entry
+	if ssw.Kind != bytecode.FlowSwitch {
+		t.Fatalf("shared entry kind = %v", ssw.Kind)
+	}
+	if succ := ssw.StaticSuccessors(); len(succ) != 3 {
+		t.Errorf("shared successors = %v, want 3 distinct (a, b, d)", succ)
+	}
+}
+
+func TestStaticSuccessorsExcludeHandlerEdges(t *testing.T) {
+	// Exception edges are dynamic: a protected block never lists its
+	// handler among StaticSuccessors, even though the handler entry is
+	// reachable at runtime; HandlerEntries exposes it instead.
+	pcfg := build(t, `
+.class Boom
+.end
+.class Main
+.method static main ( ) void
+    .locals 1
+a:
+    iconst 1
+    istore 0
+    goto done
+b:
+handler:
+    astore 0
+done:
+    return
+.catch Boom from a to b using handler
+.end
+.end
+.entry Main main
+`)
+	mc := pcfg.Methods[pcfg.Program.Main.ID]
+	h := pcfg.Program.Main.Handlers[0]
+	handlerBlock := mc.BlockAtPC(h.HandlerPC)
+	if handlerBlock == nil {
+		t.Fatal("handler pc is not a block leader")
+	}
+	for _, b := range mc.Blocks {
+		if b == handlerBlock {
+			continue
+		}
+		covered := false
+		for _, in := range b.Instrs {
+			if h.Covers(in.PC) {
+				covered = true
+			}
+		}
+		if !covered {
+			continue
+		}
+		for _, s := range b.StaticSuccessors() {
+			if s == handlerBlock.ID {
+				t.Errorf("block %v lists handler %v as a static successor", b, handlerBlock)
+			}
+		}
+	}
+	entries := mc.HandlerEntries()
+	if len(entries) != 1 || entries[0] != handlerBlock {
+		t.Fatalf("HandlerEntries = %v, want [%v]", entries, handlerBlock)
+	}
+}
+
+func TestHandlerEntriesDeduplicated(t *testing.T) {
+	// Two table entries sharing one handler block yield a single entry.
+	pcfg := build(t, `
+.class Boom
+.end
+.class Main
+.method static main ( ) void
+    .locals 1
+a:
+    iconst 1
+    istore 0
+b:
+    iconst 2
+    istore 0
+    goto done
+c:
+handler:
+    astore 0
+done:
+    return
+.catch Boom from a to b using handler
+.catch * from b to c using handler
+.end
+.end
+.entry Main main
+`)
+	mc := pcfg.Methods[pcfg.Program.Main.ID]
+	if got := mc.HandlerEntries(); len(got) != 1 {
+		t.Fatalf("HandlerEntries = %v, want exactly 1 deduplicated entry", got)
+	}
+}

@@ -104,6 +104,8 @@ func (c *Cache) Bind(g *profile.Graph) { c.graph = g }
 func (c *Cache) Config() Config { return c.conf }
 
 // Lookup implements trace.Source.
+//
+//tracevm:hotpath
 func (c *Cache) Lookup(from, to cfg.BlockID) *trace.Trace {
 	return c.ix.Lookup(from, to)
 }
@@ -227,6 +229,13 @@ func (c *Cache) findEntries(n *profile.Node) []*profile.Node {
 	for len(queue) > 0 && len(visited) <= c.conf.MaxBacktrack {
 		cur := queue[0]
 		queue = queue[1:]
+		if c.ix.LoopHeader(cur.Y) {
+			// Static dataflow marked Y as a loop header: stop backtracking
+			// here so the trace entry aligns with the loop boundary instead
+			// of wandering into the code before the loop.
+			roots = append(roots, cur)
+			continue
+		}
 		strong := cur.StrongIn()
 		if len(strong) == 0 {
 			roots = append(roots, cur)

@@ -446,3 +446,29 @@ func TestPropertyCacheInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLoopHeaderHintBoundsBacktracking(t *testing.T) {
+	p := profile.Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 64}
+
+	// Without hints, backtracking from any signal runs to the chain root:
+	// the only trace entry is the first edge (0,1).
+	plain := newDriver(t, p)
+	plain.replay(400, 0, 1, 2, 3, 4)
+	if plain.c.Lookup(0, 1) == nil {
+		t.Fatal("unhinted: no trace entered at chain root")
+	}
+	if plain.c.Lookup(1, 2) != nil {
+		t.Fatal("unhinted: unexpected trace entry at the interior edge (1,2)")
+	}
+
+	// With block 2 marked a loop header, backtracking stops at the branch
+	// context entering it, so a trace entered at (1,2) must exist.
+	hinted := newDriver(t, p)
+	hinted.c.Index().SetLoopHeaders([]cfg.BlockID{2})
+	hinted.replay(400, 0, 1, 2, 3, 4)
+	if hinted.c.Lookup(1, 2) == nil {
+		t.Fatalf("hinted: no trace entered at the loop header edge\n%s", hinted.c.Dump())
+	}
+	hinted.check(t)
+	plain.check(t)
+}

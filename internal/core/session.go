@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/classfile"
 	"repro/internal/profile"
@@ -81,6 +82,11 @@ type SessionOptions struct {
 	// harness uses it to delay or perturb the dispatch stream. Production
 	// paths leave it nil and pay nothing.
 	WrapHook func(vm.DispatchHook) vm.DispatchHook
+	// Hints, if set, carries static dataflow facts (analysis.ComputeHints):
+	// blocks with exactly one static successor seed their BCG nodes
+	// pre-classified unique, and loop headers bound trace-cache
+	// backtracking. Nil keeps the paper's purely dynamic baseline.
+	Hints *analysis.Hints
 }
 
 // NewSession builds a session over a linked program and its CFGs.
@@ -109,6 +115,10 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 			// block count so the hot loop never grows them.
 			g.Reserve(pcfg.NumBlocks())
 			cache.Reserve(pcfg.NumBlocks())
+		}
+		if opts.Hints != nil {
+			g.SetStaticHints(opts.Hints.UniqueBlocks())
+			cache.Index().SetLoopHeaders(opts.Hints.LoopHeaders())
 		}
 		s.Graph = g
 		s.Cache = cache

@@ -2,6 +2,8 @@ package core_test
 
 import (
 	"bytes"
+
+	"repro/internal/analysis"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -218,5 +220,41 @@ func TestInterruptMidRun(t *testing.T) {
 		if trap, ok := vm.AsTrap(err); !ok || trap.Kind != vm.TrapInterrupted {
 			t.Fatalf("error = %v, want TrapInterrupted", err)
 		}
+	}
+}
+
+func TestSessionWithStaticHints(t *testing.T) {
+	prog, err := jasm.Assemble(loopProgram)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	pcfg, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	hints := analysis.ComputeHints(pcfg)
+	if len(hints.UniqueBlocks()) == 0 || len(hints.LoopHeaders()) == 0 {
+		t.Fatalf("loop program yields no hints (unique=%d headers=%d)",
+			len(hints.UniqueBlocks()), len(hints.LoopHeaders()))
+	}
+
+	out := &bytes.Buffer{}
+	s, err := core.NewSession(prog, pcfg, core.SessionOptions{
+		Mode: core.ModeTrace, Out: out, Hints: hints,
+	})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.String() != "49995000\n" {
+		t.Errorf("hinted run output = %q, want %q", out.String(), "49995000\n")
+	}
+	if s.Counters.NodesSeededUnique == 0 {
+		t.Error("hinted run seeded no unique nodes")
+	}
+	if s.Cache.NumTraces() == 0 {
+		t.Error("hinted run built no traces")
 	}
 }

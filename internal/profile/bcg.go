@@ -213,6 +213,11 @@ type Graph struct {
 	nodeMem  []Node
 	edgeMem  []Edge
 	edgeFree []*Edge
+
+	// hintUnique[y] marks block y as having exactly one static successor
+	// (per the CFG dataflow pass): nodes N_XY for such a Y are created
+	// pre-classified unique, skipping the start-state delay.
+	hintUnique []bool
 }
 
 // New creates an empty graph. ctr and listener may be nil.
@@ -238,6 +243,27 @@ func (g *Graph) Reserve(numBlocks int) {
 		rows := make([][]*Node, numBlocks)
 		copy(rows, g.rows)
 		g.rows = rows
+	}
+}
+
+// SetStaticHints marks blocks with exactly one static CFG successor. A
+// branch out of such a block can only ever be observed with one target, so
+// its nodes are born unique: the first dispatch recording a correlation
+// evaluates (and signals) immediately instead of waiting out the start
+// delay. Dynamic evolution — decay, eviction, re-evaluation — then treats
+// the node exactly like any organically classified one. Call before the
+// profiled run; hints accumulate across calls.
+func (g *Graph) SetStaticHints(unique []cfg.BlockID) {
+	for _, y := range unique {
+		if y == cfg.NoBlock {
+			continue
+		}
+		if int(y) >= len(g.hintUnique) {
+			grown := make([]bool, growTo(int(y)+1))
+			copy(grown, g.hintUnique)
+			g.hintUnique = grown
+		}
+		g.hintUnique[y] = true
 	}
 }
 
@@ -269,6 +295,8 @@ func (g *Graph) ResetContext() { g.cur = nil }
 
 // OnDispatch implements vm.DispatchHook. from→to is the dispatch edge that
 // just executed; the previous context (X, Y) satisfies Y == from.
+//
+//tracevm:hotpath
 func (g *Graph) OnDispatch(from, to cfg.BlockID) {
 	ctx := g.cur
 	if ctx == nil || ctx.Y != from {
@@ -306,17 +334,24 @@ func (g *Graph) OnDispatch(from, to cfg.BlockID) {
 	// Never seen in this context: construct a new branch correlation and
 	// insert it into the branch context at its sorted position.
 	e := g.allocEdge()
+	//tracevm:allow-alloc (value copy into arena-backed edge, not a heap allocation)
 	*e = Edge{Owner: ctx, To: g.getNode(from, to), Z: to, Count: 1}
 	if len(ctx.Edges) == cap(ctx.Edges) {
 		g.ctr.EdgeSpills++
 	}
-	ctx.Edges = append(ctx.Edges, nil)
+	ctx.Edges = append(ctx.Edges, nil) //tracevm:allow-alloc (cold: first sighting of a successor; spills past the inline array are counted)
 	copy(ctx.Edges[i+1:], ctx.Edges[i:])
 	ctx.Edges[i] = e
-	e.To.In = append(e.To.In, e)
+	e.To.In = append(e.To.In, e) //tracevm:allow-alloc (cold: same first-sighting path)
 	g.ctr.EdgesCreated++
 	if ctx.Best == nil {
 		ctx.Best = e
+	}
+	if ctx.startDelay < 0 && len(ctx.Edges) == 1 {
+		// A hint-seeded node just observed its first (and statically only)
+		// successor: confirm the unique classification and signal the trace
+		// cache now, with zero start-delay dispatches.
+		g.evaluate(ctx)
 	}
 	g.bumpNode(ctx)
 	g.cur = e.To
@@ -372,6 +407,15 @@ func (g *Graph) getNode(x, y cfg.BlockID) *Node {
 		// first evaluated.
 		n.startDelay = 0
 	}
+	if int(y) < len(g.hintUnique) && g.hintUnique[y] {
+		// Statically proven single-successor block: born unique, no start
+		// delay. startDelay = -1 tags the node as hint-seeded so the first
+		// recorded correlation evaluates immediately; ackState stays
+		// StateNew so that evaluation signals the trace cache.
+		n.State = StateUnique
+		n.startDelay = -1
+		g.ctr.NodesSeededUnique++
+	}
 	g.rows[x][y] = n
 	g.all = append(g.all, n)
 	g.ctr.NodesCreated++
@@ -391,6 +435,8 @@ func growTo(n int) int {
 // bumpEdge increments a 16-bit correlation counter, saturating rather than
 // wrapping; with the standard 256-dispatch decay the bound is never reached,
 // but pathological decay intervals must not corrupt the ratios.
+//
+//tracevm:hotpath
 func bumpEdge(e *Edge) {
 	if e.Count < ^uint16(0) {
 		e.Count++
@@ -399,6 +445,8 @@ func bumpEdge(e *Edge) {
 
 // bumpNode increments the node's execution counter, handles start-state
 // expiry, and runs the periodic decay check.
+//
+//tracevm:hotpath
 func (g *Graph) bumpNode(n *Node) {
 	if n.Total < ^uint16(0) {
 		n.Total++

@@ -440,3 +440,76 @@ func TestStateStrings(t *testing.T) {
 		t.Error("new/weak must not be correlated")
 	}
 }
+
+func TestStaticHintSeedsUniqueWithZeroDelay(t *testing.T) {
+	// Block 2 is statically proven single-successor: its nodes must be born
+	// unique and signal on the very first recorded correlation, with zero
+	// start-delay dispatches consumed. Block 5 is the unhinted control and
+	// must wait out the full delay.
+	g, rec, ctr := newGraph(t, Params{StartDelay: 64, Threshold: 0.97, DecayInterval: 1 << 30})
+	g.SetStaticHints([]cfg.BlockID{2})
+
+	feed(g, 1, 2, 3)
+	n12 := g.Node(1, 2)
+	if n12 == nil {
+		t.Fatal("node (1,2) not created")
+	}
+	if n12.State != StateUnique {
+		t.Fatalf("hinted node state = %v, want unique", n12.State)
+	}
+	if n12.startDelay >= 0 {
+		t.Fatalf("hinted node consumed start delay (startDelay=%d)", n12.startDelay)
+	}
+	if ctr.NodesSeededUnique != 1 {
+		t.Fatalf("NodesSeededUnique = %d, want 1", ctr.NodesSeededUnique)
+	}
+	if len(rec.signals) != 1 {
+		t.Fatalf("want 1 signal after first correlation, got %d", len(rec.signals))
+	}
+	sig := rec.signals[0]
+	if sig.Node != n12 || sig.NewState != StateUnique || sig.NewBest != 3 {
+		t.Fatalf("bad signal: %+v", sig)
+	}
+
+	// Control: an unhinted node stays StateNew until the delay expires.
+	g.ResetContext()
+	feed(g, 4, 5, 6)
+	n45 := g.Node(4, 5)
+	if n45.State != StateNew {
+		t.Fatalf("unhinted node state = %v, want new", n45.State)
+	}
+	if n45.startDelay != 63 {
+		t.Fatalf("unhinted node startDelay = %d, want 63", n45.startDelay)
+	}
+	if len(rec.signals) != 1 {
+		t.Fatalf("unhinted node signaled early: %d signals", len(rec.signals))
+	}
+}
+
+func TestStaticHintSeededCounter(t *testing.T) {
+	g, _, ctr := newGraph(t, Params{StartDelay: 64, Threshold: 0.97, DecayInterval: 1 << 30})
+	g.SetStaticHints([]cfg.BlockID{2, 3})
+	feed(g, 1, 2, 3, 7)
+	// Nodes created: (1,2) hinted, (2,3) hinted, (3,7) not.
+	if ctr.NodesCreated != 3 {
+		t.Fatalf("NodesCreated = %d, want 3", ctr.NodesCreated)
+	}
+	if ctr.NodesSeededUnique != 2 {
+		t.Fatalf("NodesSeededUnique = %d, want 2", ctr.NodesSeededUnique)
+	}
+}
+
+func TestStaticHintDecayKeepsNodeLive(t *testing.T) {
+	// After seeding, dynamic evolution proceeds as usual: decay halves the
+	// counts but the unique classification survives re-evaluation.
+	g, _, _ := newGraph(t, Params{StartDelay: 64, Threshold: 0.97, DecayInterval: 8})
+	g.SetStaticHints([]cfg.BlockID{2})
+	for i := 0; i < 100; i++ {
+		feed(g, 1, 2, 3)
+		g.ResetContext()
+	}
+	n12 := g.Node(1, 2)
+	if n12.State != StateUnique {
+		t.Fatalf("state after decay churn = %v, want unique", n12.State)
+	}
+}

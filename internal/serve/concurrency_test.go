@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -26,7 +27,11 @@ func serialRun(t *testing.T, name string, mode core.Mode) (string, stats.Counter
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	sess, err := core.NewSession(prog, pcfg, core.SessionOptions{Mode: mode, Out: &out})
+	// The service attaches the registration-time static hints to every run;
+	// the serial ground truth must match its configuration exactly.
+	sess, err := core.NewSession(prog, pcfg, core.SessionOptions{
+		Mode: mode, Out: &out, Hints: analysis.ComputeHints(pcfg),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

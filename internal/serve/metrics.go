@@ -48,6 +48,10 @@ type Snapshot struct {
 	// CompileErrors counts requests refused because their program did not
 	// compile; they are never enqueued.
 	CompileErrors int64
+	// ProgramsRejected counts requests refused because their program failed
+	// bytecode verification (a subset of registration failures, reported
+	// separately from CompileErrors); they are never enqueued.
+	ProgramsRejected int64
 	// Quarantined counts requests refused with ErrQuarantined; they are
 	// never enqueued.
 	Quarantined int64
@@ -98,6 +102,7 @@ type aggregator struct {
 	timedOut     int64
 	panics       int64
 	compileErr   int64
+	verifyRejct  int64
 	quarantRejct int64
 	global       stats.Counters
 	perProgram   map[string]*programAgg
@@ -132,6 +137,12 @@ func (a *aggregator) reject() {
 func (a *aggregator) compileError() {
 	a.mu.Lock()
 	a.compileErr++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) verifyReject() {
+	a.mu.Lock()
+	a.verifyRejct++
 	a.mu.Unlock()
 }
 
@@ -191,18 +202,19 @@ func (a *aggregator) snapshot() Snapshot {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	s := Snapshot{
-		Accepted:      a.accepted,
-		Rejected:      a.rejected,
-		Completed:     a.completed,
-		Failed:        a.failed,
-		TimedOut:      a.timedOut,
-		Panics:        a.panics,
-		CompileErrors: a.compileErr,
-		Quarantined:   a.quarantRejct,
-		Global:        a.global.Snapshot(),
-		GlobalMetrics: a.global.Derive(),
-		PerProgram:    make(map[string]ProgramStats, len(a.perProgram)),
-		TotalLatency:  a.totalLat,
+		Accepted:         a.accepted,
+		Rejected:         a.rejected,
+		Completed:        a.completed,
+		Failed:           a.failed,
+		TimedOut:         a.timedOut,
+		Panics:           a.panics,
+		CompileErrors:    a.compileErr,
+		ProgramsRejected: a.verifyRejct,
+		Quarantined:      a.quarantRejct,
+		Global:           a.global.Snapshot(),
+		GlobalMetrics:    a.global.Derive(),
+		PerProgram:       make(map[string]ProgramStats, len(a.perProgram)),
+		TotalLatency:     a.totalLat,
 	}
 	for name, p := range a.perProgram {
 		s.PerProgram[name] = ProgramStats{

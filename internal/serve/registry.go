@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/classfile"
 	"repro/internal/jasm"
@@ -56,6 +57,10 @@ type Compiled struct {
 	Name string
 	Prog *classfile.Program
 	CFG  *cfg.ProgramCFG
+	// Hints are the static dataflow facts computed once at registration and
+	// shared by every session that runs the program (sessions only read
+	// them).
+	Hints *analysis.Hints
 }
 
 const regShards = 16
@@ -69,6 +74,11 @@ type Registry struct {
 	shards [regShards]regShard
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// NoVerify skips bytecode verification of submitted sources. Set it
+	// before the registry receives requests; built-in workloads are always
+	// trusted and never verified here.
+	NoVerify bool
 }
 
 type regShard struct {
@@ -137,7 +147,11 @@ func (r *Registry) resolve(key, name string, compile func() (*classfile.Program,
 			e.err = err
 			return
 		}
-		e.c = &Compiled{Key: key, Name: name, Prog: prog, CFG: pcfg}
+		c := &Compiled{Key: key, Name: name, Prog: prog, CFG: pcfg}
+		if pcfg != nil {
+			c.Hints = analysis.ComputeHints(pcfg)
+		}
+		e.c = c
 	})
 	return e.c, e.err
 }
@@ -161,6 +175,15 @@ func (r *Registry) Source(kind SourceKind, src string) (*Compiled, error) {
 		}
 		if err != nil {
 			return nil, nil, err
+		}
+		if !r.NoVerify {
+			// Submitted bytecode is untrusted: reject structurally invalid
+			// programs before they reach the dispatch engine. The rejection
+			// (a *analysis.VerifyError carrying the full report) is cached
+			// like any compile error, so resubmitting costs one map lookup.
+			if rep := analysis.Verify(prog); rep.Reject() {
+				return nil, nil, fmt.Errorf("serve: program rejected by verifier: %w", rep.Err())
+			}
 		}
 		pcfg, err := cfg.BuildProgram(prog)
 		if err != nil {

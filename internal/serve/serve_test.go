@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 )
 
@@ -415,5 +416,77 @@ func TestModeStringsRoundTrip(t *testing.T) {
 	}
 	if fmt.Sprint(KindMiniJava, KindJasm) != "minijava jasm" {
 		t.Errorf("SourceKind strings changed: %v %v", KindMiniJava, KindJasm)
+	}
+}
+
+// uninitSource reads a local no path ever wrote: the VM's zero-initialized
+// frames run it happily, but the verifier must refuse it — the pair proves
+// the gate is the verifier, not the interpreter.
+const uninitSource = `
+.class Main
+.method static main ( ) void
+    .locals 1
+    iload 0
+    invokestatic Main.print
+    return
+.end
+.native static print ( int ) void println_int
+.end
+.entry Main main
+`
+
+func TestDoRejectsUnverifiableSource(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	_, err := s.Do(context.Background(), Request{Source: uninitSource, Kind: KindJasm})
+	if err == nil {
+		t.Fatal("unverifiable program accepted")
+	}
+	var verr *analysis.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error is not a *analysis.VerifyError: %v", err)
+	}
+	if got := verr.Report.Errors()[0].Rule; got != analysis.RuleUninitLocal {
+		t.Fatalf("rule = %s, want %s", got, analysis.RuleUninitLocal)
+	}
+
+	// The rejection is cached like a compile error: resubmitting hits the
+	// registry and is refused again without recompiling.
+	if _, err2 := s.Do(context.Background(), Request{Source: uninitSource, Kind: KindJasm}); err2 == nil {
+		t.Fatal("resubmitted unverifiable program accepted")
+	}
+	snap := s.Stats()
+	if snap.ProgramsRejected != 2 {
+		t.Errorf("ProgramsRejected = %d, want 2", snap.ProgramsRejected)
+	}
+	if snap.CompileErrors != 0 {
+		t.Errorf("CompileErrors = %d, want 0 (verification rejections are counted separately)", snap.CompileErrors)
+	}
+	if snap.Programs != 1 {
+		t.Errorf("registry holds %d entries, want 1 (cached rejection)", snap.Programs)
+	}
+}
+
+func TestNoVerifySkipsTheGate(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, NoVerify: true})
+	resp, err := s.Do(context.Background(), Request{Source: uninitSource, Kind: KindJasm})
+	if err != nil {
+		t.Fatalf("NoVerify service refused the program: %v", err)
+	}
+	if resp.Output != "0\n" {
+		t.Errorf("output = %q, want %q (zero-initialized local)", resp.Output, "0\n")
+	}
+	if snap := s.Stats(); snap.ProgramsRejected != 0 {
+		t.Errorf("ProgramsRejected = %d, want 0", snap.ProgramsRejected)
+	}
+}
+
+func TestCompileErrorNotCountedAsRejected(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	if _, err := s.Do(context.Background(), Request{Source: "class {", Kind: KindMiniJava}); err == nil {
+		t.Fatal("syntactically invalid program accepted")
+	}
+	snap := s.Stats()
+	if snap.CompileErrors != 1 || snap.ProgramsRejected != 0 {
+		t.Errorf("CompileErrors=%d ProgramsRejected=%d, want 1/0", snap.CompileErrors, snap.ProgramsRejected)
 	}
 }

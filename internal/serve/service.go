@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/profile"
 	"repro/internal/stats"
@@ -58,6 +59,10 @@ type Config struct {
 	// Injector, when non-nil, interposes on every run (see Injector). The
 	// fault-injection harness is its only intended user.
 	Injector Injector
+	// NoVerify disables bytecode verification of submitted sources (the
+	// default is to verify and refuse invalid programs before they are
+	// registered).
+	NoVerify bool
 }
 
 func (c *Config) fillDefaults() {
@@ -182,6 +187,7 @@ func New(cfg Config) *Service {
 		jobs:   make(chan *job, cfg.QueueDepth),
 		panics: make(map[string]int),
 	}
+	s.reg.NoVerify = cfg.NoVerify
 	if cfg.Breaker.ChurnPerK > 0 {
 		s.breakers = make(map[string]*breaker)
 	}
@@ -260,7 +266,12 @@ func churnPerK(ctr *stats.Counters) float64 {
 func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	comp, err := s.resolve(req)
 	if err != nil {
-		s.agg.compileError()
+		var verr *analysis.VerifyError
+		if errors.As(err, &verr) {
+			s.agg.verifyReject()
+		} else {
+			s.agg.compileError()
+		}
 		return nil, err
 	}
 	if s.quarantined(comp) {
@@ -463,6 +474,7 @@ func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, 
 		Out:       &out,
 		MaxSteps:  maxSteps,
 		Interrupt: &j.interrupt,
+		Hints:     j.comp.Hints,
 	}
 	if s.cfg.Injector != nil {
 		sopts.WrapHook = s.cfg.Injector.WrapDispatch

@@ -34,6 +34,7 @@ type Counters struct {
 	// Profiler counters.
 	ProfiledDispatches int64 // dispatches that executed the profiler hook
 	NodesCreated       int64 // branch correlation graph nodes created
+	NodesSeededUnique  int64 // nodes created pre-classified unique by static hints
 	EdgesCreated       int64 // branch correlation edges created
 	EdgeSpills         int64 // edge lists grown past their inline capacity
 	DecayChecks        int64 // periodic decay invocations
@@ -140,6 +141,7 @@ func (c *Counters) Add(o *Counters) {
 	c.InstrsInCompletedTraces += o.InstrsInCompletedTraces
 	c.ProfiledDispatches += o.ProfiledDispatches
 	c.NodesCreated += o.NodesCreated
+	c.NodesSeededUnique += o.NodesSeededUnique
 	c.EdgesCreated += o.EdgesCreated
 	c.EdgeSpills += o.EdgeSpills
 	c.DecayChecks += o.DecayChecks

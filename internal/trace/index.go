@@ -15,6 +15,13 @@ import "repro/internal/cfg"
 type Index struct {
 	byTo [][]indexEntry
 	n    int
+
+	// loopHdr[id] marks block id as a statically detected loop header (a
+	// dominating branch target of a CFG back edge). The trace constructor
+	// treats branch contexts entering such a block as backtracking roots,
+	// aligning trace entries with loop boundaries. Purely advisory: empty
+	// unless static hints were computed and attached.
+	loopHdr []bool
 }
 
 type indexEntry struct {
@@ -23,6 +30,8 @@ type indexEntry struct {
 }
 
 // Lookup returns the trace registered on the dispatch edge from→to, or nil.
+//
+//tracevm:hotpath
 func (ix *Index) Lookup(from, to cfg.BlockID) *Trace {
 	if int(to) >= len(ix.byTo) {
 		return nil
@@ -85,6 +94,27 @@ func (ix *Index) Range(fn func(from, to cfg.BlockID, t *Trace) bool) {
 			}
 		}
 	}
+}
+
+// SetLoopHeaders marks blocks as statically detected loop headers. Hints
+// accumulate across calls; cfg.NoBlock entries are ignored.
+func (ix *Index) SetLoopHeaders(ids []cfg.BlockID) {
+	for _, id := range ids {
+		if id == cfg.NoBlock {
+			continue
+		}
+		if int(id) >= len(ix.loopHdr) {
+			grown := make([]bool, growTo(int(id)+1))
+			copy(grown, ix.loopHdr)
+			ix.loopHdr = grown
+		}
+		ix.loopHdr[id] = true
+	}
+}
+
+// LoopHeader reports whether block id was marked as a loop header.
+func (ix *Index) LoopHeader(id cfg.BlockID) bool {
+	return id != cfg.NoBlock && int(id) < len(ix.loopHdr) && ix.loopHdr[id]
 }
 
 // Reserve pre-sizes the index for a program with numBlocks global block IDs.

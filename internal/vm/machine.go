@@ -138,6 +138,8 @@ func (m *Machine) Program() *classfile.Program { return m.prog }
 func (m *Machine) CFG() *cfg.ProgramCFG { return m.cfg }
 
 // Run executes the program's entry method to completion.
+//
+//tracevm:hotpath
 func (m *Machine) Run() error {
 	main := m.prog.Main
 	entry := m.cfg.MethodEntry(main)
@@ -194,6 +196,8 @@ func (m *Machine) Run() error {
 // It returns the block to dispatch next after completion or side exit, plus
 // the ID of the last block the trace actually executed (the "from" side of
 // the next dispatch edge).
+//
+//tracevm:hotpath
 func (m *Machine) runTrace(t *trace.Trace) (next *cfg.Block, last cfg.BlockID, halted bool, err error) {
 	t.Entered++
 	m.ctr.TracesEntered++
@@ -203,10 +207,11 @@ func (m *Machine) runTrace(t *trace.Trace) (next *cfg.Block, last cfg.BlockID, h
 	// Resolve the block sequence once per trace; later executions reuse it.
 	blocks := t.Prepared
 	if blocks == nil {
-		blocks = make([]*cfg.Block, len(t.Blocks))
+		blocks = make([]*cfg.Block, len(t.Blocks)) //tracevm:allow-alloc (cold: first execution of a freshly generated trace)
 		for i, id := range t.Blocks {
 			b := m.cfg.Block(id)
 			if b == nil {
+				//tracevm:allow-alloc (cold: trap construction on a corrupt trace)
 				return nil, cfg.NoBlock, false, &Trap{Kind: TrapBadProgram, Detail: fmt.Sprintf("trace %d references unknown block %d", t.ID, id)}
 			}
 			blocks[i] = b

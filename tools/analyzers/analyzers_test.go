@@ -1,0 +1,232 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// statsSrc is a stand-in for repro/internal/stats, typechecked in-process so
+// the unit tests don't depend on compiled export data.
+const statsSrc = `package stats
+
+type Counters struct {
+	Instrs       int64
+	NodesCreated int64
+}
+
+func (c *Counters) Add(o Counters) {
+	c.Instrs += o.Instrs
+	c.NodesCreated += o.NodesCreated
+}
+`
+
+// fakeImporter resolves repro/internal/stats to the in-process package and
+// everything else through the default source importer.
+type fakeImporter struct {
+	stats *types.Package
+}
+
+func (f *fakeImporter) Import(path string) (*types.Package, error) {
+	if path == "repro/internal/stats" {
+		return f.stats, nil
+	}
+	return importer.Default().Import(path)
+}
+
+// analyze typechecks src as package path importPath, runs the single analyzer
+// a over it, and returns the diagnostic messages.
+func analyze(t *testing.T, a *Analyzer, importPath, filename, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	statsFile, err := parser.ParseFile(fset, "stats.go", statsSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsPkg, err := (&types.Config{}).Check("repro/internal/stats", fset, []*ast.File{statsFile}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{Importer: &fakeImporter{stats: statsPkg}}
+	pkg, err := cfg.Check(importPath, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+
+	var diags []string
+	pass := &Pass{Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
+	pass.report = func(pos token.Pos, msg string) {
+		diags = append(diags, fmt.Sprintf("%s: %s", fset.Position(pos), msg))
+	}
+	a.Run(pass)
+	return diags
+}
+
+func TestHotpathAllocFlagsAllocations(t *testing.T) {
+	diags := analyze(t, hotpathAlloc, "example.com/p", "p.go", `package p
+
+//tracevm:hotpath
+func hot() {
+	s := make([]int, 4)
+	s = append(s, 1)
+	_ = new(int)
+	_ = []int{1, 2}
+	f := func() {}
+	f()
+	_ = s
+}
+`)
+	for _, want := range []string{"call to make", "call to append", "call to new", "composite literal", "function literal"} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic %q in %v", want, diags)
+		}
+	}
+	if len(diags) != 5 {
+		t.Errorf("want 5 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestHotpathAllocIgnoresUnmarkedAndSuppressed(t *testing.T) {
+	diags := analyze(t, hotpathAlloc, "example.com/p", "p.go", `package p
+
+func cold() { _ = make([]int, 4) }
+
+//tracevm:hotpath
+func hot() {
+	//tracevm:allow-alloc
+	s := make([]int, 4)
+	t := append(s, 1) //tracevm:allow-alloc (cold path, see issue tracker)
+	_ = t
+}
+`)
+	if len(diags) != 0 {
+		t.Errorf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestHotpathAllocUserDefinedMakeOK(t *testing.T) {
+	diags := analyze(t, hotpathAlloc, "example.com/p", "p.go", `package p
+
+func make(n int) int { return n }
+
+//tracevm:hotpath
+func hot() { _ = make(4) }
+`)
+	if len(diags) != 0 {
+		t.Errorf("shadowed make flagged: %v", diags)
+	}
+}
+
+func TestStatsAtomicFlagsOutsideWriters(t *testing.T) {
+	diags := analyze(t, statsAtomic, "example.com/outside", "o.go", `package outside
+
+import "repro/internal/stats"
+
+func bad(c *stats.Counters) {
+	c.Instrs = 1
+	c.Instrs += 2
+	c.NodesCreated++
+	p := &c.Instrs
+	_ = p
+}
+`)
+	if len(diags) != 4 {
+		t.Fatalf("want 4 diagnostics, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d, "stats.Counters field") {
+			t.Errorf("unexpected diagnostic text: %s", d)
+		}
+	}
+}
+
+func TestStatsAtomicAllowsOwnersLiteralsAndReads(t *testing.T) {
+	// Owning package: writes allowed.
+	if diags := analyze(t, statsAtomic, "repro/internal/vm", "v.go", `package vm
+
+import "repro/internal/stats"
+
+func ok(c *stats.Counters) { c.Instrs++ }
+`); len(diags) != 0 {
+		t.Errorf("owner package flagged: %v", diags)
+	}
+
+	// Outside package: whole-struct literals and field reads are fine.
+	if diags := analyze(t, statsAtomic, "example.com/outside", "o.go", `package outside
+
+import "repro/internal/stats"
+
+type resp struct{ Counters stats.Counters }
+
+func ok(c stats.Counters) (int64, resp) {
+	r := resp{Counters: stats.Counters{Instrs: c.Instrs}}
+	return c.Instrs + c.NodesCreated, r
+}
+`); len(diags) != 0 {
+		t.Errorf("read/literal flagged: %v", diags)
+	}
+}
+
+func TestStatsAtomicSkipsTestFiles(t *testing.T) {
+	diags := analyze(t, statsAtomic, "example.com/outside", "o_test.go", `package outside
+
+import "repro/internal/stats"
+
+func bad(c *stats.Counters) { c.Instrs = 1 }
+`)
+	if len(diags) != 0 {
+		t.Errorf("test file flagged: %v", diags)
+	}
+}
+
+// TestVetToolOverRepo builds the vet tool binary and drives real go vet over
+// the repository, exercising the unitchecker protocol end to end. The run
+// must be clean: CI enforces the same invariant across ./... .
+func TestVetToolOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "analyzers")
+	build := exec.Command("go", "build", "-o", bin, "./tools/analyzers")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vet tool: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin,
+		"./internal/profile", "./internal/trace", "./internal/serve", "./cmd/tracevmd")
+	vet.Dir = root
+	vet.Env = append(os.Environ(), "GOFLAGS=")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}

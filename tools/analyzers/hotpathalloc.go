@@ -1,0 +1,118 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathAlloc enforces the dispatch-path allocation discipline: a function
+// whose doc comment carries the //tracevm:hotpath directive must not contain
+// constructs that can allocate — make, new, append, composite literals, or
+// function literals (closures capture onto the heap). A deliberate cold-path
+// allocation inside a hot function is suppressed by //tracevm:allow-alloc on
+// the same line or the line directly above the construct.
+//
+// The check is syntactic and intraprocedural on purpose: escape analysis
+// would be both unstable across toolchains and invisible in review, while
+// "no allocating syntax on the marked function" is a discipline a reader can
+// verify by eye.
+var hotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Run:  runHotpathAlloc,
+}
+
+const (
+	hotpathDirective = "//tracevm:hotpath"
+	allowDirective   = "//tracevm:allow-alloc"
+)
+
+func runHotpathAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		allowed := allowedLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, hotpathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fn, allowed)
+		}
+	}
+}
+
+// hasDirective reports whether the doc group contains the exact directive
+// comment (directives are whole-line, unspaced, per Go convention).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedLines collects the lines covered by an allow-alloc directive: the
+// directive's own line and the one below it (so both trailing and preceding
+// comment styles work). The directive may be followed by a space and an
+// explanation of why the allocation is deliberate.
+func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	allowed := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == allowDirective || strings.HasPrefix(text, allowDirective+" ") {
+				line := fset.Position(c.Pos()).Line
+				allowed[line] = true
+				allowed[line+1] = true
+			}
+		}
+	}
+	return allowed
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl, allowed map[int]bool) {
+	report := func(pos token.Pos, what string) {
+		if allowed[pass.Fset.Position(pos).Line] {
+			return
+		}
+		pass.Reportf(pos, "%s in //tracevm:hotpath function %s (suppress a deliberate cold path with //tracevm:allow-alloc)", what, fn.Name.Name)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinName(pass.Info, n.Fun); ok {
+				switch name {
+				case "make", "new", "append":
+					report(n.Pos(), "call to "+name)
+				}
+			}
+		case *ast.CompositeLit:
+			report(n.Pos(), "composite literal")
+			// Nested literals would double-report; the outermost site is
+			// the one to fix.
+			return false
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal")
+			return false
+		}
+		return true
+	})
+}
+
+// builtinName resolves fun to a predeclared builtin function name, seeing
+// through parentheses; user-defined functions named "make" etc. do not count.
+func builtinName(info *types.Info, fun ast.Expr) (string, bool) {
+	fun = ast.Unparen(fun)
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// statsAtomic enforces the counter-ownership invariant: fields of
+// stats.Counters are plain int64s mutated without synchronization, which is
+// only sound inside the subsystems that own a session's counters for its
+// lifetime (the VM, profiler, trace cache, and the stats package's own
+// merge/derive code). Any other package writing a counter field directly is
+// either racing or bypassing aggregation — it must go through the
+// Add/Snapshot API instead. Test files are exempt: they own their counters
+// by construction.
+var statsAtomic = &Analyzer{
+	Name: "statsatomic",
+	Run:  runStatsAtomic,
+}
+
+// countersPath is the package whose Counters struct is protected.
+const countersPath = "repro/internal/stats"
+
+// countersWriters are the packages allowed to mutate counter fields.
+var countersWriters = map[string]bool{
+	"repro/internal/stats":    true,
+	"repro/internal/vm":       true,
+	"repro/internal/profile":  true,
+	"repro/internal/core":     true,
+	"repro/internal/baseline": true,
+}
+
+func runStatsAtomic(pass *Pass) {
+	if countersWriters[pass.Pkg.Path()] || strings.HasPrefix(pass.Pkg.Path(), countersPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X)
+			case *ast.UnaryExpr:
+				// Taking a field's address hands out a mutable alias.
+				if n.Op.String() == "&" {
+					checkWrite(pass, n.X)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkWrite reports expr if it selects a field of stats.Counters.
+func checkWrite(pass *Pass, expr ast.Expr) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	if !isCountersStruct(selection.Recv()) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "write to stats.Counters field %s outside its owning subsystems; use the Counters.Add/Snapshot API", sel.Sel.Name)
+}
+
+// isCountersStruct reports whether t (or what it points to) is the named
+// struct stats.Counters.
+func isCountersStruct(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Counters" && obj.Pkg() != nil && obj.Pkg().Path() == countersPath
+}
