@@ -15,6 +15,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -287,6 +288,10 @@ func BenchmarkProfilerOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 	g.Reserve(c.cfg.NumBlocks())
+	// Event tracing enabled but idle: the warmed graph signals almost no
+	// state transitions, and the ones that fire must be allocation-free
+	// too, so allocs/op stays pinned at zero with observability on.
+	g.SetSink(obs.NewRing(1024))
 	replay := func() {
 		g.ResetContext()
 		for i := range rec.from {

@@ -52,8 +52,7 @@ func run(workloadName string, minTotal int, threshold float64, delay int, args [
 	}
 	vm, err := repro.NewVM(prog,
 		repro.WithMode(repro.ModeProfile),
-		repro.WithThreshold(threshold),
-		repro.WithStartDelay(int32(delay)),
+		repro.WithParams(repro.Params{Threshold: threshold, StartDelay: int32(delay)}),
 	)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tracevm -workload compress -mode trace -threshold 0.97 -delay 64 -stats
+//	tracevm -workload soot -events 50   # print the last 50 observability events
 //	tracevm -mode profile -dot bcg.dot prog.mj
 //	tracevm prog.jasm
 package main
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,10 +29,11 @@ func main() {
 	maxSteps := flag.Int64("maxsteps", 0, "instruction budget (0 = unlimited)")
 	showStats := flag.Bool("stats", false, "print execution statistics after the run")
 	showTraces := flag.Bool("traces", false, "print the live trace cache contents after the run")
+	events := flag.Int("events", 0, "keep the newest N observability events and print them after the run (0 = disabled)")
 	dotFile := flag.String("dot", "", "write the branch correlation graph as DOT to this file")
 	flag.Parse()
 
-	if err := run(*workloadName, *mode, *threshold, *delay, *maxSteps, *showStats, *showTraces, *dotFile, flag.Args()); err != nil {
+	if err := run(*workloadName, *mode, *threshold, *delay, *maxSteps, *showStats, *showTraces, *events, *dotFile, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "tracevm: %v\n", err)
 		os.Exit(1)
 	}
@@ -88,7 +91,7 @@ func loadProgram(workloadName string, args []string) (*repro.Program, error) {
 	}
 }
 
-func run(workloadName, modeStr string, threshold float64, delay int, maxSteps int64, showStats, showTraces bool, dotFile string, args []string) error {
+func run(workloadName, modeStr string, threshold float64, delay int, maxSteps int64, showStats, showTraces bool, events int, dotFile string, args []string) error {
 	mode, err := parseMode(modeStr)
 	if err != nil {
 		return err
@@ -99,10 +102,10 @@ func run(workloadName, modeStr string, threshold float64, delay int, maxSteps in
 	}
 	vm, err := repro.NewVM(prog,
 		repro.WithMode(mode),
-		repro.WithThreshold(threshold),
-		repro.WithStartDelay(int32(delay)),
+		repro.WithParams(repro.Params{Threshold: threshold, StartDelay: int32(delay)}),
 		repro.WithOutput(os.Stdout),
 		repro.WithMaxSteps(maxSteps),
+		repro.WithEventTrace(events),
 	)
 	if err != nil {
 		return err
@@ -131,6 +134,14 @@ func run(workloadName, modeStr string, threshold float64, delay int, maxSteps in
 		for _, t := range vm.Traces() {
 			fmt.Fprintf(os.Stderr, "trace %d: %d blocks, p=%.3f, entered %d, completed %d\n",
 				t.ID, t.Blocks, t.ExpectedCompletion, t.Entered, t.Completed)
+		}
+	}
+	if events > 0 {
+		var enc obs.Encoder
+		var buf []byte
+		for _, e := range vm.Events(events) {
+			buf = enc.AppendText(buf[:0], e)
+			fmt.Fprintf(os.Stderr, "%s\n", buf)
 		}
 	}
 	if dotFile != "" {

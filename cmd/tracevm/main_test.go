@@ -86,7 +86,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	dot := filepath.Join(dir, "bcg.dot")
-	if err := run("", "trace", 0.97, 64, 0, true, true, dot, []string{mj}); err != nil {
+	if err := run("", "trace", 0.97, 64, 0, true, true, 16, dot, []string{mj}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(dot)
@@ -96,7 +96,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if len(data) == 0 {
 		t.Error("empty DOT output")
 	}
-	if err := run("", "warp", 0.97, 64, 0, false, false, "", []string{mj}); err == nil {
+	if err := run("", "warp", 0.97, 64, 0, false, false, 0, "", []string{mj}); err == nil {
 		t.Error("bad mode accepted")
 	}
 }

@@ -1,22 +1,29 @@
 // Command tracevmd serves the trace-cache virtual machine: a long-lived
 // daemon that executes many programs concurrently over a shared program
-// registry, with aggregated metrics. It is the operational face of
-// internal/serve.
+// registry, with aggregated metrics and an event trace. It is the
+// operational face of internal/serve; the wire contract lives in
+// internal/api.
 //
 // Server:
 //
 //	tracevmd -addr :8077 -workers 8 -queue 64 -timeout 30s \
 //	         -max-traces 512 -max-trace-blocks 8192 \
 //	         -breaker-churn 8 -breaker-after 3 -breaker-cooldown 30s \
-//	         -quarantine-after 3
+//	         -quarantine-after 3 -events 4096 -debug-addr localhost:8078
 //
-// Endpoints:
+// Endpoints (versioned under /v1/; the unversioned paths remain as aliases
+// and serve byte-identical bodies):
 //
-//	POST /run     {"workload":"compress","mode":"trace"} or
-//	              {"source":"class Main {...}","kind":"minijava",...}
-//	GET  /stats   aggregated service + execution metrics snapshot
-//	GET  /healthz liveness plus queue depth
-//	GET  /readyz  readiness: healthy / degraded (200), draining (503)
+//	POST /v1/run     {"workload":"compress","mode":"trace"} or
+//	                 {"source":"class Main {...}","kind":"minijava",...}
+//	GET  /v1/stats   aggregated service + execution metrics snapshot
+//	GET  /v1/metrics Prometheus text exposition of the same snapshot
+//	GET  /v1/events  JSON tail of the event ring (?n=256&type=breaker&program=x)
+//	GET  /v1/healthz liveness plus queue depth
+//	GET  /v1/readyz  readiness: healthy / degraded (200), draining (503)
+//
+// -debug-addr serves net/http/pprof on a separate listener so profiling
+// endpoints never share the public address.
 //
 // Load generator (drives a running daemon):
 //
@@ -33,25 +40,30 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
-	"repro/internal/stats"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8077", "listen address (server) or daemon address (loadgen)")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 		workers   = flag.Int("workers", 0, "concurrent session workers (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 0, "pending request queue depth (0 = 4x workers)")
 		timeout   = flag.Duration("timeout", 0, "default per-request timeout (0 = none)")
 		maxSteps  = flag.Int64("maxsteps", 0, "hard per-request instruction cap (0 = unlimited)")
+		events    = flag.Int("events", 4096, "event trace ring capacity (0 = disabled)")
 		loadgen   = flag.Bool("loadgen", false, "run as load-generator client against -addr")
 		conc      = flag.Int("n", 4, "loadgen: concurrent client connections")
 		requests  = flag.Int("requests", 0, "loadgen: total requests (0 = 2x -n)")
@@ -73,11 +85,12 @@ func main() {
 	if *loadgen {
 		err = runLoadgen(*addr, *conc, *requests, *workloads, *modeStr, *retries)
 	} else {
-		err = runServer(*addr, serve.Config{
+		err = runServer(*addr, *debugAddr, serve.Config{
 			Workers:        *workers,
 			QueueDepth:     *queue,
 			DefaultTimeout: *timeout,
 			MaxSteps:       *maxSteps,
+			EventTrace:     *events,
 			TraceCache: core.Config{
 				MaxTraces:       *maxTraces,
 				MaxCachedBlocks: *maxTrBlocks,
@@ -97,105 +110,32 @@ func main() {
 	}
 }
 
-var modeNames = map[string]core.Mode{
-	"plain":        core.ModePlain,
-	"instr":        core.ModeInstr,
-	"profile":      core.ModeProfile,
-	"trace":        core.ModeTrace,
-	"trace-deploy": core.ModeTraceDeploy,
-}
-
-func parseMode(s string) (core.Mode, error) {
-	if s == "" {
-		return core.ModeTrace, nil
-	}
-	if m, ok := modeNames[s]; ok {
-		return m, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (plain, instr, profile, trace, trace-deploy)", s)
-}
-
-// runRequest is the wire form of one execution order.
-type runRequest struct {
-	Workload  string  `json:"workload,omitempty"`
-	Source    string  `json:"source,omitempty"`
-	Kind      string  `json:"kind,omitempty"` // "minijava" (default) or "jasm"
-	Mode      string  `json:"mode,omitempty"` // default "trace"
-	Threshold float64 `json:"threshold,omitempty"`
-	Delay     int32   `json:"delay,omitempty"`
-	Decay     uint32  `json:"decay,omitempty"`
-	MaxSteps  int64   `json:"maxSteps,omitempty"`
-	TimeoutMs int64   `json:"timeoutMs,omitempty"`
-}
-
-func (r runRequest) toServe() (serve.Request, error) {
-	mode, err := parseMode(r.Mode)
-	if err != nil {
-		return serve.Request{}, err
-	}
-	var kind serve.SourceKind
-	switch r.Kind {
-	case "", "minijava":
-		kind = serve.KindMiniJava
-	case "jasm":
-		kind = serve.KindJasm
-	default:
-		return serve.Request{}, fmt.Errorf("unknown source kind %q (minijava, jasm)", r.Kind)
-	}
-	return serve.Request{
-		Workload:      r.Workload,
-		Source:        r.Source,
-		Kind:          kind,
-		Mode:          mode,
-		Threshold:     r.Threshold,
-		StartDelay:    r.Delay,
-		DecayInterval: r.Decay,
-		MaxSteps:      r.MaxSteps,
-		Timeout:       time.Duration(r.TimeoutMs) * time.Millisecond,
-	}, nil
-}
-
-// runResponse is the wire form of one completed run.
-type runResponse struct {
-	Program   string  `json:"program"`
-	Key       string  `json:"key"`
-	Mode      string  `json:"mode"`
-	Output    string  `json:"output"`
-	Counters  any     `json:"counters"`
-	Metrics   any     `json:"metrics"`
-	NumTraces int     `json:"numTraces"`
-	BCGNodes  int     `json:"bcgNodes"`
-	Cached    int     `json:"cachedBlocks"`
-	Demoted   bool    `json:"demoted,omitempty"`
-	WallMs    float64 `json:"wallMs"`
-}
-
-type errResponse struct {
-	Error string `json:"error"`
-	// Report carries the structured verification findings when the program
-	// was rejected by the bytecode verifier.
-	Report *analysis.Report `json:"report,omitempty"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// newMux builds the daemon's HTTP surface over a service.
+// newMux builds the daemon's HTTP surface over a service. Every route is
+// registered under /v1/ and, for compatibility with pre-versioning clients,
+// under its original unversioned path; both share one handler, so the
+// bodies are byte-identical.
 func newMux(svc *serve.Service) *http.ServeMux {
 	mux := http.NewServeMux()
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, h)
+	}
 
-	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
-		var wire runRequest
+	handle("POST", "/run", func(w http.ResponseWriter, r *http.Request) {
+		var wire api.RunRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&wire); err != nil {
-			writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad JSON: " + err.Error()})
+			writeJSON(w, http.StatusBadRequest, api.NewError("bad JSON: "+err.Error()))
 			return
 		}
-		req, err := wire.toServe()
+		req, err := wire.ToServe()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+			writeJSON(w, http.StatusBadRequest, api.NewError(err.Error()))
 			return
 		}
 		resp, err := svc.Do(r.Context(), req)
@@ -203,60 +143,103 @@ func newMux(svc *serve.Service) *http.ServeMux {
 			switch {
 			case errors.Is(err, serve.ErrQueueFull):
 				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusTooManyRequests, errResponse{Error: err.Error()})
+				writeJSON(w, http.StatusTooManyRequests, api.NewError(err.Error()))
 			case errors.Is(err, serve.ErrQuarantined):
 				// The program is locked out until the daemon restarts.
-				writeJSON(w, http.StatusLocked, errResponse{Error: err.Error()})
+				writeJSON(w, http.StatusLocked, api.NewError(err.Error()))
 			case errors.Is(err, serve.ErrClosed):
-				writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+				writeJSON(w, http.StatusServiceUnavailable, api.NewError(err.Error()))
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-				writeJSON(w, http.StatusGatewayTimeout, errResponse{Error: err.Error()})
+				writeJSON(w, http.StatusGatewayTimeout, api.NewError(err.Error()))
 			default:
 				// Compile and runtime errors are the client's fault. A
 				// verifier rejection additionally ships the structured
 				// report so clients can point at the offending instruction.
-				resp := errResponse{Error: err.Error()}
+				e := api.NewError(err.Error())
 				var verr *analysis.VerifyError
 				if errors.As(err, &verr) {
-					resp.Report = verr.Report
+					e.Report = verr.Report
 				}
-				writeJSON(w, http.StatusUnprocessableEntity, resp)
+				writeJSON(w, http.StatusUnprocessableEntity, e)
 			}
 			return
 		}
-		writeJSON(w, http.StatusOK, runResponse{
-			Program:   resp.Program,
-			Key:       resp.Key,
-			Mode:      resp.Mode.String(),
-			Output:    resp.Output,
-			Counters:  resp.Counters,
-			Metrics:   resp.Metrics,
-			NumTraces: resp.NumTraces,
-			BCGNodes:  resp.BCGNodes,
-			Cached:    resp.CachedBlocks,
-			Demoted:   resp.Demoted,
-			WallMs:    float64(resp.Wall) / float64(time.Millisecond),
+		writeJSON(w, http.StatusOK, api.RunResponseFrom(resp))
+	})
+
+	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, api.StatsResponse{
+			Schema:   api.SchemaStats,
+			Snapshot: svc.Stats(),
 		})
 	})
 
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = api.WriteMetrics(w, svc.Stats())
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		n := 256
+		if s := q.Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				writeJSON(w, http.StatusBadRequest, api.NewError("bad n: want a positive integer"))
+				return
+			}
+			n = v
+		}
+		typ := obs.EvNone // all types
+		if s := q.Get("type"); s != "" {
+			t, ok := obs.ParseEventType(s)
+			if !ok {
+				writeJSON(w, http.StatusBadRequest, api.NewError(
+					"unknown event type "+strconv.Quote(s)+" (one of "+strings.Join(obs.EventTypeNames(), ", ")+")"))
+				return
+			}
+			typ = t
+		}
+		evs := svc.Events(n, typ, q.Get("program"))
+		if evs == nil {
+			evs = []obs.Event{}
+		}
+		resp := api.EventsResponse{Schema: api.SchemaEvents, Events: evs}
+		if ring := svc.EventRing(); ring != nil {
+			resp.Total = ring.Total()
+			resp.Held = ring.Len()
+			resp.Cap = ring.Cap()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		snap := svc.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":     "ok",
-			"workers":    snap.Workers,
-			"queueDepth": snap.QueueDepth,
+		writeJSON(w, http.StatusOK, api.HealthResponse{
+			Schema:     api.SchemaHealth,
+			Status:     "ok",
+			Workers:    snap.Workers,
+			QueueDepth: snap.QueueDepth,
 		})
 	})
 
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/readyz", func(w http.ResponseWriter, r *http.Request) {
 		code, body := readiness(svc.Stats())
 		writeJSON(w, code, body)
 	})
 
+	return mux
+}
+
+// newDebugMux serves net/http/pprof explicitly (no DefaultServeMux
+// registration side effects).
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -265,7 +248,7 @@ func newMux(svc *serve.Service) *http.ServeMux {
 // stop sending (503). Degraded means the service is up but some governor
 // has engaged — open breakers, quarantined programs, or a queue running at
 // three quarters of capacity.
-func readiness(snap serve.Snapshot) (int, map[string]any) {
+func readiness(snap serve.Snapshot) (int, api.ReadyResponse) {
 	status := "healthy"
 	code := http.StatusOK
 	switch {
@@ -275,13 +258,14 @@ func readiness(snap serve.Snapshot) (int, map[string]any) {
 		(snap.QueueCap > 0 && snap.QueueDepth*4 >= snap.QueueCap*3):
 		status = "degraded"
 	}
-	return code, map[string]any{
-		"status":              status,
-		"queueDepth":          snap.QueueDepth,
-		"queueCap":            snap.QueueCap,
-		"openBreakers":        snap.OpenBreakers,
-		"halfOpenBreakers":    snap.HalfOpenBreakers,
-		"quarantinedPrograms": snap.QuarantinedPrograms,
+	return code, api.ReadyResponse{
+		Schema:              api.SchemaReady,
+		Status:              status,
+		QueueDepth:          snap.QueueDepth,
+		QueueCap:            snap.QueueCap,
+		OpenBreakers:        snap.OpenBreakers,
+		HalfOpenBreakers:    snap.HalfOpenBreakers,
+		QuarantinedPrograms: snap.QuarantinedPrograms,
 	}
 }
 
@@ -308,10 +292,20 @@ func serveListener(ctx context.Context, l net.Listener, svc *serve.Service, grac
 	return nil
 }
 
-func runServer(addr string, cfg serve.Config) error {
+func runServer(addr, debugAddr string, cfg serve.Config) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
+	}
+	if debugAddr != "" {
+		dl, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dsrv := &http.Server{Handler: newDebugMux()}
+		go func() { _ = dsrv.Serve(dl) }()
+		defer dsrv.Close()
+		fmt.Fprintf(os.Stderr, "tracevmd: pprof on %s\n", dl.Addr())
 	}
 	svc := serve.New(cfg)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -323,10 +317,10 @@ func runServer(addr string, cfg serve.Config) error {
 	return nil
 }
 
-// httpRunner adapts POST /run into a serve.Runner for the load generator.
+// httpRunner adapts POST /v1/run into a serve.Runner for the load generator.
 func httpRunner(client *http.Client, baseURL string) serve.Runner {
 	return func(ctx context.Context, req serve.Request) (*serve.Response, error) {
-		wire := runRequest{
+		wire := api.RunRequest{
 			Workload: req.Workload,
 			Source:   req.Source,
 			Mode:     req.Mode.String(),
@@ -339,7 +333,7 @@ func httpRunner(client *http.Client, baseURL string) serve.Runner {
 		if err != nil {
 			return nil, err
 		}
-		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/run", bytes.NewReader(body))
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/run", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -354,29 +348,23 @@ func httpRunner(client *http.Client, baseURL string) serve.Runner {
 			return nil, serve.ErrQueueFull
 		}
 		if hresp.StatusCode != http.StatusOK {
-			var e errResponse
+			var e api.ErrorResponse
 			_ = json.NewDecoder(hresp.Body).Decode(&e)
 			return nil, fmt.Errorf("HTTP %d: %s", hresp.StatusCode, e.Error)
 		}
-		var wireResp struct {
-			Output   string `json:"output"`
-			Counters struct {
-				Instrs int64 `json:"Instrs"`
-			} `json:"counters"`
-		}
+		var wireResp api.RunResponse
 		if err := json.NewDecoder(hresp.Body).Decode(&wireResp); err != nil {
 			return nil, err
 		}
-		resp := &serve.Response{
+		return &serve.Response{
 			Output:   wireResp.Output,
-			Counters: stats.Counters{Instrs: wireResp.Counters.Instrs},
-		}
-		return resp, nil
+			Counters: wireResp.Counters,
+		}, nil
 	}
 }
 
 func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string, retries int) error {
-	mode, err := parseMode(modeStr)
+	mode, err := api.ParseMode(modeStr)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -260,17 +261,17 @@ func TestGracefulShutdown(t *testing.T) {
 }
 
 func TestParseModeAllFive(t *testing.T) {
-	for name, want := range modeNames {
-		got, err := parseMode(name)
+	for name, want := range api.ModeNames {
+		got, err := api.ParseMode(name)
 		if err != nil || got != want {
-			t.Errorf("parseMode(%q) = %v, %v", name, got, err)
+			t.Errorf("ParseMode(%q) = %v, %v", name, got, err)
 		}
 	}
-	if m, err := parseMode(""); err != nil || m != core.ModeTrace {
+	if m, err := api.ParseMode(""); err != nil || m != core.ModeTrace {
 		t.Errorf("default mode = %v, %v", m, err)
 	}
-	if _, err := parseMode("warp"); err == nil {
-		t.Error("parseMode(warp) succeeded")
+	if _, err := api.ParseMode("warp"); err == nil {
+		t.Error("ParseMode(warp) succeeded")
 	}
 }
 

@@ -56,8 +56,7 @@ class Main {
 	}
 	vm, err := repro.NewVM(prog,
 		repro.WithMode(repro.ModeTrace),
-		repro.WithThreshold(0.97),
-		repro.WithStartDelay(64),
+		repro.WithParams(repro.Params{Threshold: 0.97, StartDelay: 64}),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -46,8 +46,7 @@ func main() {
 	}
 	vm, err := repro.NewVM(prog,
 		repro.WithMode(repro.ModeTrace),
-		repro.WithThreshold(0.97),
-		repro.WithStartDelay(64),
+		repro.WithParams(repro.Params{Threshold: 0.97, StartDelay: 64}),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -45,8 +45,7 @@ func main() {
 
 	vm, err := repro.NewVM(prog,
 		repro.WithMode(repro.ModeTrace),
-		repro.WithThreshold(0.97),
-		repro.WithStartDelay(64),
+		repro.WithParams(repro.Params{Threshold: 0.97, StartDelay: 64}),
 		repro.WithOutput(os.Stdout),
 	)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -71,6 +72,7 @@ type Cache struct {
 	conf  Config
 	graph *profile.Graph
 	ctr   *stats.Counters
+	sink  obs.Sink // optional trace lifecycle event sink; never on the Lookup path
 
 	ix     trace.Index                      // entry edge -> trace (dispatch-hot)
 	byKey  map[string]*trace.Trace          // block sequence -> trace (hash-consing)
@@ -99,6 +101,23 @@ func NewCache(conf Config, ctr *stats.Counters) *Cache {
 
 // Bind attaches the profiler graph the cache reads correlations from.
 func (c *Cache) Bind(g *profile.Graph) { c.graph = g }
+
+// SetSink attaches an event sink; trace construction, reuse, retirement and
+// eviction each emit a typed event. Call before the run; nil detaches.
+func (c *Cache) SetSink(s obs.Sink) { c.sink = s }
+
+// emit sends one trace lifecycle event when a sink is attached.
+func (c *Cache) emit(typ obs.EventType, t *trace.Trace, val int64) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Emit(obs.Event{
+		Type: typ,
+		X:    obs.NoID, Y: obs.NoID,
+		TraceID: int32(t.ID),
+		Val:     val,
+	})
+}
 
 // Config returns the constructor configuration.
 func (c *Cache) Config() Config { return c.conf }
@@ -364,11 +383,13 @@ func (c *Cache) register(nodes []*profile.Node, prob float64) {
 		c.byKey[key] = t
 		c.blocks += len(blocks)
 		c.ctr.TracesBuilt++
+		c.emit(obs.EvTraceBuilt, t, int64(len(blocks)))
 		for i := 1; i < len(blocks); i++ {
 			c.indexPair(trace.EdgeKey(blocks[i-1], blocks[i]), t)
 		}
 	} else {
 		c.ctr.TracesReused++
+		c.emit(obs.EvTraceReused, t, int64(len(blocks)))
 	}
 
 	// Link the entry edge, replacing any previous trace registered there.
@@ -433,6 +454,7 @@ func (c *Cache) retire(t *trace.Trace) {
 	}
 	t.Retired = true
 	c.ctr.TracesRetired++
+	c.emit(obs.EvTraceRetired, t, int64(len(t.Blocks)))
 }
 
 // overBudget reports whether either cache budget is currently exceeded.
@@ -501,6 +523,7 @@ func (c *Cache) coldest(keep *trace.Trace) *trace.Trace {
 // again and the trace is rebuilt on demand — eviction sheds memory, not the
 // ability to trace.
 func (c *Cache) evict(t *trace.Trace) {
+	c.emit(obs.EvTraceEvicted, t, c.heat(t))
 	if c.graph != nil {
 		for edge := range c.regs[t] {
 			if n := c.graph.Node(cfg.BlockID(edge>>32), cfg.BlockID(edge)); n != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/classfile"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -87,6 +88,10 @@ type SessionOptions struct {
 	// pre-classified unique, and loop headers bound trace-cache
 	// backtracking. Nil keeps the paper's purely dynamic baseline.
 	Hints *analysis.Hints
+	// Sink, if set, receives the run's observability events: BCG node state
+	// transitions and trace build/reuse/retire/evict. An attached sink with
+	// no transitions in flight costs the dispatch path nothing.
+	Sink obs.Sink
 }
 
 // NewSession builds a session over a linked program and its CFGs.
@@ -119,6 +124,10 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 		if opts.Hints != nil {
 			g.SetStaticHints(opts.Hints.UniqueBlocks())
 			cache.Index().SetLoopHeaders(opts.Hints.LoopHeaders())
+		}
+		if opts.Sink != nil {
+			g.SetSink(opts.Sink)
+			cache.SetSink(opts.Sink)
 		}
 		s.Graph = g
 		s.Cache = cache

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 )
 
 // TestDispatchFastPathZeroAllocs pins the warmed OnDispatch fast path at
@@ -29,6 +30,62 @@ func TestDispatchFastPathZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("warmed OnDispatch path allocates: %.2f allocs per 64 dispatches, want 0", allocs)
+	}
+}
+
+// TestDispatchWithSinkZeroAllocs re-runs the fast-path pin with an event
+// ring attached: tracing enabled but idle (a warmed graph signals no state
+// changes) must cost the dispatch path nothing, and the occasional
+// transition that does fire goes through obs.Ring.Emit, which is itself
+// allocation-free.
+func TestDispatchWithSinkZeroAllocs(t *testing.T) {
+	g, _, _ := newGraph(t, Params{StartDelay: 1, Threshold: 0.97, DecayInterval: 256})
+	g.SetSink(obs.NewRing(256))
+
+	warm := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			feed(g, 1, 2, 3, 4, 1, 2, 3, 5, 1)
+		}
+	}
+	warm(512)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		warm(8)
+	})
+	if allocs != 0 {
+		t.Errorf("OnDispatch with sink attached allocates: %.2f allocs per 64 dispatches, want 0", allocs)
+	}
+}
+
+// TestPhaseChurnWithSinkZeroAllocs drives real state transitions (so events
+// genuinely flow into the ring) and still demands zero allocations: the
+// emitting slow path builds pointerless Event values into a preallocated
+// buffer.
+func TestPhaseChurnWithSinkZeroAllocs(t *testing.T) {
+	g, _, _ := newGraph(t, Params{StartDelay: 1, Threshold: 0.97, DecayInterval: 64})
+	ring := obs.NewRing(128)
+	g.SetSink(ring)
+
+	phase := func(z cfg.BlockID, rounds int) {
+		for r := 0; r < rounds; r++ {
+			feed(g, 1, 2, z, 1)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		phase(3, 600)
+		phase(4, 600)
+	}
+	before := ring.Total()
+
+	allocs := testing.AllocsPerRun(20, func() {
+		phase(3, 600)
+		phase(4, 600)
+	})
+	if allocs != 0 {
+		t.Errorf("phase churn with sink allocates: %.2f allocs per phase pair, want 0", allocs)
+	}
+	if ring.Total() == before {
+		t.Error("phase churn emitted no events; the pin is not exercising the emit path")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -204,6 +205,11 @@ type Graph struct {
 	ctr      *stats.Counters
 	listener Listener
 
+	// sink, when set, receives an EvNodeState event for every signal — the
+	// observability mirror of the Listener. It is only touched on the
+	// signalling slow path; the per-dispatch fast path never sees it.
+	sink obs.Sink
+
 	// cur is the current branch context — "the branch context pointer which
 	// reflects the last branch taken by the program".
 	cur *Node
@@ -266,6 +272,11 @@ func (g *Graph) SetStaticHints(unique []cfg.BlockID) {
 		g.hintUnique[y] = true
 	}
 }
+
+// SetSink attaches an event sink; every profiler signal additionally emits
+// an obs.EvNodeState event describing the transition. Call before the run;
+// nil detaches.
+func (g *Graph) SetSink(s obs.Sink) { g.sink = s }
 
 // Params returns the graph's configuration.
 func (g *Graph) Params() Params { return g.params }
@@ -553,6 +564,19 @@ func (g *Graph) evaluate(n *Node) {
 	n.ackState = n.State
 	n.ackBest = newBest
 	g.ctr.Signals++
+	if g.sink != nil {
+		best := int64(obs.NoID)
+		if newBest != cfg.NoBlock {
+			best = int64(newBest)
+		}
+		g.sink.Emit(obs.Event{
+			Type: obs.EvNodeState,
+			Old:  uint8(oldState), New: uint8(n.State),
+			X: int32(n.X), Y: int32(n.Y),
+			TraceID: obs.NoID,
+			Val:     best,
+		})
+	}
 	if g.listener != nil {
 		g.listener.OnSignal(Signal{
 			Node:     n,

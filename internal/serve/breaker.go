@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // BreakerConfig tunes the per-program churn circuit breaker. The breaker
@@ -66,7 +68,8 @@ func (s BreakerState) String() string {
 // concurrent workers.
 type breaker struct {
 	cfg  BreakerConfig
-	name string // Compiled.Name, for per-program reporting
+	name string    // Compiled.Name, for per-program reporting
+	sink *obs.Ring // service event ring; nil drops the events
 
 	mu         sync.Mutex
 	state      BreakerState
@@ -77,6 +80,21 @@ type breaker struct {
 	trips   int64 // closed/half-open -> open transitions
 	demoted int64 // runs short-circuited to plain dispatch
 	probes  int64 // half-open probe runs admitted
+}
+
+// setState moves the state machine and emits the transition as an
+// observability event. Callers hold b.mu.
+func (b *breaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.sink.Emit(obs.Event{
+		Type: obs.EvBreaker,
+		Old:  uint8(b.state), New: uint8(to),
+		X: obs.NoID, Y: obs.NoID, TraceID: obs.NoID,
+		Program: b.name,
+	})
+	b.state = to
 }
 
 // plan decides how the next run of this program executes. profiled says the
@@ -97,7 +115,7 @@ func (b *breaker) plan(now time.Time, profiled bool) (demote, probe bool) {
 			b.demoted++
 			return true, false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		b.probes++
 		return false, true
@@ -125,13 +143,13 @@ func (b *breaker) observe(now time.Time, churnPerK float64, demoted, probe bool)
 	if probe {
 		b.probing = false
 		if churnPerK >= 0 && churnPerK <= b.cfg.ChurnPerK {
-			b.state = BreakerClosed
+			b.setState(BreakerClosed)
 			b.churnyRuns = 0
 			return
 		}
 		// Still churny (or inconclusive): back to open for another
 		// cool-down. Only a measured churny probe counts as a trip.
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = now
 		if churnPerK >= 0 {
 			b.trips++
@@ -144,7 +162,7 @@ func (b *breaker) observe(now time.Time, churnPerK float64, demoted, probe bool)
 	if churnPerK > b.cfg.ChurnPerK {
 		b.churnyRuns++
 		if b.churnyRuns >= b.cfg.TripAfter {
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.openedAt = now
 			b.churnyRuns = 0
 			b.trips++

@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"sync"
 	"time"
 
@@ -73,20 +76,57 @@ type Snapshot struct {
 	Workers    int
 	Draining   bool
 
+	// Event-trace state: ring capacity (0 = tracing disabled), events
+	// currently held, and events ever emitted (the excess over held is
+	// overwritten history).
+	EventCap    int
+	EventsHeld  int
+	EventsTotal uint64
+
 	// Registry state.
 	Programs       int
 	RegistryHits   int64
 	RegistryMisses int64
 
-	// Global is every completed session's Counters merged via Add.
-	Global        stats.Counters
-	GlobalMetrics stats.Metrics
+	// Global is every completed session's Counters merged via Add; the
+	// embedded stats.Metrics are its derived §5.2 values, so a Snapshot and
+	// a repro.VM expose the same Metrics shape under the same name.
+	Global stats.Counters
+	stats.Metrics
 	// PerProgram aggregates by Compiled.Name.
 	PerProgram map[string]ProgramStats
 
 	// Latency is the accepted-to-finished request latency histogram.
 	Latency      []LatencyBucket
 	TotalLatency time.Duration
+}
+
+// MarshalJSON serializes the snapshot field by field, in declaration order.
+// It exists because the embedded stats.Metrics carries a promoted
+// MarshalJSON that would otherwise hijack the whole snapshot's
+// serialization, reducing /v1/stats to the six metric ratios; here the
+// embedded field marshals (through its own method, which null-protects the
+// non-finite ratios) under the key "Metrics" like any named field.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	v := reflect.ValueOf(s)
+	t := v.Type()
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i := 0; i < t.NumField(); i++ {
+		b, err := json.Marshal(v.Field(i).Interface())
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		buf.WriteString(t.Field(i).Name)
+		buf.WriteString(`":`)
+		buf.Write(b)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
 }
 
 // aggregator is the mutable heart of the snapshot: a mutex-protected merge
@@ -189,6 +229,14 @@ func (a *aggregator) fail(lat time.Duration, panicked bool) {
 	a.observeLatency(lat)
 }
 
+// globalMetrics derives the §5.2 values from the live global counters —
+// the Service.Metrics accessor, mirroring core.Session.Metrics.
+func (a *aggregator) globalMetrics() stats.Metrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.global.Derive()
+}
+
 func (a *aggregator) timeout(lat time.Duration) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -212,7 +260,7 @@ func (a *aggregator) snapshot() Snapshot {
 		ProgramsRejected: a.verifyRejct,
 		Quarantined:      a.quarantRejct,
 		Global:           a.global.Snapshot(),
-		GlobalMetrics:    a.global.Derive(),
+		Metrics:          a.global.Derive(),
 		PerProgram:       make(map[string]ProgramStats, len(a.perProgram)),
 		TotalLatency:     a.totalLat,
 	}

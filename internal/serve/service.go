@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -63,6 +64,12 @@ type Config struct {
 	// default is to verify and refuse invalid programs before they are
 	// registered).
 	NoVerify bool
+	// EventTrace is the capacity of the service's shared observability ring
+	// (0 disables event tracing). Sessions, breakers and the request path
+	// all emit into it; read a tail with Events. The ring is preallocated
+	// and emission never allocates, so an enabled trace on an idle or
+	// steady-state service costs nothing.
+	EventTrace int
 }
 
 func (c *Config) fillDefaults() {
@@ -139,6 +146,9 @@ type Service struct {
 	reg *Registry
 	agg *aggregator
 
+	// ring is the shared event trace (nil when Config.EventTrace == 0).
+	ring *obs.Ring
+
 	jobs chan *job
 	wg   sync.WaitGroup
 
@@ -187,6 +197,9 @@ func New(cfg Config) *Service {
 		jobs:   make(chan *job, cfg.QueueDepth),
 		panics: make(map[string]int),
 	}
+	if cfg.EventTrace > 0 {
+		s.ring = obs.NewRing(cfg.EventTrace)
+	}
 	s.reg.NoVerify = cfg.NoVerify
 	if cfg.Breaker.ChurnPerK > 0 {
 		s.breakers = make(map[string]*breaker)
@@ -224,11 +237,31 @@ func (s *Service) breakerFor(comp *Compiled) *breaker {
 	defer s.bmu.Unlock()
 	b := s.breakers[comp.Key]
 	if b == nil {
-		b = &breaker{cfg: s.cfg.Breaker, name: comp.Name}
+		b = &breaker{cfg: s.cfg.Breaker, name: comp.Name, sink: s.ring}
 		s.breakers[comp.Key] = b
 	}
 	return b
 }
+
+// Events returns the newest n events from the service's shared ring, oldest
+// first, optionally filtered: typ obs.EvNone matches every type, an empty
+// program matches every program, n <= 0 means everything held. Nil when
+// event tracing is disabled.
+func (s *Service) Events(n int, typ obs.EventType, program string) []obs.Event {
+	if s.ring == nil {
+		return nil
+	}
+	if typ == obs.EvNone && program == "" {
+		return s.ring.Tail(nil, n)
+	}
+	return s.ring.TailFunc(nil, n, func(e obs.Event) bool {
+		return (typ == obs.EvNone || e.Type == typ) && (program == "" || e.Program == program)
+	})
+}
+
+// EventRing exposes the shared ring (nil when tracing is disabled), for
+// accounting endpoints that report totals without copying events.
+func (s *Service) EventRing() *obs.Ring { return s.ring }
 
 // quarantined reports whether the program's panic count has crossed the
 // quarantine threshold.
@@ -241,11 +274,20 @@ func (s *Service) quarantined(comp *Compiled) bool {
 	return s.panics[comp.Key] >= s.cfg.QuarantineAfter
 }
 
-// notePanic records one recovered session panic against the program.
+// notePanic records one recovered session panic against the program,
+// emitting the quarantine event at the exact crossing of the threshold.
 func (s *Service) notePanic(comp *Compiled) {
 	s.qmu.Lock()
 	s.panics[comp.Key]++
+	n := s.panics[comp.Key]
 	s.qmu.Unlock()
+	if s.cfg.QuarantineAfter >= 0 && n == s.cfg.QuarantineAfter {
+		s.ring.Emit(obs.Event{
+			Type: obs.EvQuarantine,
+			X:    obs.NoID, Y: obs.NoID, TraceID: obs.NoID,
+			Val: int64(n), Program: comp.Name,
+		})
+	}
 }
 
 // churnPerK converts one run's counters to the breaker's churn metric:
@@ -304,6 +346,11 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	default:
 		s.mu.RUnlock()
 		s.agg.reject()
+		s.ring.Emit(obs.Event{
+			Type: obs.EvQueueSaturated,
+			X:    obs.NoID, Y: obs.NoID, TraceID: obs.NoID,
+			Val: int64(len(s.jobs)), Program: comp.Name,
+		})
 		return nil, ErrQueueFull
 	}
 
@@ -327,6 +374,11 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 }
 
+// Metrics returns the derived §5.2 values of the merged counters of every
+// completed session — the same accessor signature a single repro.VM has, so
+// callers can treat one machine and a whole service interchangeably.
+func (s *Service) Metrics() stats.Metrics { return s.agg.globalMetrics() }
+
 // Stats returns a self-contained snapshot of the aggregated metrics,
 // readable at any time while the pool runs.
 func (s *Service) Stats() Snapshot {
@@ -334,6 +386,11 @@ func (s *Service) Stats() Snapshot {
 	snap.QueueDepth = len(s.jobs)
 	snap.QueueCap = s.cfg.QueueDepth
 	snap.Workers = s.cfg.Workers
+	if s.ring != nil {
+		snap.EventCap = s.ring.Cap()
+		snap.EventsHeld = s.ring.Len()
+		snap.EventsTotal = s.ring.Total()
+	}
 	snap.Programs = s.reg.Len()
 	snap.RegistryHits, snap.RegistryMisses = s.reg.HitsMisses()
 	s.mu.RLock()
@@ -396,6 +453,11 @@ func (s *Service) worker() {
 			demote, probe = brk.plan(s.cfg.Clock(), mode.Profiled())
 			if demote {
 				mode = core.ModePlain
+				s.ring.Emit(obs.Event{
+					Type: obs.EvDemoted,
+					X:    obs.NoID, Y: obs.NoID, TraceID: obs.NoID,
+					Program: j.comp.Name,
+				})
 			}
 		}
 		resp, err := s.runJob(j, mode, demote)
@@ -478,6 +540,11 @@ func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, 
 	}
 	if s.cfg.Injector != nil {
 		sopts.WrapHook = s.cfg.Injector.WrapDispatch
+	}
+	if s.ring != nil {
+		// Session events flow into the shared ring tagged with the program,
+		// so /v1/events can be filtered per program under live traffic.
+		sopts.Sink = obs.Tagged{Sink: s.ring, Program: j.comp.Name}
 	}
 	sess, err := core.NewSession(j.comp.Prog, j.comp.CFG, sopts)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jasm"
 	"repro/internal/minijava"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -98,27 +99,98 @@ func WorkloadSource(name string) (string, error) {
 	return w.Source, nil
 }
 
+// Params collects every tuning knob of the system in one value: the three
+// profiler parameters of the paper (§4), the trace-cache budgets, and the
+// serving layer's churn breaker. Zero-valued fields mean "keep the
+// default", so a partial literal overrides only what it names:
+//
+//	vm, err := repro.NewVM(prog, repro.WithParams(repro.Params{Threshold: 0.9}))
+type Params struct {
+	// Threshold is the trace completion threshold (default 0.97).
+	Threshold float64
+	// StartDelay is the start-state delay in branch executions (default 64).
+	StartDelay int32
+	// DecayInterval is the decay period in node executions (default 256).
+	DecayInterval uint32
+	// MaxTraces bounds the live traces per session (default 0 = unbounded).
+	MaxTraces int
+	// MaxCachedBlocks bounds the total blocks held by live traces per
+	// session (default 0 = unbounded).
+	MaxCachedBlocks int
+	// Breaker tunes the per-program churn circuit breaker. It only takes
+	// effect through ServiceConfig (a single VM has no breaker).
+	Breaker BreakerConfig
+}
+
+// DefaultParams returns the paper's configuration: threshold 0.97, start
+// delay 64, decay interval 256, unbounded cache budgets, breaker disabled.
+func DefaultParams() Params {
+	d := profile.DefaultParams()
+	return Params{Threshold: d.Threshold, StartDelay: d.StartDelay, DecayInterval: d.DecayInterval}
+}
+
+// ServiceConfig seeds a service configuration from the parameters: the
+// cache budgets and breaker map directly; the per-run profiler fields
+// (threshold, delay, decay) travel on each ServiceRequest instead.
+func (p Params) ServiceConfig() ServiceConfig {
+	return ServiceConfig{
+		TraceCache: core.Config{MaxTraces: p.MaxTraces, MaxCachedBlocks: p.MaxCachedBlocks},
+		Breaker:    p.Breaker,
+	}
+}
+
 // Option configures NewVM.
 type Option func(*config)
 
 type config struct {
 	mode     Mode
 	params   profile.Params
+	cache    core.Config
 	out      io.Writer
 	maxSteps int64
+	events   int
 }
 
 // WithMode selects the dispatch mode (default ModeTrace).
 func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
 
+// WithParams overrides the tuning parameters. Zero-valued fields keep
+// whatever is already configured, so options compose field-wise and later
+// options win for the fields they set.
+func WithParams(p Params) Option {
+	return func(c *config) {
+		if p.Threshold != 0 {
+			c.params.Threshold = p.Threshold
+		}
+		if p.StartDelay != 0 {
+			c.params.StartDelay = p.StartDelay
+		}
+		if p.DecayInterval != 0 {
+			c.params.DecayInterval = p.DecayInterval
+		}
+		if p.MaxTraces != 0 {
+			c.cache.MaxTraces = p.MaxTraces
+		}
+		if p.MaxCachedBlocks != 0 {
+			c.cache.MaxCachedBlocks = p.MaxCachedBlocks
+		}
+	}
+}
+
 // WithThreshold sets the trace completion threshold (default 0.97).
-func WithThreshold(t float64) Option { return func(c *config) { c.params.Threshold = t } }
+//
+// Deprecated: Use WithParams.
+func WithThreshold(t float64) Option { return WithParams(Params{Threshold: t}) }
 
 // WithStartDelay sets the start-state delay (default 64).
-func WithStartDelay(d int32) Option { return func(c *config) { c.params.StartDelay = d } }
+//
+// Deprecated: Use WithParams.
+func WithStartDelay(d int32) Option { return WithParams(Params{StartDelay: d}) }
 
 // WithDecayInterval sets the decay period in node executions (default 256).
-func WithDecayInterval(n uint32) Option { return func(c *config) { c.params.DecayInterval = n } }
+//
+// Deprecated: Use WithParams.
+func WithDecayInterval(n uint32) Option { return WithParams(Params{DecayInterval: n}) }
 
 // WithOutput directs program output (default: discarded).
 func WithOutput(w io.Writer) Option { return func(c *config) { c.out = w } }
@@ -126,9 +198,16 @@ func WithOutput(w io.Writer) Option { return func(c *config) { c.out = w } }
 // WithMaxSteps bounds executed instructions (default: unlimited).
 func WithMaxSteps(n int64) Option { return func(c *config) { c.maxSteps = n } }
 
+// WithEventTrace attaches a fixed-capacity event ring to the VM: BCG node
+// state transitions and trace build/reuse/retire/evict land in it as typed
+// events, readable with Events. Capacity <= 0 disables tracing. An
+// enabled-but-idle ring adds nothing to the dispatch path.
+func WithEventTrace(capacity int) Option { return func(c *config) { c.events = capacity } }
+
 // VM is a configured virtual machine for one program.
 type VM struct {
 	session *core.Session
+	ring    *obs.Ring
 }
 
 // NewVM builds a machine (and, depending on the mode, the profiler and
@@ -142,16 +221,23 @@ func NewVM(prog *Program, opts ...Option) (*VM, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.NewSession(prog, pcfg, core.SessionOptions{
+	sopts := core.SessionOptions{
 		Mode:     c.mode,
 		Params:   c.params,
+		Config:   c.cache,
 		Out:      c.out,
 		MaxSteps: c.maxSteps,
-	})
+	}
+	var ring *obs.Ring
+	if c.events > 0 {
+		ring = obs.NewRing(c.events)
+		sopts.Sink = ring
+	}
+	s, err := core.NewSession(prog, pcfg, sopts)
 	if err != nil {
 		return nil, err
 	}
-	return &VM{session: s}, nil
+	return &VM{session: s, ring: ring}, nil
 }
 
 // Run executes the program to completion.
@@ -162,6 +248,19 @@ func (v *VM) Counters() *Counters { return v.session.Counters }
 
 // Metrics returns the derived dependent values.
 func (v *VM) Metrics() Metrics { return v.session.Metrics() }
+
+// Events returns the newest n observability events, oldest first. It
+// returns nil unless the VM was built with WithEventTrace.
+func (v *VM) Events(n int) []Event {
+	if v.ring == nil {
+		return nil
+	}
+	return v.ring.Tail(nil, n)
+}
+
+// EventRing exposes the underlying ring (nil without WithEventTrace), for
+// callers that want filtered tails or live totals.
+func (v *VM) EventRing() *obs.Ring { return v.ring }
 
 // TraceInfo summarizes one cached trace.
 type TraceInfo struct {
@@ -258,6 +357,29 @@ var (
 // NewService starts a concurrent execution service. Submit with Do from
 // any number of goroutines; Close drains it.
 func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
+
+// Event is one typed observability record: a BCG node state transition, a
+// trace lifecycle step, or (in a Service) a breaker/quarantine/queue event.
+type Event = obs.Event
+
+// EventType discriminates observability events.
+type EventType = obs.EventType
+
+// Event types.
+const (
+	EvNodeState      = obs.EvNodeState
+	EvTraceBuilt     = obs.EvTraceBuilt
+	EvTraceReused    = obs.EvTraceReused
+	EvTraceRetired   = obs.EvTraceRetired
+	EvTraceEvicted   = obs.EvTraceEvicted
+	EvBreaker        = obs.EvBreaker
+	EvQuarantine     = obs.EvQuarantine
+	EvQueueSaturated = obs.EvQueueSaturated
+	EvDemoted        = obs.EvDemoted
+)
+
+// ParseEventType maps a wire name like "trace-built" back to its type.
+func ParseEventType(s string) (EventType, bool) { return obs.ParseEventType(s) }
 
 // Verify runs quick internal consistency checks over the run's counters and
 // trace accounting; it is primarily a debugging aid.

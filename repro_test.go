@@ -50,6 +50,8 @@ func TestFacadeCompileAndRun(t *testing.T) {
 	}
 }
 
+// TestFacadeOptions deliberately exercises the deprecated per-field option
+// wrappers: they must keep working as thin aliases of WithParams.
 func TestFacadeOptions(t *testing.T) {
 	prog, err := repro.CompileMiniJava(fib)
 	if err != nil {
@@ -169,5 +171,127 @@ func TestFacadeMetricsConsistency(t *testing.T) {
 		if tr.Blocks < 2 {
 			t.Errorf("trace %d shorter than 2 blocks", tr.ID)
 		}
+	}
+}
+
+func TestParamsDefaultsAndOverrideOrder(t *testing.T) {
+	def := repro.DefaultParams()
+	if def.Threshold != 0.97 || def.StartDelay != 64 || def.DecayInterval != 256 {
+		t.Fatalf("DefaultParams = %+v", def)
+	}
+	if def.MaxTraces != 0 || def.MaxCachedBlocks != 0 || def.Breaker.ChurnPerK != 0 {
+		t.Fatalf("DefaultParams budgets/breaker not zero: %+v", def)
+	}
+	if got := repro.ResolvedParams(); got != def {
+		t.Errorf("no options: resolved %+v, want defaults %+v", got, def)
+	}
+
+	// A partial literal overrides only the fields it names.
+	got := repro.ResolvedParams(repro.WithParams(repro.Params{Threshold: 0.9}))
+	if got.Threshold != 0.9 || got.StartDelay != 64 || got.DecayInterval != 256 {
+		t.Errorf("partial WithParams: %+v", got)
+	}
+
+	// Later options win for the fields they set, field-wise.
+	got = repro.ResolvedParams(
+		repro.WithParams(repro.Params{Threshold: 0.5, MaxTraces: 7}),
+		repro.WithParams(repro.Params{Threshold: 0.9}),
+	)
+	if got.Threshold != 0.9 || got.MaxTraces != 7 {
+		t.Errorf("override order: %+v", got)
+	}
+
+	// The deprecated wrappers are exact aliases of single-field WithParams,
+	// composing in either direction.
+	a := repro.ResolvedParams(repro.WithThreshold(0.5), repro.WithParams(repro.Params{Threshold: 0.9}))
+	b := repro.ResolvedParams(repro.WithParams(repro.Params{Threshold: 0.5}), repro.WithThreshold(0.9))
+	if a.Threshold != 0.9 || b.Threshold != 0.9 {
+		t.Errorf("wrapper/WithParams composition: %v %v", a.Threshold, b.Threshold)
+	}
+	if got := repro.ResolvedParams(repro.WithStartDelay(7), repro.WithDecayInterval(99)); got.StartDelay != 7 || got.DecayInterval != 99 {
+		t.Errorf("deprecated wrappers: %+v", got)
+	}
+}
+
+func TestParamsServiceConfig(t *testing.T) {
+	p := repro.Params{
+		MaxTraces:       5,
+		MaxCachedBlocks: 100,
+		Breaker:         repro.BreakerConfig{ChurnPerK: 8},
+	}
+	cfg := p.ServiceConfig()
+	if cfg.TraceCache.MaxTraces != 5 || cfg.TraceCache.MaxCachedBlocks != 100 {
+		t.Errorf("budgets not mapped: %+v", cfg.TraceCache)
+	}
+	if cfg.Breaker.ChurnPerK != 8 {
+		t.Errorf("breaker not mapped: %+v", cfg.Breaker)
+	}
+}
+
+func TestParamsCacheBudgetApplies(t *testing.T) {
+	prog, err := repro.CompileMiniJava(fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := repro.NewVM(prog, repro.WithParams(repro.Params{MaxTraces: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(vm.Traces()); n > 1 {
+		t.Errorf("MaxTraces=1 budget ignored: %d live traces", n)
+	}
+	if vm.Counters().TracesBuilt == 0 {
+		t.Error("budgeted run built no traces")
+	}
+}
+
+func TestFacadeEventTrace(t *testing.T) {
+	prog, err := repro.CompileMiniJava(fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := repro.NewVM(prog, repro.WithEventTrace(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := vm.Events(128)
+	if len(evs) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	var sawState, sawBuilt bool
+	for i, e := range evs {
+		if i > 0 && e.Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order at %d", i)
+		}
+		switch e.Type {
+		case repro.EvNodeState:
+			sawState = true
+		case repro.EvTraceBuilt:
+			sawBuilt = true
+		}
+	}
+	if !sawState || !sawBuilt {
+		t.Errorf("missing event kinds: nodeState=%v traceBuilt=%v", sawState, sawBuilt)
+	}
+	if ring := vm.EventRing(); ring == nil || ring.Total() == 0 {
+		t.Error("EventRing not exposed")
+	}
+	if _, ok := repro.ParseEventType("trace-built"); !ok {
+		t.Error("ParseEventType(trace-built) failed")
+	}
+
+	// Without the option there is no ring and Events is nil.
+	plain, err := repro.NewVM(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Events(10) != nil || plain.EventRing() != nil {
+		t.Error("ring present without WithEventTrace")
 	}
 }
