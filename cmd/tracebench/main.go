@@ -36,6 +36,7 @@ func main() {
 	optim := flag.Bool("optimizability", false, "print only the trace optimizability study")
 	ablations := flag.Bool("ablations", false, "print the decay-interval and max-trace-length ablations")
 	stability := flag.Bool("stability", false, "print the phase-change cache stability experiment")
+	warmstart := flag.Bool("warmstart", false, "print the snapshot warm-start comparison (cold vs seeded first trace)")
 	repeats := flag.Int("repeats", 3, "wall-clock repetitions for overhead tables")
 	maxSteps := flag.Int64("maxsteps", 0, "instruction budget per run (0 = unlimited)")
 	benchJSON := flag.Bool("bench-json", false, "measure per-workload profiler overhead and write a JSON report")
@@ -60,7 +61,7 @@ func main() {
 	case *benchJSON:
 		err = runBenchJSON(s, os.Stdout, *out)
 	default:
-		err = run(s, os.Stdout, *table, *figures, *baselines, *optim, *ablations, *stability)
+		err = run(s, os.Stdout, *table, *figures, *baselines, *optim, *ablations, *stability, *warmstart)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
@@ -133,8 +134,15 @@ func loadBenchReport(path string) (harness.BenchReport, error) {
 	return rep, nil
 }
 
-func run(s *harness.Suite, out io.Writer, table int, figures, baselines, optim, ablations, stability bool) error {
+func run(s *harness.Suite, out io.Writer, table int, figures, baselines, optim, ablations, stability, warmstart bool) error {
 	switch {
+	case warmstart:
+		t, _, err := s.WarmStartTable()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t.Format())
+		return nil
 	case stability:
 		t, err := s.Stability()
 		if err != nil {

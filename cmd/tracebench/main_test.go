@@ -24,7 +24,7 @@ func smokeSuite() *harness.Suite {
 // (tracebench -table 6) on a scaled-down budget.
 func TestTable6Smoke(t *testing.T) {
 	var buf strings.Builder
-	if err := run(smokeSuite(), &buf, 6, false, false, false, false, false); err != nil {
+	if err := run(smokeSuite(), &buf, 6, false, false, false, false, false, false); err != nil {
 		t.Fatalf("run(-table 6): %v", err)
 	}
 	out := buf.String()

@@ -1,0 +1,227 @@
+// Command tracesnap inspects and compares profile snapshot files
+// (tracevm/snapshot/v1, written by VM.SaveSnapshot, the serving daemon's
+// snapshot store, or GET /v1/snapshot).
+//
+// Usage:
+//
+//	tracesnap prog.tsnap                summary: identity, params, state histogram
+//	tracesnap -nodes prog.tsnap        per-node listing (context, state, edges)
+//	tracesnap -json prog.tsnap         full decoded snapshot as JSON
+//	tracesnap -diff old.tsnap new.tsnap what the profile learned between two saves
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/profile"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	nodes := flag.Bool("nodes", false, "list every node with its state and edges")
+	asJSON := flag.Bool("json", false, "dump the decoded snapshot as JSON")
+	diff := flag.Bool("diff", false, "compare two snapshots (old new)")
+	flag.Parse()
+
+	if err := run(*nodes, *asJSON, *diff, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "tracesnap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, asJSON, diff bool, args []string) error {
+	if diff {
+		if len(args) != 2 {
+			return fmt.Errorf("-diff expects two snapshot files")
+		}
+		a, err := snapshot.Load(args[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[0], err)
+		}
+		b, err := snapshot.Load(args[1])
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[1], err)
+		}
+		printDiff(args[0], args[1], a, b)
+		return nil
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("expected one snapshot file (or -diff old new)")
+	}
+	s, err := snapshot.Load(args[0])
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	switch {
+	case asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	case nodes:
+		printNodes(s)
+	default:
+		info, err := os.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		printSummary(args[0], info.Size(), s)
+	}
+	return nil
+}
+
+func printSummary(path string, size int64, s *snapshot.Snapshot) {
+	fmt.Printf("file:      %s (%d bytes)\n", path, size)
+	fmt.Printf("schema:    %s\n", snapshot.Schema)
+	name := s.Program
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Printf("program:   %s  key %s\n", name, s.ProgramKey)
+	fmt.Printf("params:    threshold %.3f  delay %d  decay %d\n",
+		s.Params.Threshold, s.Params.StartDelay, s.Params.DecayInterval)
+
+	var hist [int(profile.StateUnique) + 1]int
+	edges := 0
+	for _, n := range s.Nodes {
+		hist[n.State]++
+		edges += len(n.Edges)
+	}
+	fmt.Printf("nodes:     %d  (", len(s.Nodes))
+	for st := profile.StateNew; st <= profile.StateUnique; st++ {
+		if st > profile.StateNew {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%s %d", st, hist[st])
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("edges:     %d\n", edges)
+
+	blocks, entries := 0, 0
+	minEC, sumEC := 1.0, 0.0
+	for _, t := range s.Traces {
+		blocks += len(t.Blocks)
+		entries += len(t.EntryFrom)
+		sumEC += t.ExpectedCompletion
+		if t.ExpectedCompletion < minEC {
+			minEC = t.ExpectedCompletion
+		}
+	}
+	if len(s.Traces) > 0 {
+		fmt.Printf("traces:    %d  (%d blocks, %d entry edges, expected completion min %.3f avg %.3f)\n",
+			len(s.Traces), blocks, entries, minEC, sumEC/float64(len(s.Traces)))
+	} else {
+		fmt.Printf("traces:    0\n")
+	}
+	fmt.Printf("loop hdrs: %d\n", len(s.LoopHeaders))
+}
+
+func printNodes(s *snapshot.Snapshot) {
+	for _, n := range s.Nodes {
+		total := 0
+		var parts []string
+		for _, e := range n.Edges {
+			total += int(e.Count)
+			parts = append(parts, fmt.Sprintf("%d:%d", e.Z, e.Count))
+		}
+		best := "-"
+		if n.Best != cfg.NoBlock {
+			best = fmt.Sprintf("%d", n.Best)
+		}
+		fmt.Printf("N_%d,%d  %-7s delay %-4d best %-4s total %-5d  [%s]\n",
+			n.X, n.Y, n.State, n.StartDelay, best, total, strings.Join(parts, " "))
+	}
+}
+
+// nodeKey identifies a node across snapshots by its branch context.
+type nodeKey struct{ x, y cfg.BlockID }
+
+// traceKey identifies a trace by its block sequence.
+func traceKey(blocks []cfg.BlockID) string {
+	var b strings.Builder
+	for i, id := range blocks {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}
+
+func printDiff(pathA, pathB string, a, b *snapshot.Snapshot) {
+	fmt.Printf("old: %s  (%d nodes, %d traces)\n", pathA, len(a.Nodes), len(a.Traces))
+	fmt.Printf("new: %s  (%d nodes, %d traces)\n", pathB, len(b.Nodes), len(b.Traces))
+	if a.ProgramKey != b.ProgramKey {
+		fmt.Printf("!! different programs: %s vs %s\n", a.ProgramKey, b.ProgramKey)
+	}
+	if a.Params != b.Params {
+		fmt.Printf("!! different params: threshold %.3f/%.3f delay %d/%d decay %d/%d\n",
+			a.Params.Threshold, b.Params.Threshold,
+			a.Params.StartDelay, b.Params.StartDelay,
+			a.Params.DecayInterval, b.Params.DecayInterval)
+	}
+
+	an := make(map[nodeKey]profile.NodeSnapshot, len(a.Nodes))
+	for _, n := range a.Nodes {
+		an[nodeKey{n.X, n.Y}] = n
+	}
+	var added, changed []string
+	seen := make(map[nodeKey]bool, len(b.Nodes))
+	for _, n := range b.Nodes {
+		k := nodeKey{n.X, n.Y}
+		seen[k] = true
+		old, ok := an[k]
+		switch {
+		case !ok:
+			added = append(added, fmt.Sprintf("  + N_%d,%d %s", n.X, n.Y, n.State))
+		case old.State != n.State:
+			changed = append(changed, fmt.Sprintf("  ~ N_%d,%d %s -> %s", n.X, n.Y, old.State, n.State))
+		}
+	}
+	var removed []string
+	for _, n := range a.Nodes {
+		if !seen[nodeKey{n.X, n.Y}] {
+			removed = append(removed, fmt.Sprintf("  - N_%d,%d %s", n.X, n.Y, n.State))
+		}
+	}
+	printGroup("nodes added", added)
+	printGroup("nodes removed", removed)
+	printGroup("node state changes", changed)
+
+	at := make(map[string]float64, len(a.Traces))
+	for _, t := range a.Traces {
+		at[traceKey(t.Blocks)] = t.ExpectedCompletion
+	}
+	var tAdded, tRemoved []string
+	seenT := make(map[string]bool, len(b.Traces))
+	for _, t := range b.Traces {
+		k := traceKey(t.Blocks)
+		seenT[k] = true
+		if _, ok := at[k]; !ok {
+			tAdded = append(tAdded, fmt.Sprintf("  + [%s] ec %.3f", k, t.ExpectedCompletion))
+		}
+	}
+	for _, t := range a.Traces {
+		if k := traceKey(t.Blocks); !seenT[k] {
+			tRemoved = append(tRemoved, fmt.Sprintf("  - [%s] ec %.3f", k, t.ExpectedCompletion))
+		}
+	}
+	printGroup("traces added", tAdded)
+	printGroup("traces removed", tRemoved)
+}
+
+func printGroup(title string, lines []string) {
+	if len(lines) == 0 {
+		return
+	}
+	sort.Strings(lines)
+	fmt.Printf("%s (%d):\n", title, len(lines))
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}

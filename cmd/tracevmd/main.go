@@ -9,7 +9,8 @@
 //	tracevmd -addr :8077 -workers 8 -queue 64 -timeout 30s \
 //	         -max-traces 512 -max-trace-blocks 8192 \
 //	         -breaker-churn 8 -breaker-after 3 -breaker-cooldown 30s \
-//	         -quarantine-after 3 -events 4096 -debug-addr localhost:8078
+//	         -quarantine-after 3 -events 4096 -debug-addr localhost:8078 \
+//	         -snapshot-dir /var/lib/tracevm/snapshots -snapshot-interval 30s
 //
 // Endpoints (versioned under /v1/; the unversioned paths remain as aliases
 // and serve byte-identical bodies):
@@ -19,6 +20,8 @@
 //	GET  /v1/stats   aggregated service + execution metrics snapshot
 //	GET  /v1/metrics Prometheus text exposition of the same snapshot
 //	GET  /v1/events  JSON tail of the event ring (?n=256&type=breaker&program=x)
+//	GET  /v1/snapshot?workload=x (or ?key=h) learned-profile snapshot download
+//	PUT  /v1/snapshot binary snapshot upload: pre-warm a program before traffic
 //	GET  /v1/healthz liveness plus queue depth
 //	GET  /v1/readyz  readiness: healthy / degraded (200), draining (503)
 //
@@ -53,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -78,6 +82,10 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker demotes a program before probing")
 		quarAfter   = flag.Int("quarantine-after", 3, "VM panics before a program is quarantined (-1 = disabled)")
 		noVerify    = flag.Bool("no-verify", false, "skip bytecode verification of submitted sources")
+
+		snapDir      = flag.String("snapshot-dir", "", "profile snapshot directory; warm-starts known programs and persists learned state (empty = disabled)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "coalescing snapshot writer commit period (0 = 30s default)")
+		snapNet      = flag.Int64("snapshot-net", 0, "per-program learning delta that forces an early snapshot commit (0 = 512 default)")
 	)
 	flag.Parse()
 
@@ -100,8 +108,11 @@ func main() {
 				TripAfter: *brkAfter,
 				Cooldown:  *brkCooldown,
 			},
-			QuarantineAfter: *quarAfter,
-			NoVerify:        *noVerify,
+			QuarantineAfter:  *quarAfter,
+			NoVerify:         *noVerify,
+			SnapshotDir:      *snapDir,
+			SnapshotInterval: *snapInterval,
+			SnapshotNet:      *snapNet,
 		})
 	}
 	if err != nil {
@@ -211,6 +222,63 @@ func newMux(svc *serve.Service) *http.ServeMux {
 			resp.Cap = ring.Cap()
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+
+	// GET /v1/snapshot?workload=<name> (or ?key=<hash>) downloads the
+	// program's learned-profile snapshot in its binary format; PUT uploads
+	// one, pre-warming the program for every later request of the same
+	// content hash. Both 404 the feature off when -snapshot-dir is unset.
+	handle("GET", "/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !svc.SnapshotEnabled() {
+			writeJSON(w, http.StatusNotFound, api.NewError("snapshot persistence disabled (start with -snapshot-dir)"))
+			return
+		}
+		q := r.URL.Query()
+		key := q.Get("key")
+		if wl := q.Get("workload"); key == "" && wl != "" {
+			comp, err := svc.Registry().Workload(wl)
+			if err != nil {
+				writeJSON(w, http.StatusNotFound, api.NewError(err.Error()))
+				return
+			}
+			key = comp.Key
+		}
+		if key == "" {
+			writeJSON(w, http.StatusBadRequest, api.NewError("need ?workload= or ?key="))
+			return
+		}
+		data, ok := svc.SnapshotBytes(key)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, api.NewError("no snapshot stored for "+strconv.Quote(key)))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Tracevm-Schema", snapshot.Schema)
+		_, _ = w.Write(data)
+	})
+
+	handle("PUT", "/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !svc.SnapshotEnabled() {
+			writeJSON(w, http.StatusNotFound, api.NewError("snapshot persistence disabled (start with -snapshot-dir)"))
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, api.NewError("reading body: "+err.Error()))
+			return
+		}
+		snap, err := svc.InstallSnapshot(data)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, api.NewError(err.Error()))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.SnapshotInfoResponse{
+			Schema:  api.SchemaSnapshotInfo,
+			Program: snap.Program,
+			Key:     snap.ProgramKey,
+			Nodes:   len(snap.Nodes),
+			Traces:  len(snap.Traces),
+		})
 	})
 
 	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {

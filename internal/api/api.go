@@ -31,6 +31,10 @@ const (
 	SchemaHealth = "tracevm/health/v1"
 	SchemaReady  = "tracevm/ready/v1"
 	SchemaError  = "tracevm/error/v1"
+	// SchemaSnapshotInfo tags the JSON summary of a profile snapshot
+	// (PUT /v1/snapshot); the snapshot binary itself carries its own format
+	// tag, snapshot.Schema ("tracevm/snapshot/v1").
+	SchemaSnapshotInfo = "tracevm/snapshot-info/v1"
 )
 
 // RunRequest is the wire form of one execution order (POST /v1/run).
@@ -160,6 +164,17 @@ type EventsResponse struct {
 	Cap   int    `json:"cap"`
 	// Events is the filtered tail.
 	Events []obs.Event `json:"events"`
+}
+
+// SnapshotInfoResponse summarizes an accepted profile snapshot
+// (PUT /v1/snapshot): the program identity it is keyed to and how much
+// learned state it carries.
+type SnapshotInfoResponse struct {
+	Schema  string `json:"schema"`
+	Program string `json:"program,omitempty"`
+	Key     string `json:"key"`
+	Nodes   int    `json:"nodes"`
+	Traces  int    `json:"traces"`
 }
 
 // HealthResponse is the wire form of GET /v1/healthz.

@@ -69,6 +69,8 @@ func WriteMetrics(w io.Writer, snap serve.Snapshot) error {
 	pw.gauge("tracevm_event_ring_capacity", "event trace ring capacity (0 = disabled)", float64(snap.EventCap))
 	pw.gauge("tracevm_event_ring_held", "events currently retained by the ring", float64(snap.EventsHeld))
 	pw.counter("tracevm_events_emitted_total", "observability events ever emitted", float64(snap.EventsTotal))
+	pw.gauge("tracevm_snapshot_programs", "programs holding a warm profile snapshot", float64(snap.SnapshotPrograms))
+	pw.gauge("tracevm_snapshots_pending", "programs with learning deltas awaiting the coalescing snapshot writer", float64(snap.SnapshotsPending))
 
 	// Per-program breaker state, one labeled gauge per program
 	// (0=closed, 1=open, 2=half-open), in sorted order for stable output.

@@ -80,6 +80,12 @@ type Cache struct {
 	regs   map[*trace.Trace]map[uint64]bool // trace -> its entry edges
 	blocks int                              // total blocks across live traces
 	nextID int
+
+	// seeding marks registrations driven by SeedTraces (snapshot warm
+	// start): they count as seeded, not built/reused, and emit no lifecycle
+	// events — a warm start is restored state, not churn, and must not trip
+	// churn-based breakers.
+	seeding bool
 }
 
 // NewCache creates an empty trace cache. Bind must be called with the
@@ -382,12 +388,14 @@ func (c *Cache) register(nodes []*profile.Node, prob float64) {
 		c.nextID++
 		c.byKey[key] = t
 		c.blocks += len(blocks)
-		c.ctr.TracesBuilt++
-		c.emit(obs.EvTraceBuilt, t, int64(len(blocks)))
+		if !c.seeding {
+			c.ctr.TracesBuilt++
+			c.emit(obs.EvTraceBuilt, t, int64(len(blocks)))
+		}
 		for i := 1; i < len(blocks); i++ {
 			c.indexPair(trace.EdgeKey(blocks[i-1], blocks[i]), t)
 		}
-	} else {
+	} else if !c.seeding {
 		c.ctr.TracesReused++
 		c.emit(obs.EvTraceReused, t, int64(len(blocks)))
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/classfile"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -92,6 +93,13 @@ type SessionOptions struct {
 	// transitions and trace build/reuse/retire/evict. An attached sink with
 	// no transitions in flight costs the dispatch path nothing.
 	Sink obs.Sink
+	// Snapshot, if set, warm-starts the session from previously learned
+	// state: BCG nodes come back pre-classified, snapshot traces that still
+	// clear the completion threshold are registered before the first
+	// dispatch, and loop-header anchors are restored. The caller must have
+	// verified the snapshot's program key; params are re-checked here and a
+	// mismatch fails session construction. Ignored in unprofiled modes.
+	Snapshot *snapshot.Snapshot
 }
 
 // NewSession builds a session over a linked program and its CFGs.
@@ -131,6 +139,11 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 		}
 		s.Graph = g
 		s.Cache = cache
+		if opts.Snapshot != nil {
+			if err := seedSession(s, opts.Snapshot, opts.Params); err != nil {
+				return nil, err
+			}
+		}
 		mopts.Hook = g
 		if opts.Mode == ModeTrace || opts.Mode == ModeTraceDeploy {
 			mopts.Traces = cache

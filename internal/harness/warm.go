@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// FirstTrace marks the moment a session first dispatched a cached trace:
+// how many block dispatches and how much wall clock it took to get there.
+// Reached is false when the run ended without ever entering a trace.
+type FirstTrace struct {
+	Reached    bool
+	Dispatches int64
+	Wall       time.Duration
+}
+
+// WarmStart is one workload's cold-versus-warm comparison: the same program
+// run from nothing and run again seeded with the first run's snapshot. The
+// claim under test is that a warm start reaches its first trace dispatch in
+// far fewer block dispatches, because the profiler does not have to re-learn
+// the branch correlations it already knew.
+type WarmStart struct {
+	Workload   string
+	SnapNodes  int // BCG nodes carried by the snapshot
+	SnapTraces int // traces carried by the snapshot
+
+	SeededNodes  int64 // nodes the warm session actually restored
+	SeededTraces int64 // traces the warm session re-registered
+
+	Cold FirstTrace
+	Warm FirstTrace
+}
+
+// firstTraceProbe wraps the session's dispatch hook and records the counter
+// state at the first dispatch that observes an entered trace. It rides the
+// WrapHook seam, so the production dispatch path is untouched.
+type firstTraceProbe struct {
+	inner vm.DispatchHook
+	ctr   *stats.Counters
+	start time.Time
+	ft    FirstTrace
+}
+
+func (p *firstTraceProbe) OnDispatch(from, to cfg.BlockID) {
+	if !p.ft.Reached && p.ctr.TracesEntered > 0 {
+		p.ft = FirstTrace{
+			Reached:    true,
+			Dispatches: p.ctr.BlockDispatches,
+			Wall:       time.Since(p.start),
+		}
+	}
+	p.inner.OnDispatch(from, to)
+}
+
+// MeasureWarmStart runs a workload cold, snapshots its learned profile, and
+// runs it again seeded from the snapshot, reporting time-to-first-trace and
+// dispatches-until-warm for both runs.
+func (s *Suite) MeasureWarmStart(name string) (WarmStart, error) {
+	c, err := s.compileWorkload(name)
+	if err != nil {
+		return WarmStart{}, err
+	}
+	params := profile.Params{StartDelay: DefaultDelay, Threshold: DefaultThreshold, DecayInterval: 256}
+
+	run := func(snap *snapshot.Snapshot) (*core.Session, FirstTrace, error) {
+		probe := &firstTraceProbe{}
+		sess, err := core.NewSession(c.prog, c.cfg, core.SessionOptions{
+			Mode:     core.ModeTrace,
+			Params:   params,
+			MaxSteps: s.MaxSteps,
+			Snapshot: snap,
+			WrapHook: func(h vm.DispatchHook) vm.DispatchHook { probe.inner = h; return probe },
+		})
+		if err != nil {
+			return nil, FirstTrace{}, err
+		}
+		probe.ctr = sess.Counters
+		probe.start = time.Now()
+		if err := sess.Run(); err != nil && !stepLimited(err) {
+			return nil, FirstTrace{}, fmt.Errorf("harness: %s warm-start: %w", name, err)
+		}
+		return sess, probe.ft, nil
+	}
+
+	cold, coldFT, err := run(nil)
+	if err != nil {
+		return WarmStart{}, err
+	}
+	key, err := snapshot.ProgramKey(c.prog)
+	if err != nil {
+		return WarmStart{}, err
+	}
+	snap := cold.ExportSnapshot(key, name)
+	warm, warmFT, err := run(snap)
+	if err != nil {
+		return WarmStart{}, err
+	}
+	return WarmStart{
+		Workload:     name,
+		SnapNodes:    len(snap.Nodes),
+		SnapTraces:   len(snap.Traces),
+		SeededNodes:  warm.Counters.NodesSeededFromSnapshot,
+		SeededTraces: warm.Counters.TracesSeededFromSnapshot,
+		Cold:         coldFT,
+		Warm:         warmFT,
+	}, nil
+}
+
+// ftCells renders one FirstTrace as (dispatches, wall) table cells.
+func ftCells(ft FirstTrace) (string, string) {
+	if !ft.Reached {
+		return "-", "-"
+	}
+	return fmt.Sprintf("%d", ft.Dispatches), fmt.Sprintf("%.2fms", float64(ft.Wall.Microseconds())/1000)
+}
+
+// WarmStartTable runs the cold-versus-warm comparison over the suite's
+// workloads.
+func (s *Suite) WarmStartTable() (Table, []WarmStart, error) {
+	var rows [][]string
+	var all []WarmStart
+	for _, name := range s.Workloads {
+		w, err := s.MeasureWarmStart(name)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		all = append(all, w)
+		cd, cw := ftCells(w.Cold)
+		wd, ww := ftCells(w.Warm)
+		speedup := "-"
+		if w.Cold.Reached && w.Warm.Reached && w.Warm.Dispatches > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(w.Cold.Dispatches)/float64(w.Warm.Dispatches))
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", w.SeededNodes),
+			fmt.Sprintf("%d", w.SeededTraces),
+			cd, wd, speedup, cw, ww,
+		})
+	}
+	return Table{
+		Title:   "Warm start: dispatches and wall clock until the first trace dispatch (97%, delay 64)",
+		Columns: []string{"benchmark", "seeded nodes", "seeded traces", "cold disp", "warm disp", "speedup", "cold time", "warm time"},
+		Rows:    rows,
+	}, all, nil
+}

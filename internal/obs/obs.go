@@ -65,6 +65,15 @@ const (
 	// EvDemoted: an open breaker forced a profiled run down to plain block
 	// dispatch.
 	EvDemoted
+	// EvSnapshotSaved: a program's learned profile was committed to durable
+	// storage. Val is the snapshot's node count.
+	EvSnapshotSaved
+	// EvSnapshotLoaded: a stored snapshot entered the warm-start store (from
+	// disk or a PUT). Val is the snapshot's node count.
+	EvSnapshotLoaded
+	// EvSnapshotRejected: a snapshot was refused — corrupt, wrong format
+	// version, or keyed to a different program.
+	EvSnapshotRejected
 
 	numEventTypes
 )
@@ -80,6 +89,10 @@ var eventTypeNames = [numEventTypes]string{
 	EvQuarantine:     "quarantine",
 	EvQueueSaturated: "queue-saturated",
 	EvDemoted:        "demoted",
+
+	EvSnapshotSaved:    "snapshot-saved",
+	EvSnapshotLoaded:   "snapshot-loaded",
+	EvSnapshotRejected: "snapshot-rejected",
 }
 
 func (t EventType) String() string {

@@ -1,0 +1,162 @@
+package profile
+
+import "repro/internal/cfg"
+
+// This file is the profiler's side of profile persistence (ROADMAP item:
+// warm start): a structural export of the branch correlation graph and the
+// inverse seeding operation. The snapshot codec itself lives in
+// internal/snapshot; these types deliberately carry no pointers so the graph
+// can be rebuilt in any order against fresh arenas.
+
+// EdgeSnapshot is one serialized branch correlation E_XYZ: successor Z with
+// its decayed 16-bit counter.
+type EdgeSnapshot struct {
+	Z     cfg.BlockID
+	Count uint16
+}
+
+// NodeSnapshot is one serialized branch context N_XY. Edges are sorted by Z
+// (the in-memory invariant); Best is the cached most likely successor's Z,
+// or cfg.NoBlock when the node has no prediction. Total is not stored: it is
+// re-derived from the invariant Total == Σ edge.Count at seed time, so a
+// corrupted snapshot cannot smuggle in an inconsistent ratio denominator.
+type NodeSnapshot struct {
+	X, Y       cfg.BlockID
+	State      State
+	StartDelay int32
+	Best       cfg.BlockID
+	Edges      []EdgeSnapshot
+}
+
+// Export returns a structural copy of every node, in creation order. The
+// result aliases nothing in the graph and stays valid after the session
+// ends; it is what the snapshot codec serializes.
+func (g *Graph) Export() []NodeSnapshot {
+	out := make([]NodeSnapshot, 0, len(g.all))
+	for _, n := range g.all {
+		ns := NodeSnapshot{
+			X:          n.X,
+			Y:          n.Y,
+			State:      n.State,
+			StartDelay: n.startDelay,
+			Best:       cfg.NoBlock,
+		}
+		if n.Best != nil {
+			ns.Best = n.Best.Z
+		}
+		if len(n.Edges) > 0 {
+			ns.Edges = make([]EdgeSnapshot, 0, len(n.Edges))
+			for _, e := range n.Edges {
+				ns.Edges = append(ns.Edges, EdgeSnapshot{Z: e.Z, Count: e.Count})
+			}
+		}
+		out = append(out, ns)
+	}
+	return out
+}
+
+// SeedNodes rebuilds branch contexts from a snapshot, the warm-start
+// analogue of SetStaticHints: nodes come back pre-classified with their
+// saved states, counters and residual start delays instead of relearning
+// from zero. Seeding leaves every node unacknowledged (ackState StateNew),
+// exactly like Unacknowledge after an eviction: a seeded region that is hot
+// again signals at its first evaluation, so the trace cache can rebuild any
+// trace the snapshot did not carry, while a region that stays cold never
+// signals at all.
+//
+// Call before the profiled run. Nodes that already exist are left untouched;
+// malformed entries (out-of-range states, unknown Best successors) are
+// repaired conservatively rather than trusted. Returns the number of nodes
+// created.
+func (g *Graph) SeedNodes(nodes []NodeSnapshot) int {
+	seeded := 0
+	// Pass 1: materialize every node with its saved classification, so that
+	// pass 2's edge targets resolve to seeded nodes rather than fresh ones.
+	for i := range nodes {
+		ns := &nodes[i]
+		if ns.X == cfg.NoBlock || ns.Y == cfg.NoBlock || ns.State > StateUnique {
+			continue
+		}
+		if g.Node(ns.X, ns.Y) != nil {
+			continue
+		}
+		n := g.getNode(ns.X, ns.Y)
+		n.State = ns.State
+		n.startDelay = ns.StartDelay
+		if n.State == StateNew && n.startDelay < 0 {
+			n.startDelay = 0
+		}
+		// Unacknowledged: the first evaluation after warm-up re-signals.
+		n.ackState = StateNew
+		n.ackBest = cfg.NoBlock
+		g.ctr.NodesSeededFromSnapshot++
+		seeded++
+	}
+
+	// Pass 2: wire the correlations. Insertion mirrors OnDispatch's slow
+	// path (sorted by Z, In lists maintained) so a seeded graph is
+	// indistinguishable from an organically grown one.
+	for i := range nodes {
+		ns := &nodes[i]
+		if ns.X == cfg.NoBlock || ns.Y == cfg.NoBlock || ns.State > StateUnique {
+			continue
+		}
+		n := g.Node(ns.X, ns.Y)
+		if n == nil {
+			continue
+		}
+		for _, es := range ns.Edges {
+			if es.Z == cfg.NoBlock || es.Count == 0 || n.EdgeTo(es.Z) != nil {
+				continue
+			}
+			g.seedEdge(n, es.Z, es.Count)
+		}
+		var total uint32
+		for _, e := range n.Edges {
+			total += uint32(e.Count)
+		}
+		if total > uint32(^uint16(0)) {
+			total = uint32(^uint16(0))
+		}
+		n.Total = uint16(total)
+		n.Best = nil
+		if ns.Best != cfg.NoBlock {
+			n.Best = n.EdgeTo(ns.Best)
+		}
+		if n.Best == nil {
+			for _, e := range n.Edges {
+				if n.Best == nil || e.Count > n.Best.Count {
+					n.Best = e
+				}
+			}
+		}
+		if n.Best == nil && n.State.Correlated() {
+			// Correlated with no surviving successor is unrepresentable in a
+			// live graph; demote rather than let trace construction follow a
+			// nil prediction.
+			n.State = StateWeak
+		}
+	}
+	return seeded
+}
+
+// seedEdge inserts a correlation toward z at its sorted position, keeping
+// the Edges/In invariants OnDispatch maintains.
+func (g *Graph) seedEdge(n *Node, z cfg.BlockID, count uint16) {
+	i := 0
+	for ; i < len(n.Edges); i++ {
+		if n.Edges[i].Z >= z {
+			break
+		}
+	}
+	e := g.allocEdge()
+	*e = Edge{Owner: n, To: g.getNode(n.Y, z), Z: z, Count: count}
+	if len(n.Edges) == cap(n.Edges) {
+		g.ctr.EdgeSpills++
+	}
+	n.Edges = append(n.Edges, nil)
+	copy(n.Edges[i+1:], n.Edges[i:])
+	n.Edges[i] = e
+	e.To.In = append(e.To.In, e)
+	g.ctr.EdgesCreated++
+}

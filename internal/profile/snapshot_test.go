@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cfg"
+)
+
+// grow drives an organic working set: an inner hot cycle with an alternating
+// cold exit, enough rounds to classify the hot nodes past the start delay.
+func grow(g *Graph, rounds int) {
+	for r := 0; r < rounds; r++ {
+		feed(g, 1, 2, 3, 4, 1, 2, 3, 5, 1)
+	}
+}
+
+// TestExportSeedRoundTrip pins the central warm-start property: exporting an
+// organically grown graph and seeding a fresh one yields a structurally
+// identical graph — same nodes in the same order, same states, counters,
+// start delays, edges, and predictions.
+func TestExportSeedRoundTrip(t *testing.T) {
+	p := Params{StartDelay: 8, Threshold: 0.97, DecayInterval: 64}
+	g, _, _ := newGraph(t, p)
+	grow(g, 256)
+	snap := g.Export()
+	if len(snap) == 0 {
+		t.Fatal("organic graph exported no nodes")
+	}
+
+	g2, _, ctr2 := newGraph(t, p)
+	seeded := g2.SeedNodes(snap)
+	if seeded != len(snap) {
+		t.Fatalf("seeded %d of %d nodes", seeded, len(snap))
+	}
+	if ctr2.NodesSeededFromSnapshot != int64(len(snap)) {
+		t.Errorf("NodesSeededFromSnapshot = %d, want %d", ctr2.NodesSeededFromSnapshot, len(snap))
+	}
+	if got := g2.Export(); !reflect.DeepEqual(got, snap) {
+		t.Errorf("re-export differs from source export:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+// TestSeedIsIdempotent: seeding the same snapshot twice changes nothing —
+// existing nodes are left untouched.
+func TestSeedIsIdempotent(t *testing.T) {
+	p := Params{StartDelay: 8, Threshold: 0.97, DecayInterval: 64}
+	g, _, _ := newGraph(t, p)
+	grow(g, 256)
+	snap := g.Export()
+
+	g2, _, _ := newGraph(t, p)
+	g2.SeedNodes(snap)
+	once := g2.Export()
+	if n := g2.SeedNodes(snap); n != 0 {
+		t.Errorf("second seed created %d nodes, want 0", n)
+	}
+	if got := g2.Export(); !reflect.DeepEqual(got, once) {
+		t.Error("second seed mutated the graph")
+	}
+}
+
+// TestSeededGraphResignals: a seeded node is unacknowledged, so a hot region
+// that stays hot re-signals its classification at the first evaluation —
+// that is what lets the trace cache rebuild traces the snapshot did not
+// carry.
+func TestSeededGraphResignals(t *testing.T) {
+	p := Params{StartDelay: 1, Threshold: 0.97, DecayInterval: 64}
+	g, rec, _ := newGraph(t, p)
+	grow(g, 512)
+	if len(rec.signals) == 0 {
+		t.Fatal("organic run produced no signals; test harness is wrong")
+	}
+
+	g2, rec2, _ := newGraph(t, p)
+	g2.SeedNodes(g.Export())
+	if len(rec2.signals) != 0 {
+		t.Fatalf("seeding itself signaled %d times; seeding must be silent", len(rec2.signals))
+	}
+	grow(g2, 64)
+	if len(rec2.signals) == 0 {
+		t.Error("seeded hot region never re-signaled")
+	}
+}
+
+// TestSeedNodesRepairsMalformed: snapshot entries with out-of-range states,
+// unknown Best successors, or correlated states without edges are repaired
+// or skipped, never trusted.
+func TestSeedNodesRepairsMalformed(t *testing.T) {
+	p := Params{StartDelay: 8, Threshold: 0.97, DecayInterval: 64}
+	g, _, _ := newGraph(t, p)
+	n := g.SeedNodes([]NodeSnapshot{
+		{X: 1, Y: 2, State: State(200)},               // out-of-range state: skipped
+		{X: cfg.NoBlock, Y: 2, State: StateStrong},    // no-block context: skipped
+		{X: 2, Y: 3, State: StateStrong, Best: 99},    // Best not among edges
+		{X: 3, Y: 4, State: StateUnique},              // correlated, no edges at all
+		{X: 4, Y: 5, State: StateNew, StartDelay: -7}, // negative residual delay on a new node
+	})
+	if n != 3 {
+		t.Fatalf("seeded %d nodes, want 3", n)
+	}
+	if g.Node(1, 2) != nil {
+		t.Error("out-of-range state was materialized")
+	}
+	if node := g.Node(2, 3); node == nil || node.Best != nil {
+		t.Errorf("unknown Best not repaired: %+v", node)
+	}
+	if node := g.Node(3, 4); node == nil || node.State != StateWeak {
+		t.Errorf("correlated node without edges not demoted to weak: %+v", node)
+	}
+	if node := g.Node(4, 5); node == nil || node.startDelay != 0 {
+		t.Errorf("negative delay on new node not clamped: %+v", node)
+	}
+}
+
+// TestSeededDispatchZeroAllocs pins the acceptance criterion that warm
+// starts keep the zero-allocation dispatch hook: a graph seeded from a
+// snapshot dispatches its working set without touching the allocator, just
+// like an organically warmed one.
+func TestSeededDispatchZeroAllocs(t *testing.T) {
+	p := Params{StartDelay: 1, Threshold: 0.97, DecayInterval: 256}
+	g, _, _ := newGraph(t, p)
+	grow(g, 512)
+
+	g2, _, _ := newGraph(t, p)
+	g2.SeedNodes(g.Export())
+	grow(g2, 8) // settle: first evaluations may emit, arenas already sized
+
+	allocs := testing.AllocsPerRun(200, func() {
+		grow(g2, 8)
+	})
+	if allocs != 0 {
+		t.Errorf("seeded dispatch path allocates: %.2f allocs per 72 dispatches, want 0", allocs)
+	}
+}

@@ -88,6 +88,12 @@ type Snapshot struct {
 	RegistryHits   int64
 	RegistryMisses int64
 
+	// Profile-persistence state (zero when Config.SnapshotDir is unset):
+	// programs holding a warm snapshot, and programs whose learning deltas
+	// await the coalescing writer's next commit.
+	SnapshotPrograms int
+	SnapshotsPending int
+
 	// Global is every completed session's Counters merged via Add; the
 	// embedded stats.Metrics are its derived §5.2 values, so a Snapshot and
 	// a repro.VM expose the same Metrics shape under the same name.

@@ -70,6 +70,18 @@ type Config struct {
 	// and emission never allocates, so an enabled trace on an idle or
 	// steady-state service costs nothing.
 	EventTrace int
+	// SnapshotDir enables profile persistence: each program's learned state
+	// (BCG nodes, traces, loop headers) is retained across requests, seeds
+	// later sessions of the same program, and is committed to this directory
+	// by a coalescing background writer. Empty disables persistence.
+	SnapshotDir string
+	// SnapshotInterval is the persistence writer's commit period
+	// (default 30s).
+	SnapshotInterval time.Duration
+	// SnapshotNet is the accumulated per-program learning delta (new nodes,
+	// signals, trace builds and retirements) that forces a commit before the
+	// interval elapses — the coalescing net threshold (default 512).
+	SnapshotNet int64
 }
 
 func (c *Config) fillDefaults() {
@@ -149,6 +161,10 @@ type Service struct {
 	// ring is the shared event trace (nil when Config.EventTrace == 0).
 	ring *obs.Ring
 
+	// snaps is the profile-persistence store (nil when Config.SnapshotDir
+	// is empty).
+	snaps *snapStore
+
 	jobs chan *job
 	wg   sync.WaitGroup
 
@@ -199,6 +215,9 @@ func New(cfg Config) *Service {
 	}
 	if cfg.EventTrace > 0 {
 		s.ring = obs.NewRing(cfg.EventTrace)
+	}
+	if cfg.SnapshotDir != "" {
+		s.snaps = newSnapStore(cfg.SnapshotDir, cfg.SnapshotInterval, cfg.SnapshotNet, s.ring)
 	}
 	s.reg.NoVerify = cfg.NoVerify
 	if cfg.Breaker.ChurnPerK > 0 {
@@ -419,6 +438,14 @@ func (s *Service) Stats() Snapshot {
 		}
 		s.qmu.Unlock()
 	}
+	if s.snaps != nil {
+		// Store-level lifecycle counters (saves, rejections) live in the
+		// store's journal, not in any session; merge them into the global
+		// counters so /v1/stats and the Prometheus export see them.
+		jc := s.snaps.journal.Counters()
+		snap.Global.Add(&jc)
+		snap.SnapshotPrograms, snap.SnapshotsPending = s.snaps.gauges()
+	}
 	return snap
 }
 
@@ -435,6 +462,11 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	close(s.jobs)
 	s.wg.Wait()
+	if s.snaps != nil {
+		// Save-on-drain: every worker has exited, so the store holds the
+		// final exports; commit whatever is still dirty before returning.
+		s.snaps.close()
+	}
 }
 
 // worker is one pool goroutine: it claims jobs, runs sessions, publishes
@@ -546,6 +578,14 @@ func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, 
 		// so /v1/events can be filtered per program under live traffic.
 		sopts.Sink = obs.Tagged{Sink: s.ring, Program: j.comp.Name}
 	}
+	if s.snaps != nil && mode.Profiled() {
+		// Warm start: seed the session from the program's stored learned
+		// state. Applied only under the exact profiler parameters the state
+		// was learned with — a mismatched request simply runs cold.
+		if warm := s.snaps.lookup(j.comp.Key, j.comp.Name); warm != nil && warm.Params == params {
+			sopts.Snapshot = warm
+		}
+	}
 	sess, err := core.NewSession(j.comp.Prog, j.comp.CFG, sopts)
 	if err != nil {
 		return nil, err
@@ -574,5 +614,22 @@ func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, 
 	if sess.Graph != nil {
 		resp.BCGNodes = sess.Graph.NumNodes()
 	}
+	if s.snaps != nil && sess.Graph != nil {
+		// Accumulate this run's learning into the warm store. A fully warm,
+		// stable run has a zero delta and is skipped outright — steady-state
+		// traffic neither re-exports nor re-commits anything.
+		if delta := learnedDelta(&resp.Counters); delta > 0 {
+			s.snaps.update(j.comp.Key, j.comp.Name, sess.ExportSnapshot(j.comp.Key, j.comp.Name), delta)
+		}
+	}
 	return resp, nil
+}
+
+// learnedDelta measures how much a run changed the program's learned state:
+// organically created nodes (seeded ones restored existing knowledge),
+// profiler signals, and trace churn. It is both the "did anything change"
+// gate for re-exporting and the coalescing writer's commit currency.
+func learnedDelta(ctr *stats.Counters) int64 {
+	return (ctr.NodesCreated - ctr.NodesSeededFromSnapshot) +
+		ctr.Signals + ctr.TracesBuilt + ctr.TracesRetired
 }

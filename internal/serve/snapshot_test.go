@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/snapshot"
+)
+
+// loopSource is hot enough to classify nodes and build traces in one run.
+const loopSource = `class Main { static void main() { int i = 0; int s = 0; while (i < 20000) { s = s + i; i = i + 1; } Sys.printlnInt(s); } }`
+
+func runLoop(t *testing.T, s *Service, req Request) *Response {
+	t.Helper()
+	if req.Source == "" {
+		req.Source = loopSource
+	}
+	if req.Mode == 0 {
+		req.Mode = core.ModeTrace
+	}
+	resp, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	return resp
+}
+
+// TestWarmStartAcrossRuns: the second run of the same program seeds from the
+// first run's in-memory export — per-request sessions no longer relearn from
+// zero.
+func TestWarmStartAcrossRuns(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, SnapshotDir: t.TempDir()})
+
+	cold := runLoop(t, s, Request{})
+	if cold.Counters.NodesSeededFromSnapshot != 0 {
+		t.Error("first run claims to have been seeded")
+	}
+	if cold.Counters.TracesBuilt == 0 {
+		t.Fatal("cold run built no traces; warm start has nothing to prove")
+	}
+
+	warm := runLoop(t, s, Request{})
+	if warm.Counters.SnapshotsLoaded != 1 {
+		t.Errorf("SnapshotsLoaded = %d, want 1", warm.Counters.SnapshotsLoaded)
+	}
+	if warm.Counters.NodesSeededFromSnapshot == 0 {
+		t.Error("second run was not seeded")
+	}
+	if warm.Output != cold.Output {
+		t.Errorf("warm output %q differs from cold %q", warm.Output, cold.Output)
+	}
+
+	stats := s.Stats()
+	if stats.SnapshotPrograms != 1 {
+		t.Errorf("SnapshotPrograms = %d, want 1", stats.SnapshotPrograms)
+	}
+	if stats.Global.SnapshotsLoaded != 1 {
+		t.Errorf("global SnapshotsLoaded = %d, want 1", stats.Global.SnapshotsLoaded)
+	}
+}
+
+// TestWarmStartAcrossServices: learned state survives a restart through the
+// snapshot directory — service one drains and commits, service two probes
+// the directory and seeds.
+func TestWarmStartAcrossServices(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := New(Config{Workers: 1, SnapshotDir: dir})
+	key := runLoop(t, s1, Request{}).Key
+	s1.Close()
+
+	files, err := filepath.Glob(filepath.Join(dir, "*"+snapExt))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("after drain: snapshot files = %v (err %v), want exactly one", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Decode(data)
+	if err != nil {
+		t.Fatalf("committed file does not decode: %v", err)
+	}
+	if err := snap.VerifyKey(key); err != nil {
+		t.Errorf("committed snapshot keyed to the wrong program: %v", err)
+	}
+
+	s2 := newTestService(t, Config{Workers: 1, SnapshotDir: dir})
+	warm := runLoop(t, s2, Request{})
+	if warm.Counters.SnapshotsLoaded != 1 || warm.Counters.NodesSeededFromSnapshot == 0 {
+		t.Errorf("restarted service did not warm start: loaded=%d seeded=%d",
+			warm.Counters.SnapshotsLoaded, warm.Counters.NodesSeededFromSnapshot)
+	}
+	if s2.Stats().Global.SnapshotsSaved != 0 {
+		// s2 merges its own journal only; s1's saves belong to s1.
+		t.Log("note: s2 journal nonzero (coalescing writer committed during test)")
+	}
+}
+
+// TestParamsMismatchRunsCold: a request under different profiler parameters
+// must not seed from state learned under other ones — it silently runs cold.
+func TestParamsMismatchRunsCold(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, SnapshotDir: t.TempDir()})
+	runLoop(t, s, Request{})
+	warm := runLoop(t, s, Request{Threshold: 0.99})
+	if warm.Counters.SnapshotsLoaded != 0 || warm.Counters.NodesSeededFromSnapshot != 0 {
+		t.Errorf("mismatched params still seeded: loaded=%d seeded=%d",
+			warm.Counters.SnapshotsLoaded, warm.Counters.NodesSeededFromSnapshot)
+	}
+}
+
+// TestCoalescingCommit: crossing the net threshold wakes the writer without
+// waiting for the interval tick.
+func TestCoalescingCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Config{
+		Workers: 1, SnapshotDir: dir,
+		SnapshotInterval: time.Hour, // interval commits effectively disabled
+		SnapshotNet:      1,         // every run's delta crosses the threshold
+	})
+	runLoop(t, s, Request{})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		files, _ := filepath.Glob(filepath.Join(dir, "*"+snapExt))
+		if len(files) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("net-threshold crossing never committed a snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if saved := s.Stats().Global.SnapshotsSaved; saved == 0 {
+		t.Error("journal counted no saves")
+	}
+}
+
+// TestInstallAndFetchSnapshot covers the PUT/GET path at the service level:
+// install adopts a snapshot as warm state, fetch returns it, and garbage is
+// rejected and counted.
+func TestInstallAndFetchSnapshot(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, SnapshotDir: t.TempDir()})
+
+	want := &snapshot.Snapshot{
+		ProgramKey: "abcdef0123456789",
+		Program:    "external",
+		Params:     profile.DefaultParams(),
+	}
+	got, err := s.InstallSnapshot(snapshot.Encode(want))
+	if err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if got.ProgramKey != want.ProgramKey {
+		t.Errorf("installed key %q", got.ProgramKey)
+	}
+	data, ok := s.SnapshotBytes(want.ProgramKey)
+	if !ok {
+		t.Fatal("installed snapshot not fetchable")
+	}
+	back, err := snapshot.Decode(data)
+	if err != nil || back.ProgramKey != want.ProgramKey {
+		t.Errorf("fetched snapshot: %+v, %v", back, err)
+	}
+
+	if _, err := s.InstallSnapshot([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if rej := s.Stats().Global.SnapshotsRejected; rej == 0 {
+		t.Error("rejection not counted")
+	}
+
+	// A syntactically valid snapshot with a path-splicing key is refused.
+	evil := &snapshot.Snapshot{ProgramKey: "../escape", Params: profile.DefaultParams()}
+	if _, err := s.InstallSnapshot(snapshot.Encode(evil)); err == nil {
+		t.Fatal("path-splicing key accepted")
+	}
+}
+
+// TestSnapshotDisabled: without a snapshot dir the service reports the
+// feature off and runs stay cold.
+func TestSnapshotDisabled(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	if s.SnapshotEnabled() {
+		t.Error("SnapshotEnabled with no dir")
+	}
+	if _, ok := s.SnapshotBytes("anything"); ok {
+		t.Error("SnapshotBytes returned data with persistence disabled")
+	}
+	runLoop(t, s, Request{})
+	warm := runLoop(t, s, Request{})
+	if warm.Counters.SnapshotsLoaded != 0 {
+		t.Error("disabled store still seeded a session")
+	}
+}

@@ -1,0 +1,43 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Save encodes s and commits it to path atomically.
+func Save(path string, s *Snapshot) error { return WriteAtomic(path, Encode(s)) }
+
+// Load reads and decodes the snapshot file at path. The error distinguishes
+// I/O failures (os errors, including fs.ErrNotExist) from format rejections
+// (the typed codec errors).
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// WriteAtomic commits bytes via a same-directory temp file and rename, so a
+// crash mid-write never leaves a torn snapshot where a loader can see it.
+func WriteAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tsnap-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

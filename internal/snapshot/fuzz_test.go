@@ -1,0 +1,40 @@
+package snapshot
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSnapshotDecodeNeverPanics is the codec's robustness pin: Decode must
+// return (snapshot, nil) or (nil, error) on every input — no panics, no
+// unbounded allocation from hostile length fields — and anything it accepts
+// must survive a re-encode/re-decode cycle unchanged (encode∘decode is
+// idempotent on the accepted set).
+func FuzzSnapshotDecodeNeverPanics(f *testing.F) {
+	valid := Encode(sample())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("tracevm/snapshot/v1\n"))
+	f.Add([]byte("tracevm/snapshot/v2\njunk"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned both a snapshot and an error")
+			}
+			return
+		}
+		s2, err := Decode(Encode(s))
+		if err != nil {
+			t.Fatalf("re-encoded accepted snapshot rejected: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("re-encode/re-decode changed the snapshot:\n got %+v\nwas %+v", s2, s)
+		}
+	})
+}

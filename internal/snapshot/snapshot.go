@@ -1,0 +1,116 @@
+// Package snapshot implements profile persistence: a compact, versioned,
+// checksummed binary format for the per-program learned state of a session —
+// BCG node states, counters and residual start delays, the constructed trace
+// entry set, and the static loop-header anchors — so a restarted VM can warm
+// start instead of relearning from zero.
+//
+// A snapshot is keyed by a content hash of the program it was learned from
+// and can never be applied to a different program version: Decode verifies
+// integrity (magic, version, CRC), and consumers verify the key before
+// seeding. The encoded form carries no pointers and no engine state (no
+// prepared blocks, no accounting), only what reconstructs the profiler's
+// classification: it is learned *state*, not a transcript.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/classfile"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// Schema is the format tag; it doubles as the file magic (with a trailing
+// newline) so `head -1` on a snapshot file identifies it.
+const Schema = "tracevm/snapshot/v1"
+
+// Snapshot is the decoded learned state of one program's profiling session.
+// Once constructed a Snapshot is immutable by convention: the serve layer
+// shares one instance across concurrent seeding sessions.
+type Snapshot struct {
+	// ProgramKey is the content hash of the program this state was learned
+	// from — the serve registry's key, or ProgramKey() for facade use.
+	ProgramKey string
+	// Program is the human-readable program name; advisory only.
+	Program string
+	// Params are the profiler tunables the state was learned under. Seeding
+	// under different parameters would misclassify every node, so consumers
+	// only apply a snapshot whose Params match the session's.
+	Params profile.Params
+	// Nodes are the BCG branch contexts, in creation order.
+	Nodes []profile.NodeSnapshot
+	// Traces are the constructed traces with their entry registrations.
+	Traces []TraceState
+	// LoopHeaders are the statically detected loop-header blocks that anchor
+	// trace backtracking.
+	LoopHeaders []cfg.BlockID
+}
+
+// TraceState is one serialized trace: its block sequence, the completion
+// probability estimated when it was cut, and the entry edges (from→Blocks[0])
+// it was registered on.
+type TraceState struct {
+	Blocks             []cfg.BlockID
+	ExpectedCompletion float64
+	EntryFrom          []cfg.BlockID
+}
+
+// VerifyKey checks that the snapshot belongs to the program identified by
+// key, returning ErrWrongProgram otherwise. Callers must verify before
+// seeding: the CRC proves the bytes are intact, the key proves they describe
+// this program.
+func (s *Snapshot) VerifyKey(key string) error {
+	if s.ProgramKey != key {
+		return fmt.Errorf("%w: snapshot is for %q, program is %q", ErrWrongProgram, s.ProgramKey, key)
+	}
+	return nil
+}
+
+// ProgramKey derives a content hash for a compiled program, for consumers
+// without a registry (the facade, offline tools): sha256 over the canonical
+// module serialization, truncated to the registry's key width. Keys from
+// different derivations (registry source hash vs. this) are distinct
+// namespaces; a snapshot only round-trips within the layer that created it.
+func ProgramKey(p *classfile.Program) (string, error) {
+	h := sha256.New()
+	if err := classfile.Write(h, p); err != nil {
+		return "", fmt.Errorf("snapshot: hashing program: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// Journal is the mutex-protected counter set for snapshot lifecycle events
+// that happen outside any session — background commits, rejected loads. The
+// serve layer merges it into its aggregate via Counters.Add at read time.
+// (Session-scoped seeding increments the session's own counters instead;
+// see core.) It lives here because direct stats.Counters field writes are
+// confined to the owning subsystems by the statsatomic analyzer.
+type Journal struct {
+	mu  sync.Mutex
+	ctr stats.Counters
+}
+
+// Saved records one committed snapshot.
+func (j *Journal) Saved() {
+	j.mu.Lock()
+	j.ctr.SnapshotsSaved++
+	j.mu.Unlock()
+}
+
+// Rejected records one refused snapshot.
+func (j *Journal) Rejected() {
+	j.mu.Lock()
+	j.ctr.SnapshotsRejected++
+	j.mu.Unlock()
+}
+
+// Counters returns a value copy of the journal's counters.
+func (j *Journal) Counters() stats.Counters {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ctr.Snapshot()
+}

@@ -47,6 +47,13 @@ type Counters struct {
 	RebuildRequests int64 // signal-triggered reconstruction passes
 	TracesEvicted   int64 // traces retired by cache budget eviction (also in TracesRetired)
 	BudgetPressure  int64 // trace registrations that forced at least one eviction
+
+	// Snapshot (profile persistence) counters.
+	SnapshotsSaved           int64 // snapshots committed to durable storage
+	SnapshotsLoaded          int64 // sessions seeded from a snapshot
+	SnapshotsRejected        int64 // snapshots refused (corrupt, wrong version, wrong program)
+	NodesSeededFromSnapshot  int64 // BCG nodes restored by snapshot seeding
+	TracesSeededFromSnapshot int64 // traces re-registered by snapshot seeding
 }
 
 // Metrics are the derived dependent values of §5.2.
@@ -152,6 +159,11 @@ func (c *Counters) Add(o *Counters) {
 	c.RebuildRequests += o.RebuildRequests
 	c.TracesEvicted += o.TracesEvicted
 	c.BudgetPressure += o.BudgetPressure
+	c.SnapshotsSaved += o.SnapshotsSaved
+	c.SnapshotsLoaded += o.SnapshotsLoaded
+	c.SnapshotsRejected += o.SnapshotsRejected
+	c.NodesSeededFromSnapshot += o.NodesSeededFromSnapshot
+	c.TracesSeededFromSnapshot += o.TracesSeededFromSnapshot
 }
 
 // Snapshot returns a value copy of the counters. A session mutates its

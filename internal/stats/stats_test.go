@@ -93,7 +93,12 @@ func TestPropertyAddIsComponentwise(t *testing.T) {
 			sum.TracesRetired == a.TracesRetired+b.TracesRetired &&
 			sum.RebuildRequests == a.RebuildRequests+b.RebuildRequests &&
 			sum.MethodCalls == a.MethodCalls+b.MethodCalls &&
-			sum.NativeCalls == a.NativeCalls+b.NativeCalls
+			sum.NativeCalls == a.NativeCalls+b.NativeCalls &&
+			sum.SnapshotsSaved == a.SnapshotsSaved+b.SnapshotsSaved &&
+			sum.SnapshotsLoaded == a.SnapshotsLoaded+b.SnapshotsLoaded &&
+			sum.SnapshotsRejected == a.SnapshotsRejected+b.SnapshotsRejected &&
+			sum.NodesSeededFromSnapshot == a.NodesSeededFromSnapshot+b.NodesSeededFromSnapshot &&
+			sum.TracesSeededFromSnapshot == a.TracesSeededFromSnapshot+b.TracesSeededFromSnapshot
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

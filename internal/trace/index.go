@@ -117,6 +117,19 @@ func (ix *Index) LoopHeader(id cfg.BlockID) bool {
 	return id != cfg.NoBlock && int(id) < len(ix.loopHdr) && ix.loopHdr[id]
 }
 
+// LoopHeaders returns the marked loop-header blocks in ascending order — the
+// inverse of SetLoopHeaders, used when exporting a session's learned state
+// so a warm-started session anchors backtracking at the same blocks.
+func (ix *Index) LoopHeaders() []cfg.BlockID {
+	var out []cfg.BlockID
+	for id, hdr := range ix.loopHdr {
+		if hdr {
+			out = append(out, cfg.BlockID(id))
+		}
+	}
+	return out
+}
+
 // Reserve pre-sizes the index for a program with numBlocks global block IDs.
 func (ix *Index) Reserve(numBlocks int) {
 	if numBlocks > len(ix.byTo) {

@@ -20,8 +20,10 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 
 	"repro/internal/cfg"
 	"repro/internal/classfile"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -120,6 +123,13 @@ type Params struct {
 	// Breaker tunes the per-program churn circuit breaker. It only takes
 	// effect through ServiceConfig (a single VM has no breaker).
 	Breaker BreakerConfig
+	// SnapshotPath names a profile snapshot file for warm starts. When the
+	// file exists, NewVM seeds the profiler and trace cache from it before
+	// the first dispatch; a missing file is a silent cold start, while a
+	// file that fails to decode, belongs to a different program, or was
+	// recorded under different profiler parameters is an error. Write the
+	// file with VM.SaveSnapshot. Ignored in unprofiled modes.
+	SnapshotPath string
 }
 
 // DefaultParams returns the paper's configuration: threshold 0.97, start
@@ -149,6 +159,7 @@ type config struct {
 	out      io.Writer
 	maxSteps int64
 	events   int
+	snapPath string
 }
 
 // WithMode selects the dispatch mode (default ModeTrace).
@@ -173,6 +184,9 @@ func WithParams(p Params) Option {
 		}
 		if p.MaxCachedBlocks != 0 {
 			c.cache.MaxCachedBlocks = p.MaxCachedBlocks
+		}
+		if p.SnapshotPath != "" {
+			c.snapPath = p.SnapshotPath
 		}
 	}
 }
@@ -208,6 +222,7 @@ func WithEventTrace(capacity int) Option { return func(c *config) { c.events = c
 type VM struct {
 	session *core.Session
 	ring    *obs.Ring
+	prog    *Program
 }
 
 // NewVM builds a machine (and, depending on the mode, the profiler and
@@ -233,11 +248,74 @@ func NewVM(prog *Program, opts ...Option) (*VM, error) {
 		ring = obs.NewRing(c.events)
 		sopts.Sink = ring
 	}
+	if c.snapPath != "" && c.mode.Profiled() {
+		warm, err := loadSnapshot(c.snapPath, prog, c.params)
+		if err != nil {
+			return nil, err
+		}
+		if warm != nil {
+			sopts.Snapshot = warm
+			emitSnapshotEvent(ring, obs.EvSnapshotLoaded, int64(len(warm.Nodes)))
+		}
+	}
 	s, err := core.NewSession(prog, pcfg, sopts)
 	if err != nil {
 		return nil, err
 	}
-	return &VM{session: s, ring: ring}, nil
+	return &VM{session: s, ring: ring, prog: prog}, nil
+}
+
+// loadSnapshot reads a warm-start snapshot for prog: a missing file is a
+// cold start (nil, nil), everything else that fails to load is an error.
+func loadSnapshot(path string, prog *Program, params profile.Params) (*snapshot.Snapshot, error) {
+	s, err := snapshot.Load(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repro: snapshot %s: %w", path, err)
+	}
+	key, err := snapshot.ProgramKey(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.VerifyKey(key); err != nil {
+		return nil, fmt.Errorf("repro: snapshot %s: %w", path, err)
+	}
+	if s.Params != params {
+		return nil, fmt.Errorf("repro: snapshot %s: recorded under different profiler parameters (threshold %.3f, delay %d, decay %d)",
+			path, s.Params.Threshold, s.Params.StartDelay, s.Params.DecayInterval)
+	}
+	return s, nil
+}
+
+func emitSnapshotEvent(ring *obs.Ring, typ obs.EventType, val int64) {
+	ring.Emit(obs.Event{
+		Type: typ,
+		X:    obs.NoID, Y: obs.NoID, TraceID: obs.NoID,
+		Val: val,
+	})
+}
+
+// SaveSnapshot writes the machine's learned profile — BCG node states and
+// counters, the live trace set, loop-header anchors — to path as a
+// tracevm/snapshot/v1 file, committed atomically. A later NewVM for the same
+// program with Params.SnapshotPath pointing at the file warm-starts from it.
+// It fails in unprofiled modes, which have no profile to save.
+func (v *VM) SaveSnapshot(path string) error {
+	if v.session.Graph == nil {
+		return fmt.Errorf("repro: mode %s has no profile to snapshot", v.session.Mode)
+	}
+	key, err := snapshot.ProgramKey(v.prog)
+	if err != nil {
+		return err
+	}
+	snap := v.session.ExportSnapshot(key, "")
+	if err := snapshot.Save(path, snap); err != nil {
+		return err
+	}
+	emitSnapshotEvent(v.ring, obs.EvSnapshotSaved, int64(len(snap.Nodes)))
+	return nil
 }
 
 // Run executes the program to completion.
@@ -376,6 +454,10 @@ const (
 	EvQuarantine     = obs.EvQuarantine
 	EvQueueSaturated = obs.EvQueueSaturated
 	EvDemoted        = obs.EvDemoted
+	// Snapshot lifecycle (profile persistence).
+	EvSnapshotSaved    = obs.EvSnapshotSaved
+	EvSnapshotLoaded   = obs.EvSnapshotLoaded
+	EvSnapshotRejected = obs.EvSnapshotRejected
 )
 
 // ParseEventType maps a wire name like "trace-built" back to its type.

@@ -29,6 +29,7 @@ var countersWriters = map[string]bool{
 	"repro/internal/profile":  true,
 	"repro/internal/core":     true,
 	"repro/internal/baseline": true,
+	"repro/internal/snapshot": true,
 }
 
 func runStatsAtomic(pass *Pass) {
