@@ -31,6 +31,17 @@
 // Load generator (drives a running daemon):
 //
 //	tracevmd -loadgen -addr localhost:8077 -n 8 -requests 64 -workloads compress,soot -retries 5
+//
+// Loadgen flags: -addr is the daemon, -n the concurrent clients, -requests
+// the total request count (0 = 2x -n), -workloads the comma-separated mix
+// (default: all built-ins; the first name is the skew/hot-key favourite),
+// -mode the dispatch mode, -retries the backpressure backoff attempts.
+// Popularity is drawn per request from a zipf distribution with exponent
+// -loadgen-skew (default 1.07, the classic web-traffic skew; <= 1 falls
+// back to uniform round-robin); -loadgen-hot additionally sends that
+// fraction of requests straight to the first workload, -loadgen-writes runs
+// only that fraction profiled (the rest plain), and -loadgen-seed fixes the
+// random draws for reproducible runs.
 package main
 
 import (
@@ -74,6 +85,10 @@ func main() {
 		workloads = flag.String("workloads", "", "loadgen: comma-separated workload names (default: all)")
 		modeStr   = flag.String("mode", "trace", "loadgen: dispatch mode: plain, instr, profile, trace, trace-deploy")
 		retries   = flag.Int("retries", 5, "loadgen: backoff attempts per request on backpressure (1 = no retry)")
+		lgSkew    = flag.Float64("loadgen-skew", 1.07, "loadgen: zipf exponent of the program-popularity draw; the first workload is the most popular (<= 1 = uniform round-robin)")
+		lgHot     = flag.Float64("loadgen-hot", 0, "loadgen: fraction of requests sent straight to the first workload (a hot key), on top of the skewed draw")
+		lgWrites  = flag.Float64("loadgen-writes", 0, "loadgen: fraction of requests run in -mode; the rest run plain (0 or 1 = all in -mode)")
+		lgSeed    = flag.Uint64("loadgen-seed", 1, "loadgen: seed of the skew/hot/writes draws")
 
 		maxTraces   = flag.Int("max-traces", 512, "per-session live trace budget (0 = unbounded)")
 		maxTrBlocks = flag.Int("max-trace-blocks", 8192, "per-session cached trace block budget (0 = unbounded)")
@@ -86,12 +101,14 @@ func main() {
 		snapDir      = flag.String("snapshot-dir", "", "profile snapshot directory; warm-starts known programs and persists learned state (empty = disabled)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "coalescing snapshot writer commit period (0 = 30s default)")
 		snapNet      = flag.Int64("snapshot-net", 0, "per-program learning delta that forces an early snapshot commit (0 = 512 default)")
+		epochRuns    = flag.Int64("epoch-runs", 0, "profiled runs of a program between epoch merges of its per-worker profiler shards (0 = 32 default, negative = isolated per-request profilers)")
 	)
 	flag.Parse()
 
 	var err error
 	if *loadgen {
-		err = runLoadgen(*addr, *conc, *requests, *workloads, *modeStr, *retries)
+		err = runLoadgen(*addr, *conc, *requests, *workloads, *modeStr, *retries,
+			*lgSkew, *lgHot, *lgWrites, *lgSeed)
 	} else {
 		err = runServer(*addr, *debugAddr, serve.Config{
 			Workers:        *workers,
@@ -113,6 +130,7 @@ func main() {
 			SnapshotDir:      *snapDir,
 			SnapshotInterval: *snapInterval,
 			SnapshotNet:      *snapNet,
+			EpochRuns:        *epochRuns,
 		})
 	}
 	if err != nil {
@@ -431,7 +449,8 @@ func httpRunner(client *http.Client, baseURL string) serve.Runner {
 	}
 }
 
-func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string, retries int) error {
+func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string, retries int,
+	skew, hot, writes float64, seed uint64) error {
 	mode, err := api.ParseMode(modeStr)
 	if err != nil {
 		return err
@@ -450,9 +469,13 @@ func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string, r
 		Requests:    requests,
 		Workloads:   workloads,
 		Mode:        mode,
+		Skew:        skew,
+		HotRatio:    hot,
+		WriteFrac:   writes,
+		Seed:        seed,
 	}
 	if retries > 1 {
-		cfg.Retry = &serve.Backoff{Attempts: retries}
+		cfg.Retry = &serve.Backoff{Attempts: retries, Seed: seed}
 	}
 	res := serve.RunLoadGen(context.Background(), cfg, httpRunner(http.DefaultClient, baseURL))
 	fmt.Printf("requests:    %d\n", res.Requests)

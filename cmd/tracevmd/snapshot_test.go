@@ -44,8 +44,11 @@ func TestSnapshotEndpointsDisabled(t *testing.T) {
 
 // TestSnapshotEndpointRoundTrip: run a program, download its learned
 // profile, upload it back, and confirm the daemon warm-starts later runs.
+// Sharding is off (EpochRuns: -1): with shards on, the warm run would reuse
+// the cold run's live shard and never consult the installed snapshot, hiding
+// the per-session seeding this test pins.
 func TestSnapshotEndpointRoundTrip(t *testing.T) {
-	srv, _ := newTestServer(t, serve.Config{Workers: 1, SnapshotDir: t.TempDir()})
+	srv, _ := newTestServer(t, serve.Config{Workers: 1, SnapshotDir: t.TempDir(), EpochRuns: -1})
 
 	var cold api.RunResponse
 	resp, body := doReq(t, "POST", srv.URL+"/v1/run", []byte(`{"workload":"soot","mode":"trace"}`))

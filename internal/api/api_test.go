@@ -52,9 +52,12 @@ func TestRunRequestToServe(t *testing.T) {
 
 func TestWriteMetricsHistogramAndLabels(t *testing.T) {
 	snap := serve.Snapshot{
-		Workers:  2,
-		Accepted: 5,
-		Global:   stats.Counters{Instrs: 1234, BlockDispatches: 99},
+		Workers:      2,
+		Accepted:     5,
+		LiveShards:   3,
+		EpochMerges:  4,
+		ShardsMerged: 9,
+		Global:       stats.Counters{Instrs: 1234, BlockDispatches: 99},
 		PerProgram: map[string]serve.ProgramStats{
 			"zeta":  {Breaker: "open"},
 			"alpha": {Breaker: "closed"},
@@ -77,6 +80,10 @@ func TestWriteMetricsHistogramAndLabels(t *testing.T) {
 		"tracevm_block_dispatches_total 99",
 		"tracevm_requests_accepted_total 5",
 		"tracevm_workers 2",
+		// Sharded-profiling gauges and counters.
+		"tracevm_shards_live 3",
+		"tracevm_epoch_merges_total 4",
+		"tracevm_epoch_shards_merged_total 9",
 		// Cumulative buckets: 3, 3+1, 3+1+1.
 		`tracevm_request_latency_ms_bucket{le="1"} 3`,
 		`tracevm_request_latency_ms_bucket{le="2"} 4`,

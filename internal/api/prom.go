@@ -72,6 +72,12 @@ func WriteMetrics(w io.Writer, snap serve.Snapshot) error {
 	pw.gauge("tracevm_snapshot_programs", "programs holding a warm profile snapshot", float64(snap.SnapshotPrograms))
 	pw.gauge("tracevm_snapshots_pending", "programs with learning deltas awaiting the coalescing snapshot writer", float64(snap.SnapshotsPending))
 
+	// Sharded-profiling state.
+	pw.gauge("tracevm_shard_programs", "programs with a per-worker profiler shard set", float64(snap.ShardPrograms))
+	pw.gauge("tracevm_shards_live", "live per-worker profiler shards", float64(snap.LiveShards))
+	pw.counter("tracevm_epoch_merges_total", "completed epoch merges of per-worker profiler shards", float64(snap.EpochMerges))
+	pw.counter("tracevm_epoch_shards_merged_total", "shards absorbed across all epoch merges", float64(snap.ShardsMerged))
+
 	// Per-program breaker state, one labeled gauge per program
 	// (0=closed, 1=open, 2=half-open), in sorted order for stable output.
 	names := make([]string, 0, len(snap.PerProgram))

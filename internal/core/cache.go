@@ -108,6 +108,17 @@ func NewCache(conf Config, ctr *stats.Counters) *Cache {
 // Bind attaches the profiler graph the cache reads correlations from.
 func (c *Cache) Bind(g *profile.Graph) { c.graph = g }
 
+// SetCounters rebinds the cache's counter sink. A cache reused across
+// sessions (a worker shard's) is rebound to each run's fresh counters so
+// per-request accounting stays exact. Never call during a run; nil rebinds
+// to a discarded internal record.
+func (c *Cache) SetCounters(ctr *stats.Counters) {
+	if ctr == nil {
+		ctr = &stats.Counters{}
+	}
+	c.ctr = ctr
+}
+
 // SetSink attaches an event sink; trace construction, reuse, retirement and
 // eviction each emit a typed event. Call before the run; nil detaches.
 func (c *Cache) SetSink(s obs.Sink) { c.sink = s }

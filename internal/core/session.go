@@ -100,6 +100,15 @@ type SessionOptions struct {
 	// verified the snapshot's program key; params are re-checked here and a
 	// mismatch fails session construction. Ignored in unprofiled modes.
 	Snapshot *snapshot.Snapshot
+	// Profiler, if set, attaches the session to a persistent profiling pair
+	// (a worker shard) instead of building a fresh graph and cache: learned
+	// state and arenas carry over from previous runs, and the pair is
+	// rebound to this session's counters and sink. The profiler's own
+	// parameters govern the run — Params, Config and Hints are ignored, and
+	// Snapshot seeds only a profiler that holds no state yet. The caller
+	// must serialize sessions sharing one Profiler. Ignored in unprofiled
+	// modes.
+	Profiler *Profiler
 }
 
 // NewSession builds a session over a linked program and its CFGs.
@@ -117,25 +126,44 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 		Interrupt: opts.Interrupt,
 	}
 	if opts.Mode != ModePlain && opts.Mode != ModeInstr {
-		cache := NewCache(opts.Config, ctr)
-		g, err := profile.New(opts.Params, ctr, cache)
-		if err != nil {
-			return nil, err
-		}
-		cache.Bind(g)
-		if pcfg != nil {
-			// Pre-size the dense dispatch-path indices to the program's
-			// block count so the hot loop never grows them.
-			g.Reserve(pcfg.NumBlocks())
-			cache.Reserve(pcfg.NumBlocks())
-		}
-		if opts.Hints != nil {
-			g.SetStaticHints(opts.Hints.UniqueBlocks())
-			cache.Index().SetLoopHeaders(opts.Hints.LoopHeaders())
-		}
-		if opts.Sink != nil {
-			g.SetSink(opts.Sink)
-			cache.SetSink(opts.Sink)
+		var g *profile.Graph
+		var cache *Cache
+		if p := opts.Profiler; p != nil {
+			// Shard reuse: attach to the persistent pair, rebinding its
+			// accounting to this run. Its params govern the session.
+			opts.Params = p.params
+			g, cache = p.Graph, p.Cache
+			p.SetCounters(ctr)
+			if opts.Sink != nil {
+				p.SetSink(opts.Sink)
+			}
+			if opts.Snapshot != nil && p.Seeded() {
+				// The shard already holds live learned state; a stale warm
+				// snapshot must not be layered over it.
+				opts.Snapshot = nil
+			}
+		} else {
+			cache = NewCache(opts.Config, ctr)
+			var err error
+			g, err = profile.New(opts.Params, ctr, cache)
+			if err != nil {
+				return nil, err
+			}
+			cache.Bind(g)
+			if pcfg != nil {
+				// Pre-size the dense dispatch-path indices to the program's
+				// block count so the hot loop never grows them.
+				g.Reserve(pcfg.NumBlocks())
+				cache.Reserve(pcfg.NumBlocks())
+			}
+			if opts.Hints != nil {
+				g.SetStaticHints(opts.Hints.UniqueBlocks())
+				cache.Index().SetLoopHeaders(opts.Hints.LoopHeaders())
+			}
+			if opts.Sink != nil {
+				g.SetSink(opts.Sink)
+				cache.SetSink(opts.Sink)
+			}
 		}
 		s.Graph = g
 		s.Cache = cache

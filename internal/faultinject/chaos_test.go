@@ -36,6 +36,7 @@ func TestStormRespectsBudgetsAndInvariants(t *testing.T) {
 		TraceCache: core.Config{MaxTraces: 4, MaxCachedBlocks: maxBlocks},
 		Injector:   &Faults{Storm: storm},
 	})
+	saveArtifactsOnFailure(t, s)
 	req := serve.Request{Source: loopSource, Mode: core.ModeProfile}
 	for i := 0; i < 6; i++ {
 		resp, err := s.Do(context.Background(), req)
@@ -77,6 +78,7 @@ func TestStormBreakerRecovery(t *testing.T) {
 		Clock:      clk.Now,
 		Injector:   &Faults{Storm: storm},
 	})
+	saveArtifactsOnFailure(t, s)
 	req := serve.Request{Source: loopSource, Mode: core.ModeTrace}
 
 	// Phase 1: the storm rages. Within a few runs the breaker must trip;

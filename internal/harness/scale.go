@@ -1,0 +1,326 @@
+// Multicore scale-out measurement and the CI scalability gate. ScaleReport
+// records throughput-vs-workers for the serving layer's sharded profiling
+// path under a contention-adversarial load (zipf program popularity, hot-key
+// traffic, mixed profiled/plain requests) and serializes as JSON
+// (cmd/tracebench -scale-json); CompareScaleReports checks a fresh report
+// against the committed baseline and a core-aware speedup floor
+// (cmd/tracebench -scale-gate).
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// ScaleSchema identifies the JSON layout of ScaleReport. Bump on any
+// incompatible field change so the CI gate fails loudly instead of comparing
+// mismatched reports.
+const ScaleSchema = "tracebench/scale/v1"
+
+// ScalePoint is one worker-count measurement.
+type ScalePoint struct {
+	Workers   int   `json:"workers"`
+	Requests  int   `json:"requests"`
+	Completed int64 `json:"completed"`
+	// Retries counts backpressure retries the load generator absorbed.
+	Retries int64 `json:"retries"`
+	// WallMs is the load-generation wall clock in milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// Throughput is completed requests per second of wall time.
+	Throughput float64 `json:"throughput_rps"`
+	// Speedup is Throughput relative to the report's 1-worker point (1.0
+	// for the 1-worker point itself).
+	Speedup float64 `json:"speedup"`
+	// EpochMerges is the service's completed epoch-merge count at drain —
+	// evidence the run exercised the sharded path, not the isolated one.
+	EpochMerges int64 `json:"epoch_merges"`
+}
+
+// ScaleReport is the full throughput-vs-workers record.
+type ScaleReport struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is runtime.NumCPU at measurement time; the gate's speedup floor
+	// scales with it, since a 2-core runner cannot show a 3x speedup no
+	// matter how well the service shards.
+	CPUs       int          `json:"cpus"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workloads  []string     `json:"workloads"`
+	Mode       string       `json:"mode"`
+	MaxSteps   int64        `json:"max_steps"`
+	Skew       float64      `json:"skew"`
+	HotRatio   float64      `json:"hot_ratio"`
+	WriteFrac  float64      `json:"write_frac"`
+	EpochRuns  int64        `json:"epoch_runs"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// ScaleOptions shapes MeasureScaling.
+type ScaleOptions struct {
+	// Workers are the pool sizes to measure (default 1, 2, 4, 8). The first
+	// point is the speedup denominator, so it should be 1.
+	Workers []int
+	// Requests is the request count per point (default 128).
+	Requests int
+	// Warmup is the per-point untimed warmup request count, letting shards
+	// learn and traces build before the clock starts (default 2x workers,
+	// minimum 8).
+	Warmup int
+	// MaxSteps bounds each request (0 = unlimited; a capped run traps and
+	// counts as failed, so any cap must exceed the longest workload).
+	MaxSteps int64
+	// Workloads are the programs in the mix (default: all built-ins).
+	// Workloads[0] is the zipf/hot-key favourite.
+	Workloads []string
+	// Mode is the profiled mode of the mix (default core.ModeTrace).
+	Mode core.Mode
+	// Skew, HotRatio, WriteFrac, Seed are the contention knobs, forwarded
+	// to the load generator (defaults 1.07, 0.25, 0.5, 1) — a zipf-popular
+	// mix, a quarter of requests hammering one program, and half the
+	// requests profiled ("writes") with the rest plain ("reads").
+	Skew      float64
+	HotRatio  float64
+	WriteFrac float64
+	Seed      uint64
+	// EpochRuns is forwarded to serve.Config (default 16 here — shorter
+	// than the serving default so every measured point crosses several
+	// phase boundaries and the gate can insist merges actually happened).
+	EpochRuns int64
+}
+
+func (o *ScaleOptions) fillDefaults() {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
+	}
+	if o.Requests <= 0 {
+		o.Requests = 128
+	}
+	if o.EpochRuns == 0 {
+		o.EpochRuns = 16
+	}
+	if o.Mode == core.ModePlain {
+		o.Mode = core.ModeTrace
+	}
+	if o.Skew == 0 {
+		o.Skew = 1.07
+	}
+	if o.HotRatio == 0 {
+		o.HotRatio = 0.25
+	}
+	if o.WriteFrac == 0 {
+		o.WriteFrac = 0.5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// MeasureScaling runs the same contention-adversarial request mix through
+// service pools of each opt.Workers size and reports throughput per point.
+// Each point gets a fresh service (pre-compiled registry, untimed warmup),
+// so the timed window measures steady-state serving: per-worker shards
+// absorbing profiled runs with zero-allocation dispatch, epoch merges at
+// phase boundaries, and no cross-worker state sharing on the hot path.
+func MeasureScaling(opt ScaleOptions) (ScaleReport, error) {
+	opt.fillDefaults()
+	rep := ScaleReport{
+		Schema:     ScaleSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workloads:  opt.Workloads,
+		Mode:       opt.Mode.String(),
+		MaxSteps:   opt.MaxSteps,
+		Skew:       opt.Skew,
+		HotRatio:   opt.HotRatio,
+		WriteFrac:  opt.WriteFrac,
+		EpochRuns:  opt.EpochRuns,
+	}
+	for _, workers := range opt.Workers {
+		p, err := measureScalePoint(opt, workers)
+		if err != nil {
+			return ScaleReport{}, err
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	if len(rep.Points) > 0 && rep.Points[0].Throughput > 0 {
+		for i := range rep.Points {
+			rep.Points[i].Speedup = rep.Points[i].Throughput / rep.Points[0].Throughput
+		}
+	}
+	return rep, nil
+}
+
+func measureScalePoint(opt ScaleOptions, workers int) (ScalePoint, error) {
+	s := serve.New(serve.Config{
+		Workers:    workers,
+		QueueDepth: opt.Requests,
+		MaxSteps:   opt.MaxSteps,
+		EpochRuns:  opt.EpochRuns,
+	})
+	defer s.Close()
+
+	gen := serve.LoadGenConfig{
+		// Enough clients to keep every worker fed without drowning the
+		// queue; backpressure retries absorb the rest.
+		Concurrency: 2 * workers,
+		Requests:    opt.Requests,
+		Workloads:   opt.Workloads,
+		Mode:        opt.Mode,
+		MaxSteps:    opt.MaxSteps,
+		Skew:        opt.Skew,
+		HotRatio:    opt.HotRatio,
+		WriteFrac:   opt.WriteFrac,
+		Seed:        opt.Seed,
+		Retry:       &serve.Backoff{Base: time.Millisecond, Seed: opt.Seed},
+	}
+	if len(gen.Workloads) == 0 {
+		gen.Workloads = workload.Names()
+	}
+	// Compilation is shared one-time work; keep it out of every point.
+	for _, w := range gen.Workloads {
+		if _, err := s.Registry().Workload(w); err != nil {
+			return ScalePoint{}, err
+		}
+	}
+	warmup := gen
+	warmup.Requests = opt.Warmup
+	if warmup.Requests <= 0 {
+		warmup.Requests = 2 * workers
+		if warmup.Requests < 8 {
+			warmup.Requests = 8
+		}
+	}
+	if res := serve.RunLoadGen(context.Background(), warmup, s.Do); res.Completed == 0 {
+		return ScalePoint{}, fmt.Errorf("scale warmup (%d workers): no request completed: %v", workers, res.Errors)
+	}
+
+	res := serve.RunLoadGen(context.Background(), gen, s.Do)
+	if res.Completed != int64(opt.Requests) {
+		return ScalePoint{}, fmt.Errorf("scale point (%d workers): completed %d/%d: %v",
+			workers, res.Completed, opt.Requests, res.Errors)
+	}
+	return ScalePoint{
+		Workers:     workers,
+		Requests:    opt.Requests,
+		Completed:   res.Completed,
+		Retries:     res.Retries,
+		WallMs:      float64(res.Wall.Nanoseconds()) / 1e6,
+		Throughput:  res.Throughput,
+		EpochMerges: s.Stats().EpochMerges,
+	}, nil
+}
+
+// ScaleGateOptions are the thresholds of the CI scalability gate.
+type ScaleGateOptions struct {
+	// MinSpeedup is the required top-point speedup over 1 worker on a
+	// machine with at least as many cores as the top point has workers
+	// (3.0 at 8 workers is the headline gate).
+	MinSpeedup float64
+	// PerCore relaxes the floor on smaller machines: the effective floor is
+	// min(MinSpeedup, PerCore x min(topWorkers, CPUs)). A 4-core CI runner
+	// must reach PerCore*4; a 1-core container is only asked not to
+	// collapse below PerCore.
+	PerCore float64
+	// RelSlack is the allowed relative drop of the top-point speedup versus
+	// the committed baseline, applied only when both reports were measured
+	// on machines with the same CPU count (cross-machine throughput curves
+	// are not comparable).
+	RelSlack float64
+}
+
+// DefaultScaleGateOptions returns the thresholds the CI job uses: the
+// 8-worker mixed-workload throughput must reach 3x the single-worker
+// throughput (scaled down by 0.75/core on runners with fewer than 8 CPUs),
+// and must not fall more than 20% below the committed same-CPU baseline.
+func DefaultScaleGateOptions() ScaleGateOptions {
+	return ScaleGateOptions{MinSpeedup: 3.0, PerCore: 0.75, RelSlack: 0.20}
+}
+
+// speedupFloor is the core-aware required speedup for a report's top point.
+func (o ScaleGateOptions) speedupFloor(topWorkers, cpus int) float64 {
+	avail := topWorkers
+	if cpus < avail {
+		avail = cpus
+	}
+	floor := o.PerCore * float64(avail)
+	if floor > o.MinSpeedup {
+		floor = o.MinSpeedup
+	}
+	return floor
+}
+
+// CompareScaleReports checks cur against the committed baseline and returns
+// a human-readable violation per failure (empty means the gate passes). The
+// primary check is self-contained — cur's top-point speedup against the
+// core-aware floor — because raw throughput is machine-dependent; the
+// baseline contributes a same-machine regression check and schema pinning.
+func CompareScaleReports(base, cur ScaleReport, opt ScaleGateOptions) []string {
+	var violations []string
+	if base.Schema != ScaleSchema || cur.Schema != ScaleSchema {
+		return []string{fmt.Sprintf("schema mismatch: baseline %q, current %q, want %q",
+			base.Schema, cur.Schema, ScaleSchema)}
+	}
+	if len(cur.Points) < 2 {
+		return []string{fmt.Sprintf("report has %d points; need at least 1-worker and one scaled point", len(cur.Points))}
+	}
+	if cur.Points[0].Workers != 1 {
+		violations = append(violations, fmt.Sprintf(
+			"first point has %d workers, want 1 (the speedup denominator)", cur.Points[0].Workers))
+	}
+	top := cur.Points[len(cur.Points)-1]
+	floor := opt.speedupFloor(top.Workers, cur.CPUs)
+	if top.Speedup < floor {
+		violations = append(violations, fmt.Sprintf(
+			"%d-worker throughput is %.2fx the 1-worker throughput, below the %.2fx floor (%d CPUs; %.1f vs %.1f req/s)",
+			top.Workers, top.Speedup, floor, cur.CPUs, top.Throughput, cur.Points[0].Throughput))
+	}
+	for _, p := range cur.Points {
+		if p.EpochMerges == 0 && p.Workers > 1 {
+			violations = append(violations, fmt.Sprintf(
+				"%d-worker point recorded no epoch merges; the sharded profiling path did not run", p.Workers))
+		}
+	}
+	if base.CPUs == cur.CPUs && len(base.Points) > 0 {
+		baseTop := base.Points[len(base.Points)-1]
+		if baseTop.Workers == top.Workers {
+			if limit := baseTop.Speedup * (1 - opt.RelSlack); top.Speedup < limit {
+				violations = append(violations, fmt.Sprintf(
+					"top-point speedup %.2fx fell below %.2fx (baseline %.2fx minus %.0f%% slack, same %d-CPU machine)",
+					top.Speedup, limit, baseTop.Speedup, opt.RelSlack*100, cur.CPUs))
+			}
+		}
+	}
+	return violations
+}
+
+// FormatScaleReport renders the report as an aligned table for stdout.
+func FormatScaleReport(rep ScaleReport) string {
+	t := Table{
+		Title: fmt.Sprintf("Scaling report (%s, %s/%s, %d CPUs, mode %s, skew %.2f, hot %.2f, writes %.2f, epoch %d)",
+			rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs, rep.Mode, rep.Skew, rep.HotRatio, rep.WriteFrac, rep.EpochRuns),
+		Columns: []string{"workers", "requests", "retries", "wall ms", "req/s", "speedup", "merges"},
+	}
+	for _, p := range rep.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Workers),
+			fmt.Sprintf("%d", p.Requests),
+			fmt.Sprintf("%d", p.Retries),
+			fmt.Sprintf("%.0f", p.WallMs),
+			fmt.Sprintf("%.1f", p.Throughput),
+			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%d", p.EpochMerges),
+		})
+	}
+	return t.Format()
+}

@@ -74,6 +74,10 @@ const (
 	// EvSnapshotRejected: a snapshot was refused — corrupt, wrong format
 	// version, or keyed to a different program.
 	EvSnapshotRejected
+	// EvEpochMerge: the epoch coordinator merged a program's per-worker
+	// profiler shards into a fresh globally derived view. Val is the merged
+	// graph's node count.
+	EvEpochMerge
 
 	numEventTypes
 )
@@ -93,6 +97,7 @@ var eventTypeNames = [numEventTypes]string{
 	EvSnapshotSaved:    "snapshot-saved",
 	EvSnapshotLoaded:   "snapshot-loaded",
 	EvSnapshotRejected: "snapshot-rejected",
+	EvEpochMerge:       "epoch-merge",
 }
 
 func (t EventType) String() string {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // TestDispatchFastPathZeroAllocs pins the warmed OnDispatch fast path at
@@ -30,6 +31,39 @@ func TestDispatchFastPathZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("warmed OnDispatch path allocates: %.2f allocs per 64 dispatches, want 0", allocs)
+	}
+}
+
+// TestShardReuseZeroAllocs pins the per-worker shard path: a graph that
+// outlives its session is rebound to each run's fresh counter record
+// (SetCounters) and then dispatches against warmed arenas. Both the rebind
+// and the warmed dispatches must cost zero allocations — shard reuse is the
+// multicore hot path, and the whole point of sharding is that it inherits
+// the single-threaded path's allocation profile untouched.
+func TestShardReuseZeroAllocs(t *testing.T) {
+	g, _, _ := newGraph(t, Params{StartDelay: 1, Threshold: 0.97, DecayInterval: 256})
+
+	warm := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			feed(g, 1, 2, 3, 4, 1, 2, 3, 5, 1)
+		}
+	}
+	warm(512)
+
+	// One counter record per simulated run, allocated outside the pin —
+	// the serving layer owns them; the shard only rebinds.
+	ctrs := [2]stats.Counters{}
+	run := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		g.SetCounters(&ctrs[run%2])
+		run++
+		warm(8) // 64 dispatches per simulated run
+	})
+	if allocs != 0 {
+		t.Errorf("shard reuse allocates: %.2f allocs per rebind+64 dispatches, want 0", allocs)
+	}
+	if ctrs[0].DecayChecks == 0 || ctrs[1].DecayChecks == 0 {
+		t.Error("rebound counters recorded nothing; the pin is not exercising the rebind")
 	}
 }
 

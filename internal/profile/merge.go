@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// This file is the profiler's side of multicore scale-out (ROADMAP item:
+// per-worker sharding with epoch merge). Under parallel traffic every serve
+// worker owns a private Graph — a shard — so the per-dispatch hot path never
+// crosses a goroutine boundary; at phase boundaries an epoch coordinator
+// sums the shards' decayed counters into a fresh merged graph (Absorb) and
+// re-derives node states, signals and start-delays from the combined history
+// (DeriveStates). Merging is non-destructive: shards are only read, never
+// drained, so a shard's own decay dynamics are untouched by the merge.
+
+// SetCounters rebinds the graph's counter sink. A graph that outlives a
+// single session (a worker shard) is rebound to each run's fresh counters so
+// per-request accounting stays exact while the learned state accumulates.
+// Never call during a run; nil rebinds to a discarded internal record.
+func (g *Graph) SetCounters(ctr *stats.Counters) {
+	if ctr == nil {
+		ctr = &stats.Counters{}
+	}
+	g.ctr = ctr
+}
+
+// Absorb sums src's decayed history into g: every src node is materialized
+// in g (merging with what earlier Absorb calls contributed), edge counters
+// add with 16-bit saturation, and start-delay consumption accumulates — a
+// branch observed 40 times by each of two shards has 80 observations toward
+// the merged delay quota. Node states are deliberately not copied; call
+// DeriveStates once every shard is absorbed so classification reflects the
+// combined history rather than any one shard's view.
+//
+// src is read but never modified. Both graphs must share the same
+// parameters, since every counter and delay in a graph is relative to them.
+// Returns the number of src nodes visited.
+func (g *Graph) Absorb(src *Graph) (int, error) {
+	if src.params != g.params {
+		return 0, fmt.Errorf("profile: cannot absorb shard with params %+v into graph with params %+v",
+			src.params, g.params)
+	}
+	visited := 0
+	for _, n := range src.all {
+		visited++
+		dst := g.getNode(n.X, n.Y)
+		g.mergeStartDelay(dst, n)
+		for _, e := range n.Edges {
+			if e.Count == 0 {
+				continue
+			}
+			if de := dst.EdgeTo(e.Z); de != nil {
+				de.Count = satAdd16(de.Count, e.Count)
+			} else {
+				g.seedEdge(dst, e.Z, e.Count)
+			}
+		}
+		var total uint32
+		for _, e := range dst.Edges {
+			total += uint32(e.Count)
+		}
+		if total > uint32(^uint16(0)) {
+			total = uint32(^uint16(0))
+		}
+		dst.Total = uint16(total)
+	}
+	return visited, nil
+}
+
+// mergeStartDelay folds src's delay consumption into dst. Residual delays
+// count down from Params.StartDelay, so the executions a shard has observed
+// are StartDelay − residual; those observations subtract from the merged
+// node's remaining quota. Hint-born nodes (negative sentinel) carry no quota
+// on either side.
+func (g *Graph) mergeStartDelay(dst, src *Node) {
+	if dst.startDelay < 0 {
+		return // hint-born unique: no delay to consume
+	}
+	observed := g.params.StartDelay // a hint-born src satisfies the quota outright
+	if src.startDelay >= 0 {
+		observed = g.params.StartDelay - src.startDelay
+	}
+	if observed <= 0 {
+		return
+	}
+	dst.startDelay -= observed
+	if dst.startDelay < 0 {
+		dst.startDelay = 0
+	}
+}
+
+// satAdd16 adds two 16-bit counters, saturating rather than wrapping, so a
+// merge across many shards cannot corrupt correlation ratios.
+func satAdd16(a, b uint16) uint16 {
+	if s := uint32(a) + uint32(b); s <= uint32(^uint16(0)) {
+		return uint16(s)
+	}
+	return ^uint16(0)
+}
+
+// DeriveStates classifies every node against the merged history and raises
+// the ordinary state-change signals: nodes whose combined start-delay quota
+// is satisfied are evaluated exactly like an organically warmed node, so a
+// listener bound to this graph (the merged trace cache) sees one signal per
+// correlated node and builds traces only where the shards agree. A branch
+// that is hot on one shard but contradicted by another dilutes below the
+// threshold here and stays weak — the "globally hot" filter. Nodes still
+// inside their merged delay quota remain StateNew, exactly as a
+// single-threaded profiler would leave a rare branch.
+//
+// Call once, after the last Absorb and before exporting or seeding from the
+// merged graph.
+func (g *Graph) DeriveStates() {
+	for _, n := range g.all {
+		if len(n.Edges) == 0 {
+			continue
+		}
+		if n.State == StateNew && n.startDelay > 0 {
+			continue // globally still rare
+		}
+		g.evaluate(n)
+	}
+}

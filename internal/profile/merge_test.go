@@ -1,0 +1,233 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/stats"
+)
+
+// TestAbsorbSumsEdgeCounters: two shards that each saw the same branch N
+// times merge into a node that saw it 2N times, with Total matching the
+// edge-sum invariant.
+func TestAbsorbSumsEdgeCounters(t *testing.T) {
+	p := Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 1 << 30}
+	a, _, _ := newGraph(t, p)
+	b, _, _ := newGraph(t, p)
+	for i := 0; i < 40; i++ {
+		feed(a, 1, 2, 3)
+		a.ResetContext()
+	}
+	for i := 0; i < 25; i++ {
+		feed(b, 1, 2, 3)
+		b.ResetContext()
+	}
+
+	merged, _, _ := newGraph(t, p)
+	for _, src := range []*Graph{a, b} {
+		if n, err := merged.Absorb(src); err != nil || n == 0 {
+			t.Fatalf("Absorb: visited %d, err %v", n, err)
+		}
+	}
+	n := merged.Node(1, 2)
+	if n == nil {
+		t.Fatal("merged node missing")
+	}
+	e := n.EdgeTo(3)
+	if e == nil || e.Count != 65 {
+		t.Fatalf("merged edge count = %+v, want 65", e)
+	}
+	if n.Total != 65 {
+		t.Errorf("merged total = %d, want 65", n.Total)
+	}
+	// Non-destructive: the shards keep their own counts.
+	if a.Node(1, 2).Total != 40 || b.Node(1, 2).Total != 25 {
+		t.Error("Absorb modified a source shard")
+	}
+}
+
+// TestAbsorbSaturatesAt16Bits: edge counters saturate instead of wrapping,
+// so a merge across many shards cannot invert a correlation ratio.
+func TestAbsorbSaturatesAt16Bits(t *testing.T) {
+	p := Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 1 << 30}
+	src, _, _ := newGraph(t, p)
+	for i := 0; i < 3000; i++ {
+		feed(src, 1, 2, 3)
+		src.ResetContext()
+	}
+	merged, _, _ := newGraph(t, p)
+	for i := 0; i < 25; i++ { // 25 × 3000 = 75000 > 65535
+		if _, err := merged.Absorb(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := merged.Node(1, 2)
+	if n.EdgeTo(3).Count != ^uint16(0) {
+		t.Errorf("saturated count = %d, want %d", n.EdgeTo(3).Count, ^uint16(0))
+	}
+	if n.Total != ^uint16(0) {
+		t.Errorf("saturated total = %d, want %d", n.Total, ^uint16(0))
+	}
+}
+
+// TestAbsorbRejectsParamsMismatch: counters and delays are only meaningful
+// relative to their parameters, so cross-parameter merges must refuse.
+func TestAbsorbRejectsParamsMismatch(t *testing.T) {
+	a, _, _ := newGraph(t, Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 256})
+	b, _, _ := newGraph(t, Params{StartDelay: 2, Threshold: 0.9, DecayInterval: 256})
+	if _, err := a.Absorb(b); err == nil {
+		t.Fatal("params mismatch accepted")
+	}
+}
+
+// TestMergeAccumulatesStartDelay: observations toward a node's start-delay
+// quota add across shards. Two shards that each observed a branch 4 times
+// out of a 10-execution quota leave the merged node rare (2 remaining);
+// a third shard's observations push it over and DeriveStates promotes it.
+func TestMergeAccumulatesStartDelay(t *testing.T) {
+	p := Params{StartDelay: 10, Threshold: 0.9, DecayInterval: 1 << 30}
+	shard := func(execs int) *Graph {
+		g, _, _ := newGraph(t, p)
+		for i := 0; i < execs; i++ {
+			feed(g, 1, 2, 3)
+			g.ResetContext()
+		}
+		return g
+	}
+
+	rec := &recorder{}
+	merged, err := New(p, &stats.Counters{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []*Graph{shard(4), shard(4)} {
+		if _, err := merged.Absorb(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged.DeriveStates()
+	n := merged.Node(1, 2)
+	if n.State != StateNew {
+		t.Fatalf("state after 8/10 merged observations = %v, want new", n.State)
+	}
+	if len(rec.signals) != 0 {
+		t.Fatalf("rare node signalled: %v", rec.signals)
+	}
+
+	if _, err := merged.Absorb(shard(3)); err != nil {
+		t.Fatal(err)
+	}
+	merged.DeriveStates()
+	if n.State != StateUnique {
+		t.Fatalf("state after 11/10 merged observations = %v, want unique", n.State)
+	}
+	if len(rec.signals) != 1 || rec.signals[0].Node != n || rec.signals[0].NewBest != 3 {
+		t.Fatalf("signals = %+v, want one new->unique for (1,2)", rec.signals)
+	}
+}
+
+// TestMergePreservesHintBornNodes: a hint-seeded shard node (negative
+// start-delay sentinel) satisfies the merged quota outright, and a
+// hint-seeded merged node keeps its sentinel through Absorb.
+func TestMergePreservesHintBornNodes(t *testing.T) {
+	p := Params{StartDelay: 64, Threshold: 0.9, DecayInterval: 1 << 30}
+
+	src, _, _ := newGraph(t, p)
+	src.SetStaticHints([]cfg.BlockID{2})
+	feed(src, 1, 2, 3) // one execution, hint-born unique
+
+	merged, _, _ := newGraph(t, p) // no hints on the merged side
+	if _, err := merged.Absorb(src); err != nil {
+		t.Fatal(err)
+	}
+	merged.DeriveStates()
+	n := merged.Node(1, 2)
+	if n.startDelay != 0 {
+		t.Errorf("hint-born source should satisfy the quota: startDelay = %d", n.startDelay)
+	}
+	if n.State != StateUnique {
+		t.Errorf("state = %v, want unique", n.State)
+	}
+
+	// Merged graph itself hinted: the sentinel survives absorption.
+	hinted, _, _ := newGraph(t, p)
+	hinted.SetStaticHints([]cfg.BlockID{2})
+	plain, _, _ := newGraph(t, p)
+	feed(plain, 1, 2, 3)
+	if _, err := hinted.Absorb(plain); err != nil {
+		t.Fatal(err)
+	}
+	if hinted.Node(1, 2).startDelay >= 0 {
+		t.Errorf("hint-born merged node lost its sentinel: startDelay = %d",
+			hinted.Node(1, 2).startDelay)
+	}
+}
+
+// TestDeriveStatesDilutesConflictingShards: the "globally hot" filter. A
+// branch that is unique on each shard but with contradictory successors
+// merges to weak — the trace cache never sees a correlated signal for it —
+// while a branch the shards agree on promotes normally.
+func TestDeriveStatesDilutesConflictingShards(t *testing.T) {
+	p := Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 1 << 30}
+	a, _, _ := newGraph(t, p)
+	b, _, _ := newGraph(t, p)
+	for i := 0; i < 100; i++ {
+		feed(a, 1, 2, 3) // shard A: (1,2) always goes to 3
+		a.ResetContext()
+		feed(a, 5, 6, 7) // both shards agree on (5,6) -> 7
+		a.ResetContext()
+		feed(b, 1, 2, 4) // shard B: (1,2) always goes to 4
+		b.ResetContext()
+		feed(b, 5, 6, 7)
+		b.ResetContext()
+	}
+
+	rec := &recorder{}
+	merged, err := New(p, &stats.Counters{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []*Graph{a, b} {
+		if _, err := merged.Absorb(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged.DeriveStates()
+
+	if st := merged.Node(1, 2).State; st != StateWeak {
+		t.Errorf("conflicting branch state = %v, want weak (diluted below threshold)", st)
+	}
+	if st := merged.Node(5, 6).State; st != StateUnique {
+		t.Errorf("agreeing branch state = %v, want unique", st)
+	}
+	for _, sig := range rec.signals {
+		if sig.Node == merged.Node(1, 2) && sig.NewState.Correlated() {
+			t.Errorf("diluted branch raised a correlated signal: %+v", sig)
+		}
+	}
+	promoted := false
+	for _, sig := range rec.signals {
+		if sig.Node == merged.Node(5, 6) && sig.NewState == StateUnique && sig.NewBest == 7 {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Error("agreeing branch never signalled the merged trace cache")
+	}
+}
+
+// TestSetCountersRebinds: a shard that outlives its session keeps learning
+// into whichever counter record the next run binds.
+func TestSetCountersRebinds(t *testing.T) {
+	g, _, ctr1 := newGraph(t, Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 1 << 30})
+	feed(g, 1, 2, 3)
+	ctr2 := &stats.Counters{}
+	g.SetCounters(ctr2)
+	feed(g, 7, 8, 9)
+	if ctr1.NodesCreated != 2 || ctr2.NodesCreated != 2 {
+		t.Errorf("counters after rebind: first %d, second %d, want 2 and 2",
+			ctr1.NodesCreated, ctr2.NodesCreated)
+	}
+	g.SetCounters(nil) // must not panic; discards subsequent accounting
+	feed(g, 11, 12, 13)
+}

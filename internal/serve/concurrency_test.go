@@ -46,7 +46,9 @@ func serialRun(t *testing.T, name string, mode core.Mode) (string, stats.Counter
 // entries) and asserts each run's output and counters are identical to a
 // serial run, and that the service's aggregated counters equal the exact
 // sum of the per-request counters. Sessions must share no mutable state;
-// under -race this also proves it mechanically.
+// under -race this also proves it mechanically. Sharded profiling is
+// disabled (EpochRuns: -1): shards deliberately carry learned state across
+// runs, which is exactly what this test's bit-for-bit equality forbids.
 func TestConcurrentIsolation(t *testing.T) {
 	const perWorkload = 2
 	names := workload.Names()
@@ -61,7 +63,7 @@ func TestConcurrentIsolation(t *testing.T) {
 		want[name] = truth{output: out, ctr: ctr}
 	}
 
-	s := newTestService(t, Config{Workers: 4, QueueDepth: len(names) * perWorkload})
+	s := newTestService(t, Config{Workers: 4, QueueDepth: len(names) * perWorkload, EpochRuns: -1})
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex

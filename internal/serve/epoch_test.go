@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/snapshot"
+)
+
+// epochLoopSource is a deterministic 2000-iteration loop with a known
+// output — enough dispatches for shards to converge and build traces.
+const epochLoopSource = `class Main { static void main() { int i = 0; int s = 0; while (i < 2000) { s = s + i; i = i + 1; } Sys.printlnInt(s); } }`
+
+const epochLoopOutput = "1999000\n"
+
+// TestEpochShardsDisjointPrograms runs several distinct programs concurrently
+// through a sharded service: every worker learns each program in its private
+// shard, outputs stay correct, and the coordinator tracks one shard set per
+// program. Run under -race this proves shard learning never crosses a
+// goroutine boundary outside the coordinator's locks.
+func TestEpochShardsDisjointPrograms(t *testing.T) {
+	const programs = 4
+	const perProgram = 6
+	src := func(p int) string {
+		return fmt.Sprintf(
+			`class Main { static void main() { int i = 0; int s = 0; while (i < 1000) { s = s + i; i = i + 1; } Sys.printlnInt(s + %d); } }`, p)
+	}
+	want := func(p int) string { return fmt.Sprintf("%d\n", 499500+p) }
+
+	s := newTestService(t, Config{Workers: 4, QueueDepth: programs * perProgram, EpochRuns: 2})
+	var wg sync.WaitGroup
+	for p := 0; p < programs; p++ {
+		for i := 0; i < perProgram; i++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				resp, err := s.Do(context.Background(), Request{Source: src(p), Mode: core.ModeTrace})
+				if err != nil {
+					t.Errorf("program %d: %v", p, err)
+					return
+				}
+				if resp.Output != want(p) {
+					t.Errorf("program %d output = %q, want %q", p, resp.Output, want(p))
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+
+	snap := s.Stats()
+	if snap.ShardPrograms != programs {
+		t.Errorf("ShardPrograms = %d, want %d", snap.ShardPrograms, programs)
+	}
+	if snap.LiveShards < programs {
+		t.Errorf("LiveShards = %d, want >= %d (each program learned on at least one shard)",
+			snap.LiveShards, programs)
+	}
+	if snap.EpochMerges == 0 {
+		t.Error("no epoch merges despite every program exceeding its quota")
+	}
+	if snap.ShardsMerged < snap.EpochMerges {
+		t.Errorf("ShardsMerged = %d < EpochMerges = %d; merges absorbed nothing",
+			snap.ShardsMerged, snap.EpochMerges)
+	}
+}
+
+// TestEpochShardsOverlappingProgram hammers one program from many clients at
+// once — the shards overlap on the same learned structure — and checks the
+// merged export the snapshot writer would commit: globally derived state with
+// nodes and promoted traces, surviving the wire codec.
+func TestEpochShardsOverlappingProgram(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4, QueueDepth: 32, EpochRuns: 4})
+	const n = 24
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := s.Do(context.Background(), Request{Source: epochLoopSource, Mode: core.ModeTrace})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.Output != epochLoopOutput {
+				t.Errorf("output = %q, want %q", resp.Output, epochLoopOutput)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := s.Stats()
+	if snap.ShardPrograms != 1 {
+		t.Errorf("ShardPrograms = %d, want 1", snap.ShardPrograms)
+	}
+	if snap.EpochMerges == 0 {
+		t.Fatalf("no epoch merges after %d runs with quota 4", n)
+	}
+
+	comp, err := s.Registry().Source(KindMiniJava, epochLoopSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := s.epochs.exportForCommit(comp.Key, true)
+	if exported == nil {
+		t.Fatal("exportForCommit returned nothing for a merged program")
+	}
+	if exported.ProgramKey != comp.Key {
+		t.Errorf("export key = %q, want %q", exported.ProgramKey, comp.Key)
+	}
+	if len(exported.Nodes) == 0 || len(exported.Traces) == 0 {
+		t.Fatalf("merged export learned nothing: %d nodes, %d traces",
+			len(exported.Nodes), len(exported.Traces))
+	}
+	if _, err := snapshot.Decode(snapshot.Encode(exported)); err != nil {
+		t.Errorf("merged export does not survive the codec: %v", err)
+	}
+	// Unknown programs yield nil, not a phantom set.
+	if got := s.epochs.exportForCommit("no-such-key", true); got != nil {
+		t.Errorf("export for unknown key = %+v, want nil", got)
+	}
+}
+
+// TestEpochMergeEqualsSingleWorkerState is the merge-equivalence property at
+// the service level: the merged view of a 4-worker service that split the
+// traffic across shards classifies branches identically to a 1-worker
+// service that saw every run on one shard, and promotes the same traces.
+// (Raw counters differ with per-shard decay timing; the unique<->strong flip
+// is a non-change, so the comparison is the correlated bit plus the
+// predicted successor — exactly what the trace cache consumes.)
+func TestEpochMergeEqualsSingleWorkerState(t *testing.T) {
+	learned := func(workers int) *snapshot.Snapshot {
+		s := newTestService(t, Config{Workers: workers, QueueDepth: 32, EpochRuns: 4})
+		const n = 16
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := s.Do(context.Background(), Request{Source: epochLoopSource, Mode: core.ModeTrace}); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		comp, err := s.Registry().Source(KindMiniJava, epochLoopSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := s.epochs.exportForCommit(comp.Key, true)
+		if snap == nil {
+			t.Fatalf("%d workers: no merged state", workers)
+		}
+		decoded, err := snapshot.Decode(snapshot.Encode(snap))
+		if err != nil {
+			t.Fatalf("%d workers: codec: %v", workers, err)
+		}
+		return decoded
+	}
+
+	multi := learned(4)
+	single := learned(1)
+
+	if len(multi.Traces) != len(single.Traces) {
+		t.Errorf("merged traces = %d, single-worker = %d", len(multi.Traces), len(single.Traces))
+	}
+	if len(multi.Nodes) != len(single.Nodes) {
+		t.Errorf("merged nodes = %d, single-worker = %d", len(multi.Nodes), len(single.Nodes))
+	}
+	type class struct {
+		correlated bool
+		best       cfg.BlockID
+	}
+	states := func(ns []profile.NodeSnapshot) map[[2]cfg.BlockID]class {
+		m := make(map[[2]cfg.BlockID]class, len(ns))
+		for _, n := range ns {
+			c := class{correlated: n.State.Correlated()}
+			if c.correlated {
+				c.best = n.Best
+			}
+			m[[2]cfg.BlockID{n.X, n.Y}] = c
+		}
+		return m
+	}
+	ms, ss := states(multi.Nodes), states(single.Nodes)
+	for k, v := range ss {
+		if ms[k] != v {
+			t.Errorf("node %v classifies as %+v merged, %+v single-worker", k, ms[k], v)
+		}
+	}
+}
+
+// TestEpochParamsMismatchFallsBack: a request whose profiler parameters
+// differ from the ones a program's shards were built with must not pollute
+// the shards — it runs isolated and the shard set keeps its parameters.
+func TestEpochParamsMismatchFallsBack(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 8, EpochRuns: 2})
+	base := Request{Source: epochLoopSource, Mode: core.ModeTrace}
+	if _, err := s.Do(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	odd := base
+	odd.Threshold, odd.StartDelay, odd.DecayInterval = 0.5, 2, 32
+	resp, err := s.Do(context.Background(), odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Output != epochLoopOutput {
+		t.Errorf("mismatched-params run output = %q, want %q", resp.Output, epochLoopOutput)
+	}
+	// The isolated run built its own profiler from scratch.
+	if resp.Counters.NodesCreated == 0 {
+		t.Error("mismatched-params run reused shard state")
+	}
+	if snap := s.Stats(); snap.LiveShards != 1 {
+		t.Errorf("LiveShards = %d, want 1 (mismatch must not add shards)", snap.LiveShards)
+	}
+}
+
+// TestEpochDisabledKeepsLegacyPath: EpochRuns < 0 switches sharding off
+// entirely — every profiled run is isolated, and the gauges stay zero.
+func TestEpochDisabledKeepsLegacyPath(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueDepth: 8, EpochRuns: -1})
+	for i := 0; i < 3; i++ {
+		resp, err := s.Do(context.Background(), Request{Source: epochLoopSource, Mode: core.ModeTrace})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Output != epochLoopOutput {
+			t.Fatalf("output = %q", resp.Output)
+		}
+		// Isolated runs relearn everything each time.
+		if resp.Counters.NodesCreated == 0 {
+			t.Error("isolated run created no nodes")
+		}
+	}
+	snap := s.Stats()
+	if snap.ShardPrograms != 0 || snap.LiveShards != 0 || snap.EpochMerges != 0 {
+		t.Errorf("sharding gauges nonzero with EpochRuns=-1: %+v",
+			[3]int64{int64(snap.ShardPrograms), int64(snap.LiveShards), snap.EpochMerges})
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,7 +27,7 @@ type LoadGenConfig struct {
 	Requests int
 	// Workloads are cycled through round-robin (default: all built-ins).
 	Workloads []string
-	// Mode applies to every request.
+	// Mode applies to every request (but see WriteFrac).
 	Mode core.Mode
 	// MaxSteps bounds each request (0 = unlimited).
 	MaxSteps int64
@@ -35,6 +36,29 @@ type LoadGenConfig struct {
 	// request derives its jitter stream from Retry.Seed and its index, so
 	// concurrent clients spread out deterministically.
 	Retry *Backoff
+
+	// Skew, when > 1, draws each request's workload from a zipf
+	// distribution with this exponent instead of cycling round-robin:
+	// Workloads[0] is the most popular program, the tail rarely runs. Real
+	// program popularity is zipfian, and the skew concentrates requests on
+	// few registry entries — the contention-adversarial case for any shared
+	// per-program state. Values <= 1 keep the uniform round-robin draw
+	// (math/rand's zipf requires an exponent above 1).
+	Skew float64
+	// HotRatio, when > 0, sends this fraction of requests to Workloads[0]
+	// outright (a hot key), on top of whatever Skew draws. 1.0 hammers a
+	// single program from every client.
+	HotRatio float64
+	// WriteFrac, when in (0, 1), runs only this fraction of requests in
+	// Mode and demotes the rest to plain block dispatch. Profiled runs
+	// mutate their program's learned state ("writes"); plain runs only
+	// execute ("reads"). Mixing them reproduces a read-mostly service where
+	// occasional learning must not stall the read path. 0 (and 1) run
+	// everything in Mode.
+	WriteFrac float64
+	// Seed makes the Skew/HotRatio/WriteFrac draws deterministic; each
+	// client goroutine derives an independent stream from it (default 1).
+	Seed uint64
 }
 
 // LoadGenResult summarizes a load-generation run.
@@ -82,16 +106,40 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig, run Runner) LoadGenResul
 	}
 	close(idx)
 
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(cfg.Concurrency)
 	for c := 0; c < cfg.Concurrency; c++ {
-		go func() {
+		go func(c int) {
 			defer wg.Done()
+			// Each client owns its rng, so the skewed draws need no
+			// cross-goroutine synchronization and stay deterministic per
+			// (Seed, client) pair.
+			rng := rand.New(rand.NewSource(int64(seed) + int64(c)*0x9e3779b9))
+			var zipf *rand.Zipf
+			if cfg.Skew > 1 && len(workloads) > 1 {
+				zipf = rand.NewZipf(rng, cfg.Skew, 1, uint64(len(workloads)-1))
+			}
 			for i := range idx {
+				name := workloads[i%len(workloads)]
+				if zipf != nil {
+					name = workloads[zipf.Uint64()]
+				}
+				if cfg.HotRatio > 0 && rng.Float64() < cfg.HotRatio {
+					name = workloads[0]
+				}
+				mode := cfg.Mode
+				if cfg.WriteFrac > 0 && cfg.WriteFrac < 1 && rng.Float64() >= cfg.WriteFrac {
+					mode = core.ModePlain
+				}
 				req := Request{
-					Workload: workloads[i%len(workloads)],
-					Mode:     cfg.Mode,
+					Workload: name,
+					Mode:     mode,
 					MaxSteps: cfg.MaxSteps,
 				}
 				var resp *Response
@@ -120,7 +168,7 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig, run Runner) LoadGenResul
 				completed.Add(1)
 				instrs.Add(resp.Counters.Instrs)
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)

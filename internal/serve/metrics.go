@@ -94,6 +94,14 @@ type Snapshot struct {
 	SnapshotPrograms int
 	SnapshotsPending int
 
+	// Sharded-profiling state (zero when Config.EpochRuns is negative):
+	// programs with a shard set, live per-worker shards, completed epoch
+	// merges, and the total shards absorbed across those merges.
+	ShardPrograms int
+	LiveShards    int
+	EpochMerges   int64
+	ShardsMerged  int64
+
 	// Global is every completed session's Counters merged via Add; the
 	// embedded stats.Metrics are its derived §5.2 values, so a Snapshot and
 	// a repro.VM expose the same Metrics shape under the same name.

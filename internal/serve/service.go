@@ -82,6 +82,15 @@ type Config struct {
 	// signals, trace builds and retirements) that forces a commit before the
 	// interval elapses — the coalescing net threshold (default 512).
 	SnapshotNet int64
+	// EpochRuns is the epoch length of the sharded profiling path. Every
+	// worker owns a private BCG profiler per program (a shard) whose learned
+	// state persists across that worker's requests, and the epoch coordinator
+	// merges a program's shards into a globally derived view every EpochRuns
+	// profiled runs of that program — plus on breaker trips, snapshot-writer
+	// commits, and drain. Default 32. Negative disables sharding and restores
+	// the fully isolated per-request profiler (each profiled run then builds,
+	// and discards, its own graph).
+	EpochRuns int64
 }
 
 func (c *Config) fillDefaults() {
@@ -96,6 +105,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.EpochRuns == 0 {
+		c.EpochRuns = 32
 	}
 	c.Breaker.fillDefaults()
 }
@@ -165,6 +177,10 @@ type Service struct {
 	// is empty).
 	snaps *snapStore
 
+	// epochs coordinates the per-worker profiler shards and their epoch
+	// merges (nil when Config.EpochRuns is negative).
+	epochs *epochCoordinator
+
 	jobs chan *job
 	wg   sync.WaitGroup
 
@@ -219,13 +235,21 @@ func New(cfg Config) *Service {
 	if cfg.SnapshotDir != "" {
 		s.snaps = newSnapStore(cfg.SnapshotDir, cfg.SnapshotInterval, cfg.SnapshotNet, s.ring)
 	}
+	if cfg.EpochRuns > 0 {
+		s.epochs = newEpochCoordinator(cfg.Workers, cfg.EpochRuns, cfg.TraceCache, s.ring, s.snaps)
+		if s.snaps != nil {
+			// Shard runs never export; the snapshot writer pulls a fresh
+			// merged view at commit time instead.
+			s.snaps.exporter = s.epochs.exportForCommit
+		}
+	}
 	s.reg.NoVerify = cfg.NoVerify
 	if cfg.Breaker.ChurnPerK > 0 {
 		s.breakers = make(map[string]*breaker)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -446,6 +470,11 @@ func (s *Service) Stats() Snapshot {
 		snap.Global.Add(&jc)
 		snap.SnapshotPrograms, snap.SnapshotsPending = s.snaps.gauges()
 	}
+	if s.epochs != nil {
+		snap.ShardPrograms, snap.LiveShards = s.epochs.gauges()
+		snap.EpochMerges = s.epochs.merges.Load()
+		snap.ShardsMerged = s.epochs.shardsMerged.Load()
+	}
 	return snap
 }
 
@@ -471,8 +500,9 @@ func (s *Service) Close() {
 
 // worker is one pool goroutine: it claims jobs, runs sessions, publishes
 // results, and accounts outcomes. A panicking session is contained by
-// runJob, so one bad program cannot take the service down.
-func (s *Service) worker() {
+// runJob, so one bad program cannot take the service down. id is the
+// worker's stable index — its slot in every program's shard set.
+func (s *Service) worker(id int) {
 	defer s.wg.Done()
 	for j := range s.jobs {
 		if !j.state.CompareAndSwap(jobPending, jobRunning) {
@@ -492,14 +522,19 @@ func (s *Service) worker() {
 				})
 			}
 		}
-		resp, err := s.runJob(j, mode, demote)
+		resp, err := s.runJob(j, mode, demote, id)
 		j.resp, j.err = resp, err
 		if brk != nil && mode.Profiled() {
 			churn := -1.0 // inconclusive: failed runs yield no counters
 			if err == nil {
 				churn = churnPerK(&resp.Counters)
 			}
-			brk.observe(s.cfg.Clock(), churn, demote, probe)
+			if brk.observe(s.cfg.Clock(), churn, demote, probe) && s.epochs != nil {
+				// The program demotes to plain dispatch while the breaker is
+				// open; merge now so the shards' learning up to the trip is
+				// published (and committable) rather than stranded.
+				s.epochs.mergeProgram(j.comp.Key)
+			}
 		}
 		lat := time.Since(j.enqueued)
 		switch {
@@ -534,10 +569,28 @@ func (e *panicError) Error() string { return fmt.Sprintf("serve: session panic: 
 
 // runJob executes one session, recovering panics into errors. mode is the
 // effective dispatch mode after any breaker demotion; demoted records it in
-// the response.
-func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, err error) {
+// the response. workerID selects the worker's shard on the sharded profiling
+// path.
+func (s *Service) runJob(j *job, mode core.Mode, demoted bool, workerID int) (resp *Response, err error) {
+	// sh, once non-nil, is this run's locked shard. The deferred handler is
+	// the single release point: a clean (or failed-but-orderly) run releases
+	// it, counting toward the program's epoch; a panicking run discards the
+	// profiler first, since the dispatch hook may have died mid-update and
+	// left the graph unusable — the worker's next run rebuilds the shard from
+	// the merged view.
+	var sh *workerShard
+	var set *shardSet
 	defer func() {
-		if r := recover(); r != nil {
+		r := recover()
+		if sh != nil {
+			if r != nil {
+				s.epochs.discard(sh)
+				sh.mu.Unlock()
+			} else {
+				s.epochs.release(sh, set)
+			}
+		}
+		if r != nil {
 			resp, err = nil, &panicError{val: r}
 		}
 	}()
@@ -578,10 +631,37 @@ func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, 
 		// so /v1/events can be filtered per program under live traffic.
 		sopts.Sink = obs.Tagged{Sink: s.ring, Program: j.comp.Name}
 	}
-	if s.snaps != nil && mode.Profiled() {
-		// Warm start: seed the session from the program's stored learned
-		// state. Applied only under the exact profiler parameters the state
-		// was learned with — a mismatched request simply runs cold.
+	if s.epochs != nil && mode.Profiled() {
+		sh, set = s.epochs.acquire(j.comp, params, workerID)
+	}
+	if sh != nil {
+		// Sharded path: attach the session to this worker's persistent
+		// profiler. A fresh shard (first run, or rebuilt after a panic)
+		// seeds from the latest merged view — falling back to the warm
+		// store's snapshot — so it starts from global knowledge, not cold.
+		prof := sh.prof
+		if prof == nil {
+			p, perr := s.epochs.newShard(sh, set)
+			if perr != nil {
+				sh.mu.Unlock()
+				sh, set = nil, nil
+			} else {
+				prof = p
+				if warm := s.epochs.warmSeed(set); warm != nil && warm.Params == params {
+					sopts.Snapshot = warm
+				}
+			}
+		}
+		if prof != nil {
+			sopts.Profiler = prof
+		}
+	}
+	if sh == nil && s.snaps != nil && mode.Profiled() {
+		// Isolated per-request path (sharding disabled, or the request's
+		// profiler parameters differ from the shards'): seed the session
+		// from the program's stored learned state. Applied only under the
+		// exact parameters the state was learned with — a mismatched
+		// request simply runs cold.
 		if warm := s.snaps.lookup(j.comp.Key, j.comp.Name); warm != nil && warm.Params == params {
 			sopts.Snapshot = warm
 		}
@@ -615,11 +695,17 @@ func (s *Service) runJob(j *job, mode core.Mode, demoted bool) (resp *Response, 
 		resp.BCGNodes = sess.Graph.NumNodes()
 	}
 	if s.snaps != nil && sess.Graph != nil {
-		// Accumulate this run's learning into the warm store. A fully warm,
-		// stable run has a zero delta and is skipped outright — steady-state
-		// traffic neither re-exports nor re-commits anything.
+		// Accumulate this run's learning toward the commit threshold. A fully
+		// warm, stable run has a zero delta and is skipped outright —
+		// steady-state traffic neither re-exports nor re-commits anything.
 		if delta := learnedDelta(&resp.Counters); delta > 0 {
-			s.snaps.update(j.comp.Key, j.comp.Name, sess.ExportSnapshot(j.comp.Key, j.comp.Name), delta)
+			if sh != nil {
+				// Sharded runs never export; the writer pulls a merged view
+				// at commit time through the coordinator.
+				s.snaps.noteDirty(j.comp.Key, j.comp.Name, delta)
+			} else {
+				s.snaps.update(j.comp.Key, j.comp.Name, sess.ExportSnapshot(j.comp.Key, j.comp.Name), delta)
+			}
 		}
 	}
 	return resp, nil

@@ -33,6 +33,16 @@ type snapStore struct {
 	net      int64
 	ring     *obs.Ring
 
+	// exporter, when set (sharded profiling), produces the freshest learned
+	// state for a program at commit time: each commit is a phase boundary
+	// that pulls an epoch merge on demand. Runs then only accumulate deltas
+	// (noteDirty) and never export. wait asks the merge to wait for busy
+	// shards — true only on the final drain commit, when the workers have
+	// exited. A nil return (no shard set, or nothing absorbed) falls back to
+	// the entry's stored snapshot. Set once before the service starts; called
+	// only outside st.mu.
+	exporter func(key string, wait bool) *snapshot.Snapshot
+
 	// journal counts store-level lifecycle events (saves, rejections);
 	// session-level loads are counted by the sessions themselves.
 	journal snapshot.Journal
@@ -179,6 +189,26 @@ func (st *snapStore) update(key, name string, snap *snapshot.Snapshot, delta int
 	}
 }
 
+// noteDirty accumulates a sharded run's learning delta toward the commit
+// threshold without touching the warm snapshot — the exporter supplies the
+// actual state when the writer commits.
+func (st *snapStore) noteDirty(key, name string, delta int64) {
+	if !validKey(key) {
+		return
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	st.mu.Lock()
+	e := st.entry(key, name)
+	e.dirty += delta
+	over := e.dirty >= st.net
+	st.mu.Unlock()
+	if over {
+		st.kick()
+	}
+}
+
 // install adopts an externally supplied snapshot (PUT /v1/snapshot) as the
 // program's warm state and schedules it for commit.
 func (st *snapStore) install(snap *snapshot.Snapshot) error {
@@ -204,14 +234,32 @@ func (st *snapStore) kick() {
 	}
 }
 
-// encoded returns the serialized warm snapshot for key, probing disk like
-// lookup does.
+// encoded returns the serialized warm snapshot for key. Under sharded
+// profiling it asks the exporter for a fresh merged view first — a snapshot
+// GET should see the live learned state, not the last commit — and falls
+// back to the stored entry (probing disk like lookup does) when the
+// coordinator has nothing for the key.
 func (st *snapStore) encoded(key, name string) ([]byte, bool) {
+	if st.exporter != nil && validKey(key) {
+		if snap := st.exporter(key, false); snap != nil {
+			st.adopt(key, name, snap)
+			return snapshot.Encode(snap), true
+		}
+	}
 	snap := st.lookup(key, name)
 	if snap == nil {
 		return nil, false
 	}
 	return snapshot.Encode(snap), true
+}
+
+// adopt stores a freshly merged snapshot as the entry's warm state.
+func (st *snapStore) adopt(key, name string, snap *snapshot.Snapshot) {
+	st.mu.Lock()
+	e := st.entry(key, name)
+	e.snap = snap
+	e.loadTried = true
+	st.mu.Unlock()
 }
 
 // reject counts one refused snapshot and emits its event.
@@ -255,18 +303,21 @@ func (st *snapStore) flushLoop() {
 		case <-st.stopped:
 			return
 		case <-t.C:
-			st.flush(false)
+			st.flush(false, false)
 		case <-st.wake:
-			st.flush(true)
+			st.flush(true, false)
 		}
 	}
 }
 
 // flush commits dirty entries: every entry past the net threshold, plus —
-// on interval ticks and the final drain — everything dirty at all. Encoding
-// and file I/O happen outside the entry lock; a failed write re-marks the
-// entry dirty so the next cycle retries it.
-func (st *snapStore) flush(thresholdOnly bool) {
+// on interval ticks and the final drain — everything dirty at all. With an
+// exporter attached, each committed entry's state is pulled fresh (an epoch
+// merge) at this moment; wait is forwarded to it and is true only on the
+// drain commit. Encoding, exporting and file I/O happen outside the entry
+// lock; an entry that yields nothing committable (busy shards, failed write)
+// is re-marked dirty so the next cycle retries it.
+func (st *snapStore) flush(thresholdOnly, wait bool) {
 	type pending struct {
 		key, name string
 		snap      *snapshot.Snapshot
@@ -275,7 +326,10 @@ func (st *snapStore) flush(thresholdOnly bool) {
 	var work []pending
 	st.mu.Lock()
 	for key, e := range st.entries {
-		if e.snap == nil || e.dirty == 0 || (thresholdOnly && e.dirty < st.net) {
+		if e.dirty == 0 || (thresholdOnly && e.dirty < st.net) {
+			continue
+		}
+		if e.snap == nil && st.exporter == nil {
 			continue
 		}
 		work = append(work, pending{key: key, name: e.name, snap: e.snap, delta: e.dirty})
@@ -283,25 +337,40 @@ func (st *snapStore) flush(thresholdOnly bool) {
 	}
 	st.mu.Unlock()
 
+	requeue := func(key string, delta int64) {
+		st.mu.Lock()
+		if e := st.entries[key]; e != nil {
+			e.dirty += delta
+		}
+		st.mu.Unlock()
+	}
 	for _, w := range work {
-		if err := snapshot.WriteAtomic(st.fileFor(w.key), snapshot.Encode(w.snap)); err != nil {
-			st.mu.Lock()
-			if e := st.entries[w.key]; e != nil {
-				e.dirty += w.delta
+		snap := w.snap
+		if st.exporter != nil {
+			if m := st.exporter(w.key, wait); m != nil {
+				snap = m
+				st.adopt(w.key, w.name, m)
 			}
-			st.mu.Unlock()
+		}
+		if snap == nil {
+			requeue(w.key, w.delta)
+			continue
+		}
+		if err := snapshot.WriteAtomic(st.fileFor(w.key), snapshot.Encode(snap)); err != nil {
+			requeue(w.key, w.delta)
 			continue
 		}
 		st.journal.Saved()
-		st.emit(obs.EvSnapshotSaved, w.name, int64(len(w.snap.Nodes)))
+		st.emit(obs.EvSnapshotSaved, w.name, int64(len(snap.Nodes)))
 	}
 }
 
-// close stops the writer and performs the final save-on-drain commit.
+// close stops the writer and performs the final save-on-drain commit. The
+// workers have exited by now, so the drain flush may wait on every shard.
 func (st *snapStore) close() {
 	close(st.stopped)
 	<-st.done
-	st.flush(false)
+	st.flush(false, true)
 }
 
 // SnapshotEnabled reports whether the service was configured with profile

@@ -30,9 +30,10 @@ func runLoop(t *testing.T, s *Service, req Request) *Response {
 	return resp
 }
 
-// TestWarmStartAcrossRuns: the second run of the same program seeds from the
-// first run's in-memory export — per-request sessions no longer relearn from
-// zero.
+// TestWarmStartAcrossRuns: the second run of the same program on the same
+// worker reuses the worker's live profiler shard — it relearns nothing, and
+// no snapshot round-trip is involved at all (the export/seed cycle of the
+// isolated path is gone from steady-state traffic).
 func TestWarmStartAcrossRuns(t *testing.T) {
 	s := newTestService(t, Config{Workers: 1, SnapshotDir: t.TempDir()})
 
@@ -40,6 +41,39 @@ func TestWarmStartAcrossRuns(t *testing.T) {
 	if cold.Counters.NodesSeededFromSnapshot != 0 {
 		t.Error("first run claims to have been seeded")
 	}
+	if cold.Counters.TracesBuilt == 0 {
+		t.Fatal("cold run built no traces; warm start has nothing to prove")
+	}
+
+	warm := runLoop(t, s, Request{})
+	if warm.Counters.NodesCreated != 0 {
+		t.Errorf("shard reuse relearned %d nodes, want 0", warm.Counters.NodesCreated)
+	}
+	if warm.Counters.SnapshotsLoaded != 0 {
+		t.Errorf("SnapshotsLoaded = %d, want 0: warm state lives in the shard, not a snapshot",
+			warm.Counters.SnapshotsLoaded)
+	}
+	if warm.BCGNodes == 0 {
+		t.Error("second run sees an empty graph; the shard did not carry over")
+	}
+	if warm.Output != cold.Output {
+		t.Errorf("warm output %q differs from cold %q", warm.Output, cold.Output)
+	}
+
+	stats := s.Stats()
+	if stats.ShardPrograms != 1 || stats.LiveShards != 1 {
+		t.Errorf("shard gauges = (%d programs, %d shards), want (1, 1)",
+			stats.ShardPrograms, stats.LiveShards)
+	}
+}
+
+// TestWarmStartAcrossRunsIsolated: with sharding disabled the pre-shard warm
+// path still works — the second run seeds from the first run's in-memory
+// export.
+func TestWarmStartAcrossRunsIsolated(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, SnapshotDir: t.TempDir(), EpochRuns: -1})
+
+	cold := runLoop(t, s, Request{})
 	if cold.Counters.TracesBuilt == 0 {
 		t.Fatal("cold run built no traces; warm start has nothing to prove")
 	}
