@@ -30,16 +30,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/replay"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -68,6 +72,9 @@ func main() {
 	scaleWrites := flag.Float64("scale-writes", 0.5, "fraction of requests run profiled; the rest run plain")
 	scaleMinSpeedup := flag.Float64("scale-min-speedup", harness.DefaultScaleGateOptions().MinSpeedup, "required top-point speedup on a machine with enough cores")
 	scalePerCore := flag.Float64("scale-per-core", harness.DefaultScaleGateOptions().PerCore, "per-core speedup floor on machines with fewer cores than workers")
+	replayVerify := flag.String("replay-verify", "", "traffic log to replay repeatedly against fresh services; exits 1 if per-program counters diverge")
+	replayRounds := flag.Int("replay-rounds", 2, "replay rounds for -replay-verify")
+	replayWorkers := flag.Int("replay-workers", 4, "service workers per -replay-verify round")
 	flag.Parse()
 
 	s := harness.NewSuite()
@@ -83,6 +90,8 @@ func main() {
 
 	var err error
 	switch {
+	case *replayVerify != "":
+		err = runReplayVerify(os.Stdout, *replayVerify, *replayRounds, *replayWorkers)
 	case *scaleGate != "":
 		gopt := harness.DefaultScaleGateOptions()
 		gopt.MinSpeedup = *scaleMinSpeedup
@@ -188,6 +197,38 @@ func measureScale(workersSpec string, opt harness.ScaleOptions) (harness.ScaleRe
 	}
 	opt.Workers = workers
 	return harness.MeasureScaling(opt)
+}
+
+// runReplayVerify replays a recorded traffic log repeatedly against fresh
+// services and fails if any per-program counter diverges between rounds —
+// the CI teeth behind the record/replay determinism claim.
+func runReplayVerify(w io.Writer, path string, rounds, workers int) error {
+	l, err := replay.Load(path)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.VerifyReplayDeterminism(context.Background(), l, rounds,
+		serve.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replay-verify: %d records, %d programs, %d rounds\n",
+		rep.Records, rep.Programs, rep.Rounds)
+	names := make([]string, 0, len(rep.PerProgram))
+	for name := range rep.PerProgram {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := rep.PerProgram[name]
+		fmt.Fprintf(w, "  %-28s runs %3d  instrs %12d  blocks %10d  trace-disp %10d  built %4d\n",
+			name, c.Runs, c.Instrs, c.BlockDispatches, c.TraceDispatches, c.TracesBuilt)
+	}
+	if !rep.Deterministic {
+		return fmt.Errorf("replay diverged: %s", rep.Divergence)
+	}
+	fmt.Fprintln(w, "replay-verify: deterministic")
+	return nil
 }
 
 // runScale measures throughput-vs-workers and prints the table.

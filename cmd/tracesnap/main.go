@@ -8,12 +8,18 @@
 //	tracesnap -nodes prog.tsnap        per-node listing (context, state, edges)
 //	tracesnap -json prog.tsnap         full decoded snapshot as JSON
 //	tracesnap -diff old.tsnap new.tsnap what the profile learned between two saves
+//	tracesnap -scrub dir               validate every .tsnap in a store directory;
+//	                                   exits non-zero when corruption is found
+//	tracesnap -scrub -quarantine dir   additionally move corrupt files to .corrupt
+//	                                   sidecars (the daemon's startup self-heal,
+//	                                   runnable offline)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -27,15 +33,23 @@ func main() {
 	nodes := flag.Bool("nodes", false, "list every node with its state and edges")
 	asJSON := flag.Bool("json", false, "dump the decoded snapshot as JSON")
 	diff := flag.Bool("diff", false, "compare two snapshots (old new)")
+	scrub := flag.Bool("scrub", false, "validate every snapshot in a store directory")
+	quarantine := flag.Bool("quarantine", false, "scrub: move corrupt snapshots to .corrupt sidecars")
 	flag.Parse()
 
-	if err := run(*nodes, *asJSON, *diff, flag.Args()); err != nil {
+	if err := run(*nodes, *asJSON, *diff, *scrub, *quarantine, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "tracesnap: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, asJSON, diff bool, args []string) error {
+func run(nodes, asJSON, diff, scrub, quarantine bool, args []string) error {
+	if scrub {
+		if len(args) != 1 {
+			return fmt.Errorf("-scrub expects one store directory")
+		}
+		return runScrub(os.Stdout, args[0], quarantine)
+	}
 	if diff {
 		if len(args) != 2 {
 			return fmt.Errorf("-diff expects two snapshot files")
@@ -71,6 +85,35 @@ func run(nodes, asJSON, diff bool, args []string) error {
 			return err
 		}
 		printSummary(args[0], info.Size(), s)
+	}
+	return nil
+}
+
+// runScrub validates a snapshot store offline — the same pass the daemon
+// runs at startup. Without -quarantine it only reports; corruption makes it
+// exit non-zero either way, so a cron or CI check fails loudly. With
+// -quarantine the damaged files are moved aside exactly as the daemon would,
+// and the scrub exits zero: the store is healthy again.
+func runScrub(w io.Writer, dir string, quarantine bool) error {
+	rep, err := snapshot.ScrubDir(dir, quarantine)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scanned:     %d snapshot(s)\n", rep.Scanned)
+	fmt.Fprintf(w, "valid:       %d\n", rep.Valid)
+	fmt.Fprintf(w, "corrupt:     %d\n", len(rep.Corrupt))
+	if rep.TempsRemoved > 0 {
+		fmt.Fprintf(w, "temps swept: %d abandoned write(s)\n", rep.TempsRemoved)
+	}
+	for _, f := range rep.Corrupt {
+		if f.Quarantined != "" {
+			fmt.Fprintf(w, "  quarantined %s -> %s (%v)\n", f.Path, f.Quarantined, f.Err)
+		} else {
+			fmt.Fprintf(w, "  corrupt     %s (%v)\n", f.Path, f.Err)
+		}
+	}
+	if n := len(rep.Corrupt); n > 0 && !quarantine {
+		return fmt.Errorf("%d corrupt snapshot(s) in %s (rerun with -quarantine to move them aside)", n, dir)
 	}
 	return nil
 }

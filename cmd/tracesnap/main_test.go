@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/profile"
+	"repro/internal/snapshot"
+)
+
+func writeStore(t *testing.T) (dir, good, bad string) {
+	t.Helper()
+	dir = t.TempDir()
+	data := snapshot.Encode(&snapshot.Snapshot{
+		Program:    "loop",
+		ProgramKey: "0123456789abcdef",
+		Params:     profile.Params{Threshold: 0.97, StartDelay: 64, DecayInterval: 256},
+		Nodes: []profile.NodeSnapshot{
+			{X: 1, Y: 2, State: profile.StateUnique, Best: 3,
+				Edges: []profile.EdgeSnapshot{{Z: 3, Count: 200}}},
+		},
+		Traces: []snapshot.TraceState{
+			{Blocks: []cfg.BlockID{2, 3, 4}, ExpectedCompletion: 0.98, EntryFrom: []cfg.BlockID{1}},
+		},
+	})
+	good = filepath.Join(dir, "good.tsnap")
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x10
+	bad = filepath.Join(dir, "bad.tsnap")
+	if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, good, bad
+}
+
+func TestScrubReportOnlyFailsOnCorruption(t *testing.T) {
+	dir, _, bad := writeStore(t)
+	var out bytes.Buffer
+	err := runScrub(&out, dir, false)
+	if err == nil {
+		t.Fatal("report-only scrub of a corrupt store exited clean")
+	}
+	if !strings.Contains(out.String(), "corrupt:     1") {
+		t.Errorf("report missing corruption count:\n%s", out.String())
+	}
+	// Report-only must not touch the store.
+	if _, serr := os.Stat(bad); serr != nil {
+		t.Errorf("report-only scrub moved the corrupt file: %v", serr)
+	}
+}
+
+func TestScrubQuarantineHealsStore(t *testing.T) {
+	dir, good, bad := writeStore(t)
+	var out bytes.Buffer
+	if err := runScrub(&out, dir, true); err != nil {
+		t.Fatalf("quarantining scrub failed: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(bad + snapshot.CorruptExt); err != nil {
+		t.Errorf("no .corrupt sidecar: %v", err)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still in the store (err=%v)", err)
+	}
+	if _, err := os.Stat(good); err != nil {
+		t.Errorf("healthy snapshot disturbed: %v", err)
+	}
+	// A second pass over the healed store is clean.
+	out.Reset()
+	if err := runScrub(&out, dir, false); err != nil {
+		t.Fatalf("healed store still reports corruption: %v\n%s", err, out.String())
+	}
+}
+
+func TestScrubMissingDirIsClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := runScrub(&out, filepath.Join(t.TempDir(), "nope"), false); err != nil {
+		t.Fatalf("missing store dir: %v", err)
+	}
+}

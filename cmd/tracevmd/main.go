@@ -42,6 +42,20 @@
 // fraction of requests straight to the first workload, -loadgen-writes runs
 // only that fraction profiled (the rest plain), and -loadgen-seed fixes the
 // random draws for reproducible runs.
+//
+// Traffic record/replay (tracevm/replay/v1 logs, see internal/replay):
+//
+//	tracevmd -addr :8077 -record /var/lib/tracevm/traffic      # record; commit at drain
+//	tracevmd -loadgen -addr localhost:8077 -loadgen-record storm.trlog
+//	tracevmd -replay storm.trlog -addr localhost:8077 -replay-pace 1
+//
+// -record captures every submission the server is offered (including
+// backpressure-refused requests) and commits a timestamped .trlog into the
+// directory at drain; -loadgen-record saves the generated stream directly.
+// -replay re-offers a log against a running daemon with -replay-pace
+// scaling the recorded arrival gaps (1 as recorded, 0 max speed) and
+// -replay-inflight bounding outstanding requests, then exits non-zero if
+// any replayed request failed.
 package main
 
 import (
@@ -57,6 +71,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -66,6 +81,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/serve"
 	"repro/internal/snapshot"
 )
@@ -102,15 +118,24 @@ func main() {
 		snapInterval = flag.Duration("snapshot-interval", 0, "coalescing snapshot writer commit period (0 = 30s default)")
 		snapNet      = flag.Int64("snapshot-net", 0, "per-program learning delta that forces an early snapshot commit (0 = 512 default)")
 		epochRuns    = flag.Int64("epoch-runs", 0, "profiled runs of a program between epoch merges of its per-worker profiler shards (0 = 32 default, negative = isolated per-request profilers)")
+
+		recordDir  = flag.String("record", "", "server: record every submission and commit the traffic log to this directory at shutdown")
+		replayFile = flag.String("replay", "", "replay the traffic log at this path against the daemon at -addr, then exit")
+		replayPace = flag.Float64("replay-pace", 1, "replay: arrival-gap multiplier (1 = as recorded, 0 = max speed, 0.5 = double speed)")
+		replayConc = flag.Int("replay-inflight", 0, "replay: max concurrently outstanding requests (0 = 16 default)")
+		lgRecord   = flag.String("loadgen-record", "", "loadgen: also write the offered request stream as a traffic log to this path")
 	)
 	flag.Parse()
 
 	var err error
-	if *loadgen {
+	switch {
+	case *replayFile != "":
+		err = runReplay(*addr, *replayFile, *replayPace, *replayConc)
+	case *loadgen:
 		err = runLoadgen(*addr, *conc, *requests, *workloads, *modeStr, *retries,
-			*lgSkew, *lgHot, *lgWrites, *lgSeed)
-	} else {
-		err = runServer(*addr, *debugAddr, serve.Config{
+			*lgSkew, *lgHot, *lgWrites, *lgSeed, *lgRecord)
+	default:
+		err = runServer(*addr, *debugAddr, *recordDir, serve.Config{
 			Workers:        *workers,
 			QueueDepth:     *queue,
 			DefaultTimeout: *timeout,
@@ -359,7 +384,16 @@ func readiness(snap serve.Snapshot) (int, api.ReadyResponse) {
 // drains: in-flight HTTP requests get up to grace to finish, and the
 // execution service finishes queued work before Close returns.
 func serveListener(ctx context.Context, l net.Listener, svc *serve.Service, grace time.Duration) error {
-	srv := &http.Server{Handler: newMux(svc)}
+	srv := &http.Server{
+		Handler: newMux(svc),
+		// A client that trickles its headers or body must not pin a
+		// connection forever (slowloris); execution time is governed by the
+		// service's own deadlines, not the HTTP read window, so reads are
+		// bounded generously and idle keep-alives are reaped.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
@@ -378,7 +412,7 @@ func serveListener(ctx context.Context, l net.Listener, svc *serve.Service, grac
 	return nil
 }
 
-func runServer(addr, debugAddr string, cfg serve.Config) error {
+func runServer(addr, debugAddr, recordDir string, cfg serve.Config) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -388,10 +422,23 @@ func runServer(addr, debugAddr string, cfg serve.Config) error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		dsrv := &http.Server{Handler: newDebugMux()}
+		dsrv := &http.Server{
+			Handler:           newDebugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() { _ = dsrv.Serve(dl) }()
 		defer dsrv.Close()
 		fmt.Fprintf(os.Stderr, "tracevmd: pprof on %s\n", dl.Addr())
+	}
+	var rec *replay.Recorder
+	if recordDir != "" {
+		if err := os.MkdirAll(recordDir, 0o755); err != nil {
+			return fmt.Errorf("record dir: %w", err)
+		}
+		rec = replay.NewRecorder()
+		cfg.Recorder = rec
 	}
 	svc := serve.New(cfg)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -400,6 +447,50 @@ func runServer(addr, debugAddr string, cfg serve.Config) error {
 	if err := serveListener(ctx, l, svc, 30*time.Second); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if rec != nil && rec.Len() > 0 {
+		path := filepath.Join(recordDir,
+			"traffic-"+time.Now().UTC().Format("20060102T150405Z")+replay.FileExt)
+		if err := rec.Save(path); err != nil {
+			return fmt.Errorf("saving traffic log: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "tracevmd: recorded %d requests to %s\n", rec.Len(), path)
+	}
+	return nil
+}
+
+// runReplay re-offers a recorded traffic log against a running daemon, the
+// client-side mirror of serve.(*Service).Replay.
+func runReplay(addr, path string, pace float64, inflight int) error {
+	l, err := replay.Load(path)
+	if err != nil {
+		return err
+	}
+	baseURL := addr
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	run := httpRunner(http.DefaultClient, baseURL)
+	fmt.Fprintf(os.Stderr, "tracevmd: replaying %d requests (%d programs, recorded span %v) against %s\n",
+		len(l.Records), len(l.Programs()), l.Duration().Round(time.Millisecond), baseURL)
+	res, err := replay.Play(context.Background(), l, replay.PlayOptions{Scale: pace, MaxInFlight: inflight},
+		func(ctx context.Context, rec replay.Record) error {
+			_, rerr := run(ctx, serve.RequestFromRecord(rec))
+			return rerr
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted:   %d\n", res.Submitted)
+	fmt.Printf("completed:   %d\n", res.Completed)
+	fmt.Printf("failed:      %d\n", res.Failed)
+	fmt.Printf("wall:        %v\n", res.Wall.Round(time.Millisecond))
+	for _, e := range res.Errors {
+		fmt.Printf("error:       %s\n", e)
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d replayed requests failed", res.Failed, res.Submitted)
+	}
 	return nil
 }
 
@@ -407,10 +498,14 @@ func runServer(addr, debugAddr string, cfg serve.Config) error {
 func httpRunner(client *http.Client, baseURL string) serve.Runner {
 	return func(ctx context.Context, req serve.Request) (*serve.Response, error) {
 		wire := api.RunRequest{
-			Workload: req.Workload,
-			Source:   req.Source,
-			Mode:     req.Mode.String(),
-			MaxSteps: req.MaxSteps,
+			Workload:  req.Workload,
+			Source:    req.Source,
+			Mode:      req.Mode.String(),
+			Threshold: req.Threshold,
+			Delay:     req.StartDelay,
+			Decay:     req.DecayInterval,
+			MaxSteps:  req.MaxSteps,
+			TimeoutMs: req.Timeout.Milliseconds(),
 		}
 		if req.Kind == serve.KindJasm {
 			wire.Kind = "jasm"
@@ -450,7 +545,7 @@ func httpRunner(client *http.Client, baseURL string) serve.Runner {
 }
 
 func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string, retries int,
-	skew, hot, writes float64, seed uint64) error {
+	skew, hot, writes float64, seed uint64, recordPath string) error {
 	mode, err := api.ParseMode(modeStr)
 	if err != nil {
 		return err
@@ -477,7 +572,16 @@ func runLoadgen(addr string, conc, requests int, workloadsCSV, modeStr string, r
 	if retries > 1 {
 		cfg.Retry = &serve.Backoff{Attempts: retries, Seed: seed}
 	}
+	if recordPath != "" {
+		cfg.Recorder = replay.NewRecorder()
+	}
 	res := serve.RunLoadGen(context.Background(), cfg, httpRunner(http.DefaultClient, baseURL))
+	if cfg.Recorder != nil {
+		if err := cfg.Recorder.Save(recordPath); err != nil {
+			return fmt.Errorf("saving traffic log: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "tracevmd: recorded %d requests to %s\n", cfg.Recorder.Len(), recordPath)
+	}
 	fmt.Printf("requests:    %d\n", res.Requests)
 	fmt.Printf("completed:   %d\n", res.Completed)
 	fmt.Printf("failed:      %d (rejected %d)\n", res.Failed, res.Rejected)

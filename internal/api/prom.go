@@ -49,6 +49,7 @@ func WriteMetrics(w io.Writer, snap serve.Snapshot) error {
 	pw.counter("tracevm_compile_errors_total", "requests whose program failed to compile", float64(snap.CompileErrors))
 	pw.counter("tracevm_programs_rejected_total", "requests whose program failed bytecode verification", float64(snap.ProgramsRejected))
 	pw.counter("tracevm_quarantined_requests_total", "requests refused because the program is quarantined", float64(snap.Quarantined))
+	pw.counter("tracevm_requests_recorded_total", "submissions captured by the record/replay tap", float64(snap.RecordedRequests))
 
 	// Breaker accounting and current states.
 	pw.counter("tracevm_breaker_trips_total", "churn breaker transitions into open", float64(snap.BreakerTrips))

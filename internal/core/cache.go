@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
+	"repro/internal/faultinject/crash"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stats"
@@ -552,6 +553,9 @@ func (c *Cache) evict(t *trace.Trace) {
 	}
 	c.retire(t)
 	c.ctr.TracesEvicted++
+	// Crash point: the victim is gone but the budget pass may not be done —
+	// eviction is pure memory shedding, so dying here must lose nothing.
+	crash.Here(crash.PointEviction)
 }
 
 // Dump renders the cache contents for diagnostics.

@@ -3,10 +3,13 @@ package faultinject
 import (
 	"context"
 	"errors"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replay"
 	"repro/internal/serve"
 )
 
@@ -23,32 +26,58 @@ func newService(t *testing.T, cfg serve.Config) *serve.Service {
 	return s
 }
 
-// TestStormRespectsBudgetsAndInvariants drives the cache with a signal
-// storm under tight budgets: every injection must leave the cache
-// structurally sound and inside its block budget, and the pressure must
-// show up as evictions in the counters.
+// TestStormRespectsBudgetsAndInvariants replays the head of the committed
+// mixed-tenant traffic fixture (internal/replay/testdata) into a service
+// under an injected signal storm with tight cache budgets: recorded
+// production-shaped traffic, not a synthetic loop, must leave the cache
+// structurally sound and inside its block budget after every injection, and
+// the pressure must show up as evictions in the counters. The head (not the
+// full 54-record storm) bounds the race-detector runtime of the chaos job.
 func TestStormRespectsBudgetsAndInvariants(t *testing.T) {
 	storm := &Storm{Seed: 7}
 	storm.SetEnabled(true)
 	const maxBlocks = 48
 	s := newService(t, serve.Config{
 		Workers:    2,
+		QueueDepth: 8,
 		TraceCache: core.Config{MaxTraces: 4, MaxCachedBlocks: maxBlocks},
 		Injector:   &Faults{Storm: storm},
 	})
 	saveArtifactsOnFailure(t, s)
-	req := serve.Request{Source: loopSource, Mode: core.ModeProfile}
-	for i := 0; i < 6; i++ {
-		resp, err := s.Do(context.Background(), req)
-		if err != nil {
-			t.Fatalf("run %d: %v", i, err)
-		}
-		if resp.Output != loopOutput {
-			t.Fatalf("run %d output = %q, want %q", i, resp.Output, loopOutput)
-		}
-		if resp.CachedBlocks > maxBlocks {
-			t.Fatalf("run %d: %d cached blocks exceed budget %d", i, resp.CachedBlocks, maxBlocks)
-		}
+
+	full, err := replay.Load(filepath.Join("..", "replay", "testdata", "storm-mixed"+replay.FileExt))
+	if err != nil {
+		t.Fatalf("loading committed fixture: %v", err)
+	}
+	head := &replay.Log{Records: full.Records[:16]}
+	if len(head.Programs()) < 4 {
+		t.Fatalf("fixture head covers %d programs, want a mixed-tenant slice", len(head.Programs()))
+	}
+
+	var overBudget atomic.Int64
+	res, err := replay.Play(context.Background(), head,
+		// As-recorded pacing keeps the tenants overlapping the way they were
+		// captured; in-flight stays below workers+queue so backpressure never
+		// refuses a recorded request.
+		replay.PlayOptions{Scale: 1, MaxInFlight: 4},
+		func(ctx context.Context, rec replay.Record) error {
+			resp, derr := s.Do(ctx, serve.RequestFromRecord(rec))
+			if derr != nil {
+				return derr
+			}
+			if resp.CachedBlocks > maxBlocks {
+				overBudget.Add(1)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("replaying fixture: %v", err)
+	}
+	if res.Failed > 0 {
+		t.Fatalf("%d recorded requests failed under storm (first: %v)", res.Failed, res.Errors)
+	}
+	if n := overBudget.Load(); n != 0 {
+		t.Fatalf("%d runs exceeded the %d-block cache budget", n, maxBlocks)
 	}
 	if v := storm.Violations(); v != 0 {
 		t.Fatalf("%d invariant violations under storm: %v", v, storm.Err())

@@ -1,0 +1,101 @@
+// Package crash provides named, environment-armed crash points: designated
+// sites in the daemon where the process hard-exits mid-operation, so the
+// recovery harness can kill it at a precise moment — just after a snapshot
+// commit, in the middle of an epoch merge, during a trace eviction — instead
+// of at whatever instant a SIGKILL happens to land.
+//
+// Arming is per process via the environment:
+//
+//	TRACEVM_CRASH_POINT=snapshot-commit   # which point fires
+//	TRACEVM_CRASH_AFTER=3                 # on the nth hit (default 1)
+//
+// A fired point exits with no unwinding — no deferred cleanup, no flushes —
+// so everything not already durable is lost, exactly like a kill -9 at that
+// line. Unarmed (the production default), a crash point costs one atomic
+// load. The package sits below everything (stdlib only) so any layer —
+// core's eviction path, serve's snapshot writer — may declare a point
+// without import cycles.
+package crash
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// The named crash points wired into the daemon.
+const (
+	// PointSnapshotCommit fires immediately after a profile snapshot is
+	// durably committed — recovery must see the committed file.
+	PointSnapshotCommit = "snapshot-commit"
+	// PointEpochMerge fires inside an epoch merge, after shard state has been
+	// absorbed but before the merged view is published.
+	PointEpochMerge = "epoch-merge"
+	// PointEviction fires after a trace-cache eviction retires its victim.
+	PointEviction = "eviction"
+)
+
+// ExitCode is the process exit status of a fired crash point, distinct from
+// every ordinary daemon exit so supervisors can tell an injected crash from
+// a real failure.
+const ExitCode = 86
+
+var (
+	armedPoint atomic.Pointer[string]
+	remaining  atomic.Int64
+
+	// exit is swapped out by tests that verify arming semantics in-process.
+	exit = os.Exit
+)
+
+func init() {
+	ArmFromEnv()
+}
+
+// ArmFromEnv (re)arms from TRACEVM_CRASH_POINT / TRACEVM_CRASH_AFTER. It runs
+// automatically at init; tests that mutate the environment may call it again.
+func ArmFromEnv() {
+	point := os.Getenv("TRACEVM_CRASH_POINT")
+	after := 1
+	if s := os.Getenv("TRACEVM_CRASH_AFTER"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			after = n
+		}
+	}
+	Arm(point, after)
+}
+
+// Arm sets the live crash point programmatically: the process exits on the
+// after-th Here(point). An empty point disarms.
+func Arm(point string, after int) {
+	if point == "" {
+		armedPoint.Store(nil)
+		return
+	}
+	remaining.Store(int64(after))
+	armedPoint.Store(&point)
+}
+
+// Armed reports the live crash point, if any.
+func Armed() (point string, ok bool) {
+	p := armedPoint.Load()
+	if p == nil {
+		return "", false
+	}
+	return *p, true
+}
+
+// Here declares a crash point. If the process is armed for name and this is
+// the configured hit, the process exits immediately with ExitCode.
+func Here(name string) {
+	p := armedPoint.Load()
+	if p == nil || *p != name {
+		return
+	}
+	if remaining.Add(-1) != 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "crash: injected hard exit at point %q\n", name)
+	exit(ExitCode)
+}

@@ -1,0 +1,71 @@
+package crash
+
+import (
+	"testing"
+)
+
+func swapExit(t *testing.T) *[]int {
+	t.Helper()
+	var codes []int
+	old := exit
+	exit = func(code int) { codes = append(codes, code) }
+	t.Cleanup(func() {
+		exit = old
+		Arm("", 0)
+	})
+	return &codes
+}
+
+func TestUnarmedIsInert(t *testing.T) {
+	codes := swapExit(t)
+	Arm("", 0)
+	for i := 0; i < 100; i++ {
+		Here(PointSnapshotCommit)
+		Here(PointEpochMerge)
+	}
+	if len(*codes) != 0 {
+		t.Fatalf("unarmed crash point fired: %v", *codes)
+	}
+	if p, ok := Armed(); ok {
+		t.Fatalf("Armed() = %q after disarm", p)
+	}
+}
+
+func TestFiresOnNthHit(t *testing.T) {
+	codes := swapExit(t)
+	Arm(PointEpochMerge, 3)
+	if p, ok := Armed(); !ok || p != PointEpochMerge {
+		t.Fatalf("Armed() = %q, %v", p, ok)
+	}
+	Here(PointSnapshotCommit) // other points never count
+	Here(PointEpochMerge)
+	Here(PointEpochMerge)
+	if len(*codes) != 0 {
+		t.Fatalf("fired before the 3rd hit: %v", *codes)
+	}
+	Here(PointEpochMerge)
+	if len(*codes) != 1 || (*codes)[0] != ExitCode {
+		t.Fatalf("exit codes = %v, want [%d]", *codes, ExitCode)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	codes := swapExit(t)
+	t.Setenv("TRACEVM_CRASH_POINT", PointEviction)
+	t.Setenv("TRACEVM_CRASH_AFTER", "2")
+	ArmFromEnv()
+	Here(PointEviction)
+	if len(*codes) != 0 {
+		t.Fatalf("fired on first hit with AFTER=2")
+	}
+	Here(PointEviction)
+	if len(*codes) != 1 {
+		t.Fatalf("did not fire on second hit")
+	}
+
+	t.Setenv("TRACEVM_CRASH_POINT", "")
+	ArmFromEnv()
+	if _, ok := Armed(); ok {
+		t.Fatal("empty env left the point armed")
+	}
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/replay"
+	"repro/internal/serve"
+)
+
+// ReplayProgramCounts are the per-program counters a deterministic replay
+// must reproduce exactly: how often the program ran and what its runs did.
+type ReplayProgramCounts struct {
+	Runs            int64 `json:"runs"`
+	Instrs          int64 `json:"instrs"`
+	BlockDispatches int64 `json:"block_dispatches"`
+	TraceDispatches int64 `json:"trace_dispatches"`
+	TracesBuilt     int64 `json:"traces_built"`
+}
+
+// ReplayVerifyReport is the outcome of replaying one traffic log repeatedly
+// against fresh services.
+type ReplayVerifyReport struct {
+	Records  int `json:"records"`
+	Programs int `json:"programs"`
+	Rounds   int `json:"rounds"`
+	// Deterministic is true when every round produced identical per-program
+	// counts; Divergence describes the first mismatch otherwise.
+	Deterministic bool   `json:"deterministic"`
+	Divergence    string `json:"divergence,omitempty"`
+	// PerProgram holds round one's counts (the reference).
+	PerProgram map[string]ReplayProgramCounts `json:"per_program"`
+}
+
+// VerifyReplayDeterminism replays the log `rounds` times, each against a
+// fresh service, and checks that every round reproduces identical
+// per-program run and dispatch counters — the property that makes a recorded
+// storm a regression test. The service config is forced into its
+// deterministic shape: isolated per-request profilers (no epoch sharding,
+// whose merge points depend on worker interleaving), no snapshot
+// persistence (a warm start shifts block dispatches into trace dispatches),
+// and enough submission headroom that backpressure never refuses a request
+// in one round but not another. The caller's Workers/TraceCache settings are
+// honoured; the breaker should be left disabled (its cool-down probes are
+// wall-clock dependent).
+func VerifyReplayDeterminism(ctx context.Context, l *replay.Log, rounds int, cfg serve.Config) (*ReplayVerifyReport, error) {
+	if len(l.Records) == 0 {
+		return nil, fmt.Errorf("harness: empty traffic log")
+	}
+	if rounds < 2 {
+		rounds = 2
+	}
+	cfg.EpochRuns = -1
+	cfg.SnapshotDir = ""
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	opts := replay.PlayOptions{
+		Scale: 0, // max speed: determinism must not depend on pacing
+		// Never submit more than the pool can hold, so no round sees a
+		// backpressure refusal the others don't.
+		MaxInFlight: cfg.Workers + cfg.QueueDepth,
+	}
+
+	rep := &ReplayVerifyReport{
+		Records:       len(l.Records),
+		Programs:      len(l.Programs()),
+		Rounds:        rounds,
+		Deterministic: true,
+	}
+	for round := 1; round <= rounds; round++ {
+		svc := serve.New(cfg)
+		res, err := svc.Replay(ctx, l, opts)
+		counts := collectReplayCounts(svc)
+		svc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("harness: replay round %d: %w", round, err)
+		}
+		if res.Failed > 0 {
+			return nil, fmt.Errorf("harness: replay round %d: %d requests failed (first: %v)",
+				round, res.Failed, res.Errors)
+		}
+		if round == 1 {
+			rep.PerProgram = counts
+			continue
+		}
+		if diff := diffReplayCounts(rep.PerProgram, counts); diff != "" {
+			rep.Deterministic = false
+			rep.Divergence = fmt.Sprintf("round %d vs round 1: %s", round, diff)
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
+func collectReplayCounts(svc *serve.Service) map[string]ReplayProgramCounts {
+	out := make(map[string]ReplayProgramCounts)
+	for name, ps := range svc.Stats().PerProgram {
+		out[name] = ReplayProgramCounts{
+			Runs:            ps.Runs,
+			Instrs:          ps.Counters.Instrs,
+			BlockDispatches: ps.Counters.BlockDispatches,
+			TraceDispatches: ps.Counters.TraceDispatches,
+			TracesBuilt:     ps.Counters.TracesBuilt,
+		}
+	}
+	return out
+}
+
+func diffReplayCounts(a, b map[string]ReplayProgramCounts) string {
+	names := make(map[string]bool, len(a)+len(b))
+	for n := range a {
+		names[n] = true
+	}
+	for n := range b {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		ca, oka := a[n]
+		cb, okb := b[n]
+		if !oka || !okb {
+			return fmt.Sprintf("program %q ran in one round but not the other", n)
+		}
+		if ca != cb {
+			return fmt.Sprintf("program %q: %+v != %+v", n, ca, cb)
+		}
+	}
+	return ""
+}

@@ -78,6 +78,9 @@ const (
 	// profiler shards into a fresh globally derived view. Val is the merged
 	// graph's node count.
 	EvEpochMerge
+	// EvSnapshotQuarantined: the startup scrub moved a corrupt snapshot file
+	// to its .corrupt sidecar. Val is the file size in bytes.
+	EvSnapshotQuarantined
 
 	numEventTypes
 )
@@ -94,10 +97,11 @@ var eventTypeNames = [numEventTypes]string{
 	EvQueueSaturated: "queue-saturated",
 	EvDemoted:        "demoted",
 
-	EvSnapshotSaved:    "snapshot-saved",
-	EvSnapshotLoaded:   "snapshot-loaded",
-	EvSnapshotRejected: "snapshot-rejected",
-	EvEpochMerge:       "epoch-merge",
+	EvSnapshotSaved:       "snapshot-saved",
+	EvSnapshotLoaded:      "snapshot-loaded",
+	EvSnapshotRejected:    "snapshot-rejected",
+	EvEpochMerge:          "epoch-merge",
+	EvSnapshotQuarantined: "snapshot-quarantined",
 }
 
 func (t EventType) String() string {

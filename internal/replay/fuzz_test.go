@@ -1,0 +1,34 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzReplayDecodeNeverPanics asserts the codec's core safety property:
+// Decode never panics on arbitrary input, and anything it accepts re-encodes
+// and re-decodes to the identical log (decode∘encode is idempotent), matching
+// the contract of the snapshot codec's fuzz target.
+func FuzzReplayDecodeNeverPanics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("tracevm/replay/v1\n"))
+	f.Add([]byte("tracevm/replay/v9\nxxxx"))
+	f.Add(Encode(&Log{}))
+	f.Add(Encode(sampleLog()))
+	f.Add(Encode(FixtureStormLog()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(l)
+		l2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted log failed: %v", err)
+		}
+		if !reflect.DeepEqual(normalize(l), normalize(l2)) {
+			t.Fatalf("decode∘encode not idempotent:\n first %+v\nsecond %+v", l, l2)
+		}
+	})
+}

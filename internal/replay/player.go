@@ -1,0 +1,119 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PlayOptions controls replay pacing and concurrency.
+type PlayOptions struct {
+	// Scale multiplies every recorded arrival delta: 1 replays as recorded,
+	// 0 replays at maximum speed, 0.5 at double speed, 2 at half speed.
+	Scale float64
+	// MaxInFlight bounds concurrently outstanding submissions (<= 0 means
+	// DefaultMaxInFlight). Pacing is governed by arrival deltas; the bound
+	// only stops a slow service from accumulating unbounded goroutines.
+	MaxInFlight int
+}
+
+// DefaultMaxInFlight is the submission-concurrency bound when PlayOptions
+// leaves it unset.
+const DefaultMaxInFlight = 16
+
+// PlayResult summarizes one replay run.
+type PlayResult struct {
+	Submitted int64
+	Completed int64
+	Failed    int64
+	// Errors holds the first few failure messages, for reporting.
+	Errors []string
+	// Wall is the elapsed replay time.
+	Wall time.Duration
+}
+
+const maxErrorSamples = 8
+
+// Play re-offers every record of the log through emit, honoring recorded
+// arrival gaps scaled by opts.Scale. Submissions run concurrently (bounded by
+// opts.MaxInFlight) exactly as independent clients would; Play returns once
+// every submission has completed or ctx is cancelled mid-pacing. A non-nil
+// error from emit counts as a failure but does not stop the replay — a log
+// may legitimately contain traffic the service refuses under backpressure.
+func Play(ctx context.Context, l *Log, opts PlayOptions, emit func(context.Context, Record) error) (PlayResult, error) {
+	if emit == nil {
+		return PlayResult{}, fmt.Errorf("replay: nil emit function")
+	}
+	if opts.Scale < 0 {
+		return PlayResult{}, fmt.Errorf("replay: negative pacing scale %v", opts.Scale)
+	}
+	inflight := opts.MaxInFlight
+	if inflight <= 0 {
+		inflight = DefaultMaxInFlight
+	}
+
+	var (
+		res   PlayResult
+		errMu sync.Mutex
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, inflight)
+		timer *time.Timer
+	)
+	start := time.Now()
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	for i := range l.Records {
+		rec := l.Records[i]
+		if d := time.Duration(float64(rec.Delta) * opts.Scale); d > 0 {
+			if timer == nil {
+				timer = time.NewTimer(d)
+			} else {
+				timer.Reset(d)
+			}
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				wg.Wait()
+				res.Wall = time.Since(start)
+				return res, ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			wg.Wait()
+			res.Wall = time.Since(start)
+			return res, ctx.Err()
+		}
+
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			res.Wall = time.Since(start)
+			return res, ctx.Err()
+		}
+		atomic.AddInt64(&res.Submitted, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := emit(ctx, rec); err != nil {
+				atomic.AddInt64(&res.Failed, 1)
+				errMu.Lock()
+				if len(res.Errors) < maxErrorSamples {
+					res.Errors = append(res.Errors, err.Error())
+				}
+				errMu.Unlock()
+				return
+			}
+			atomic.AddInt64(&res.Completed, 1)
+		}()
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestPlayMaxSpeed(t *testing.T) {
+	l := FixtureStormLog()
+	var n int64
+	res, err := Play(context.Background(), l, PlayOptions{Scale: 0}, func(ctx context.Context, r Record) error {
+		atomic.AddInt64(&n, 1)
+		if r.Kind == RefWorkload && r.Workload == "soot" {
+			return errors.New("refused")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Play: %v", err)
+	}
+	if res.Submitted != int64(len(l.Records)) || n != res.Submitted {
+		t.Fatalf("submitted %d emits %d, want %d", res.Submitted, n, len(l.Records))
+	}
+	if res.Completed+res.Failed != res.Submitted {
+		t.Fatalf("completed %d + failed %d != submitted %d", res.Completed, res.Failed, res.Submitted)
+	}
+	if res.Failed == 0 || len(res.Errors) == 0 {
+		t.Fatal("emit errors were not counted")
+	}
+}
+
+func TestPlayRespectsContext(t *testing.T) {
+	l := &Log{Records: []Record{
+		{Kind: RefWorkload, Workload: "compress", Mode: core.ModeTrace},
+		{Kind: RefWorkload, Workload: "compress", Mode: core.ModeTrace, Delta: time.Hour},
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res PlayResult
+	var err error
+	go func() {
+		defer close(done)
+		res, err = Play(ctx, l, PlayOptions{Scale: 1}, func(context.Context, Record) error { return nil })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Play did not return after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Submitted != 1 {
+		t.Fatalf("submitted %d before the hour-long gap, want 1", res.Submitted)
+	}
+}
+
+func TestPlayRejectsBadOptions(t *testing.T) {
+	if _, err := Play(context.Background(), &Log{}, PlayOptions{}, nil); err == nil {
+		t.Fatal("nil emit accepted")
+	}
+	if _, err := Play(context.Background(), &Log{}, PlayOptions{Scale: -1}, func(context.Context, Record) error { return nil }); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}

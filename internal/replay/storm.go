@@ -1,0 +1,104 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// FixtureStormLog builds the committed mixed-tenant storm: four built-in
+// workloads and two inline MiniJava tenants interleaved pseudo-randomly with
+// millisecond-scale arrival gaps, mostly in trace mode with profile and
+// plain requests mixed in. The generator is fully deterministic (a fixed
+// splitmix64 stream, no clocks), so testdata/storm-mixed.trlog is pinned
+// byte-for-byte against it — regenerate with
+//
+//	go test ./internal/replay -run TestFixturePinned -update
+func FixtureStormLog() *Log {
+	type tenant struct {
+		kind     uint8
+		ref      string
+		modes    []core.Mode
+		maxSteps int64
+	}
+	tenants := []tenant{
+		{RefWorkload, "compress", []core.Mode{core.ModeTrace, core.ModeTrace, core.ModeProfile}, 0},
+		{RefWorkload, "scimark", []core.Mode{core.ModeTrace, core.ModeTrace, core.ModePlain}, 0},
+		{RefWorkload, "mpegaudio", []core.Mode{core.ModeTrace, core.ModeProfile}, 0},
+		{RefWorkload, "soot", []core.Mode{core.ModeTrace}, 0},
+		{RefMiniJava, fixtureLoopSource, []core.Mode{core.ModeTrace, core.ModeTrace, core.ModePlain}, 0},
+		{RefMiniJava, fixtureBranchSource, []core.Mode{core.ModeTrace, core.ModeProfile}, 0},
+	}
+
+	const records = 54
+	rng := splitmix64(0x5707201e) // fixed stream pins the fixture
+	l := &Log{Records: make([]Record, 0, records)}
+	for i := 0; i < records; i++ {
+		t := tenants[int(rng.next()%uint64(len(tenants)))]
+		mode := t.modes[int(rng.next()%uint64(len(t.modes)))]
+		rec := Record{
+			Kind:     t.kind,
+			Mode:     mode,
+			MaxSteps: t.maxSteps,
+			Seed:     rng.next(),
+			// 0–15 ms gaps: dense enough that a small worker pool sees
+			// overlapping tenants, short enough for as-recorded CI replay.
+			Delta: time.Duration(rng.next()%16) * time.Millisecond,
+		}
+		if t.kind == RefWorkload {
+			rec.Workload = t.ref
+		} else {
+			rec.Source = t.ref
+		}
+		if i == 0 {
+			rec.Delta = 0
+		}
+		l.Records = append(l.Records, rec)
+	}
+	return l
+}
+
+// fixtureLoopSource is a hot single-loop tenant: one dominant trace.
+const fixtureLoopSource = `class Main {
+    static void main() {
+        int i = 0;
+        int s = 0;
+        while (i < 2000) {
+            s = s + i;
+            i = i + 1;
+        }
+        Sys.printlnInt(s);
+    }
+}`
+
+// fixtureBranchSource alternates branch directions, exercising the branch
+// correlation profiler with a less predictable stream than the loop tenant.
+const fixtureBranchSource = `class Main {
+    static void main() {
+        int i = 0;
+        int even = 0;
+        int odd = 0;
+        while (i < 1500) {
+            if (i - i / 2 * 2 == 0) {
+                even = even + 1;
+            } else {
+                odd = odd + i;
+            }
+            i = i + 1;
+        }
+        Sys.printlnInt(even);
+        Sys.printlnInt(odd);
+    }
+}`
+
+// splitmix64 is the same generator faultinject uses for chaos scheduling,
+// duplicated here because importing faultinject would cycle through serve.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	x := uint64(*s)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

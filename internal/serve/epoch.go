@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/faultinject/crash"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/snapshot"
@@ -195,6 +196,10 @@ func (ec *epochCoordinator) merge(set *shardSet, wait bool) *snapshot.Snapshot {
 	if absorbed == 0 {
 		return nil
 	}
+	// Crash point: shard history absorbed but the merged view not yet
+	// published — recovery must tolerate dying mid-merge with the previous
+	// epoch's state still current.
+	crash.Here(crash.PointEpochMerge)
 	merged.DeriveStates()
 	snap := merged.ExportSnapshot(set.key, set.name)
 	set.mu.Lock()

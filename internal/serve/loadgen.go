@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replay"
 	"repro/internal/workload"
 )
 
@@ -59,6 +60,11 @@ type LoadGenConfig struct {
 	// Seed makes the Skew/HotRatio/WriteFrac draws deterministic; each
 	// client goroutine derives an independent stream from it (default 1).
 	Seed uint64
+	// Recorder, when non-nil, captures every generated request as it is
+	// issued, so a load-generation run doubles as a traffic-log author. When
+	// the generator drives a remote daemon this is the only tap: the client
+	// side sees the offered stream, whatever the server makes of it.
+	Recorder *replay.Recorder
 }
 
 // LoadGenResult summarizes a load-generation run.
@@ -141,6 +147,11 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig, run Runner) LoadGenResul
 					Workload: name,
 					Mode:     mode,
 					MaxSteps: cfg.MaxSteps,
+				}
+				if cfg.Recorder != nil {
+					rec := RecordFromRequest(req, "")
+					rec.Seed = seed + uint64(c)
+					_ = cfg.Recorder.Record(rec)
 				}
 				var resp *Response
 				var err error

@@ -88,6 +88,10 @@ type Snapshot struct {
 	RegistryHits   int64
 	RegistryMisses int64
 
+	// RecordedRequests is the number of submissions captured by the
+	// record/replay tap (0 when Config.Recorder is unset).
+	RecordedRequests int64
+
 	// Profile-persistence state (zero when Config.SnapshotDir is unset):
 	// programs holding a warm snapshot, and programs whose learning deltas
 	// await the coalescing writer's next commit.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/replay"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -82,6 +83,10 @@ type Config struct {
 	// signals, trace builds and retirements) that forces a commit before the
 	// interval elapses — the coalescing net threshold (default 512).
 	SnapshotNet int64
+	// Recorder, when non-nil, receives every resolved submission as a
+	// replay.Record — the record/replay tap. Refused requests (backpressure)
+	// are recorded too: the log is a transcript of offered traffic.
+	Recorder *replay.Recorder
 	// EpochRuns is the epoch length of the sharded profiling path. Every
 	// worker owns a private BCG profiler per program (a shard) whose learned
 	// state persists across that worker's requests, and the epoch coordinator
@@ -363,6 +368,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*Response, error) {
 		s.agg.quarantined()
 		return nil, fmt.Errorf("serve: program %q: %w", comp.Name, ErrQuarantined)
 	}
+	s.record(req, comp.Key)
 	timeout := req.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -436,6 +442,7 @@ func (s *Service) Stats() Snapshot {
 	}
 	snap.Programs = s.reg.Len()
 	snap.RegistryHits, snap.RegistryMisses = s.reg.HitsMisses()
+	snap.RecordedRequests = int64(s.cfg.Recorder.Len())
 	s.mu.RLock()
 	snap.Draining = s.closed
 	s.mu.RUnlock()

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject/crash"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
@@ -95,8 +96,31 @@ func newSnapStore(dir string, interval time.Duration, net int64, ring *obs.Ring)
 		stopped:  make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	st.scrub()
 	go st.flushLoop()
 	return st
+}
+
+// scrub is the self-healing startup pass: before the store trusts a snapshot
+// directory the process may have crashed over, every .tsnap file is
+// decode-validated and corrupt ones are quarantined to .corrupt sidecars —
+// a poisoned file must cost one counter bump and an event, never a failed
+// warm start or silently loaded garbage.
+func (st *snapStore) scrub() {
+	rep, err := snapshot.ScrubDir(st.dir, true)
+	if err != nil {
+		return // an unreadable directory will surface on the first lookup
+	}
+	for _, f := range rep.Corrupt {
+		st.journal.Quarantined()
+		var size int64
+		if f.Quarantined != "" {
+			if fi, err := os.Stat(f.Quarantined); err == nil {
+				size = fi.Size()
+			}
+		}
+		st.emit(obs.EvSnapshotQuarantined, filepath.Base(f.Path), size)
+	}
 }
 
 // validKey accepts only registry-style content-hash keys as file name
@@ -360,6 +384,9 @@ func (st *snapStore) flush(thresholdOnly, wait bool) {
 			requeue(w.key, w.delta)
 			continue
 		}
+		// Crash point: the commit is durable but unaccounted — restart must
+		// warm-start from exactly this file.
+		crash.Here(crash.PointSnapshotCommit)
 		st.journal.Saved()
 		st.emit(obs.EvSnapshotSaved, w.name, int64(len(snap.Nodes)))
 	}

@@ -215,6 +215,49 @@ func TestInstallAndFetchSnapshot(t *testing.T) {
 	}
 }
 
+// TestStartupScrubQuarantinesCorruptSnapshot: a bit-flipped .tsnap in the
+// snapshot directory is moved to a .corrupt sidecar at service construction,
+// counted, and the service stays fully functional — the poisoned program
+// simply runs cold while an intact neighbor still warm-starts.
+func TestStartupScrubQuarantinesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := New(Config{Workers: 1, SnapshotDir: dir})
+	key := runLoop(t, s1, Request{}).Key
+	s1.Close()
+
+	victim := filepath.Join(dir, key+snapExt)
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestService(t, Config{Workers: 1, SnapshotDir: dir})
+	if q := s2.Stats().Global.SnapshotsQuarantined; q != 1 {
+		t.Fatalf("SnapshotsQuarantined = %d, want 1", q)
+	}
+	if _, err := os.Stat(victim + snapshot.CorruptExt); err != nil {
+		t.Errorf("no .corrupt sidecar: %v", err)
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Error("corrupt file still visible to loaders")
+	}
+
+	// The service is healthy: the program runs (cold) and learns again.
+	resp := runLoop(t, s2, Request{})
+	if resp.Counters.SnapshotsLoaded != 0 || resp.Counters.NodesSeededFromSnapshot != 0 {
+		t.Errorf("run seeded from a quarantined snapshot: loaded=%d seeded=%d",
+			resp.Counters.SnapshotsLoaded, resp.Counters.NodesSeededFromSnapshot)
+	}
+	if resp.Counters.TracesBuilt == 0 {
+		t.Error("post-quarantine run learned nothing")
+	}
+}
+
 // TestSnapshotDisabled: without a snapshot dir the service reports the
 // feature off and runs stay cold.
 func TestSnapshotDisabled(t *testing.T) {

@@ -19,14 +19,20 @@ func Load(path string) (*Snapshot, error) {
 	return Decode(data)
 }
 
-// WriteAtomic commits bytes via a same-directory temp file and rename, so a
-// crash mid-write never leaves a torn snapshot where a loader can see it.
+// WriteAtomic commits bytes via a same-directory temp file, fsync, and
+// rename, then fsyncs the parent directory. A crash mid-write never leaves a
+// torn snapshot where a loader can see it, and a power cut after return
+// cannot lose the rename — the commit is durable, not merely atomic.
 func WriteAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tsnap-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tsnap-*")
 	if err != nil {
 		return err
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -39,5 +45,18 @@ func WriteAtomic(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power loss.
+// Filesystems that refuse directory fsync (it is optional in POSIX) don't
+// make the commit any less atomic, so those errors are not fatal.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
 	return nil
 }

@@ -1,0 +1,91 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeScrubFixture(t *testing.T, dir string) (good, bad, tmp string) {
+	t.Helper()
+	s := sample()
+	good = filepath.Join(dir, "good.tsnap")
+	if err := Save(good, s); err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(s)
+	data[len(data)/2] ^= 0x20 // single bit flip deep in the payload
+	bad = filepath.Join(dir, "bad.tsnap")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp = filepath.Join(dir, ".tsnap-12345")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return good, bad, tmp
+}
+
+func TestScrubDirQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	good, bad, tmp := writeScrubFixture(t, dir)
+
+	rep, err := ScrubDir(dir, true)
+	if err != nil {
+		t.Fatalf("ScrubDir: %v", err)
+	}
+	if rep.Scanned != 2 || rep.Valid != 1 || len(rep.Corrupt) != 1 || rep.TempsRemoved != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	f := rep.Corrupt[0]
+	if f.Path != bad || f.Quarantined != bad+CorruptExt {
+		t.Fatalf("finding = %+v", f)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Error("corrupt file still present under its load name")
+	}
+	if _, err := os.Stat(bad + CorruptExt); err != nil {
+		t.Errorf("sidecar missing: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("abandoned temp file survived the scrub")
+	}
+	if _, err := Load(good); err != nil {
+		t.Errorf("valid file no longer loads: %v", err)
+	}
+
+	// A second pass over the healed directory finds nothing wrong.
+	rep, err = ScrubDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 1 || rep.Valid != 1 || len(rep.Corrupt) != 0 {
+		t.Fatalf("second pass report = %+v", rep)
+	}
+}
+
+func TestScrubDirReportOnly(t *testing.T) {
+	dir := t.TempDir()
+	_, bad, _ := writeScrubFixture(t, dir)
+
+	rep, err := ScrubDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0].Quarantined != "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, err := os.Stat(bad); err != nil {
+		t.Errorf("report-only scrub moved the file: %v", err)
+	}
+}
+
+func TestScrubDirMissing(t *testing.T) {
+	rep, err := ScrubDir(filepath.Join(t.TempDir(), "nope"), true)
+	if err != nil {
+		t.Fatalf("missing dir: %v", err)
+	}
+	if rep.Scanned != 0 || len(rep.Corrupt) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

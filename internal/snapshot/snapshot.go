@@ -108,6 +108,13 @@ func (j *Journal) Rejected() {
 	j.mu.Unlock()
 }
 
+// Quarantined records one corrupt snapshot file moved aside by a scrub.
+func (j *Journal) Quarantined() {
+	j.mu.Lock()
+	j.ctr.SnapshotsQuarantined++
+	j.mu.Unlock()
+}
+
 // Counters returns a value copy of the journal's counters.
 func (j *Journal) Counters() stats.Counters {
 	j.mu.Lock()

@@ -52,6 +52,7 @@ type Counters struct {
 	SnapshotsSaved           int64 // snapshots committed to durable storage
 	SnapshotsLoaded          int64 // sessions seeded from a snapshot
 	SnapshotsRejected        int64 // snapshots refused (corrupt, wrong version, wrong program)
+	SnapshotsQuarantined     int64 // corrupt snapshot files moved aside by the startup scrub
 	NodesSeededFromSnapshot  int64 // BCG nodes restored by snapshot seeding
 	TracesSeededFromSnapshot int64 // traces re-registered by snapshot seeding
 }
@@ -162,6 +163,7 @@ func (c *Counters) Add(o *Counters) {
 	c.SnapshotsSaved += o.SnapshotsSaved
 	c.SnapshotsLoaded += o.SnapshotsLoaded
 	c.SnapshotsRejected += o.SnapshotsRejected
+	c.SnapshotsQuarantined += o.SnapshotsQuarantined
 	c.NodesSeededFromSnapshot += o.NodesSeededFromSnapshot
 	c.TracesSeededFromSnapshot += o.TracesSeededFromSnapshot
 }
