@@ -27,6 +27,9 @@
 //	                                     # measure fresh, exit 1 if the top
 //	                                     # worker count misses the core-aware
 //	                                     # speedup floor (3x at >= 4 CPUs)
+//	tracebench -valueflow-soundness      # differentially check every value-flow
+//	                                     # proof on all six workloads; exit 1
+//	                                     # on any false proof
 package main
 
 import (
@@ -75,6 +78,7 @@ func main() {
 	replayVerify := flag.String("replay-verify", "", "traffic log to replay repeatedly against fresh services; exits 1 if per-program counters diverge")
 	replayRounds := flag.Int("replay-rounds", 2, "replay rounds for -replay-verify")
 	replayWorkers := flag.Int("replay-workers", 4, "service workers per -replay-verify round")
+	vfSoundness := flag.Bool("valueflow-soundness", false, "differentially check every value-flow proof against dynamic execution on all workloads; exits 1 on any false proof")
 	flag.Parse()
 
 	s := harness.NewSuite()
@@ -90,6 +94,8 @@ func main() {
 
 	var err error
 	switch {
+	case *vfSoundness:
+		err = s.VerifyValueFlowSoundness(os.Stdout)
 	case *replayVerify != "":
 		err = runReplayVerify(os.Stdout, *replayVerify, *replayRounds, *replayWorkers)
 	case *scaleGate != "":

@@ -2,7 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,6 +12,10 @@ import (
 
 // run lints one source written to a temp file and returns (ok, output).
 func run(t *testing.T, name, src string, jsonOut bool) (bool, string) {
+	return runStrict(t, name, src, jsonOut, false)
+}
+
+func runStrict(t *testing.T, name, src string, jsonOut, strict bool) (bool, string) {
 	t.Helper()
 	dir := t.TempDir()
 	path := filepath.Join(dir, name)
@@ -21,7 +27,7 @@ func run(t *testing.T, name, src string, jsonOut bool) (bool, string) {
 		t.Fatal(err)
 	}
 	defer out.Close()
-	ok := lintFile(out, path, jsonOut, true)
+	ok := lintFile(out, path, jsonOut, true, strict)
 	data, err := os.ReadFile(out.Name())
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +99,159 @@ func TestLintJSONShape(t *testing.T) {
 	}
 	if res.OK || len(res.Report.Findings) != 1 || res.Report.Findings[0].Rule != "stack-underflow" {
 		t.Fatalf("unexpected JSON result: %+v", res)
+	}
+}
+
+func TestLintStrictPromotesUnreachableWarning(t *testing.T) {
+	// Dead code after an unconditional goto draws the warn-only
+	// unreachable-block finding: accepted by default, rejected under -strict.
+	src := `
+.class Main
+.method static main ( ) void
+    goto L
+    iconst 1
+    pop
+    return
+L:  return
+.end
+.end
+`
+	ok, out := runStrict(t, "dead.jasm", src, false, false)
+	if !ok {
+		t.Fatalf("warn-only finding rejected without -strict:\n%s", out)
+	}
+	if !strings.Contains(out, "unreachable-block") {
+		t.Fatalf("warning not printed:\n%s", out)
+	}
+	ok, out = runStrict(t, "dead.jasm", src, false, true)
+	if ok {
+		t.Fatalf("-strict accepted a program with unreachable-block warnings:\n%s", out)
+	}
+	if !strings.Contains(out, "unreachable-block") {
+		t.Fatalf("strict failure lost the finding:\n%s", out)
+	}
+	if strings.Contains(out, ": ok") {
+		t.Fatalf("strict failure still printed ok:\n%s", out)
+	}
+}
+
+func TestLintStrictExitCode(t *testing.T) {
+	// End-to-end exit-status check through the built binary: 0 without
+	// -strict, 1 with it, on the same warning-only input.
+	if testing.Short() {
+		t.Skip("builds the tracelint binary")
+	}
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "dead.jasm")
+	if err := os.WriteFile(prog, []byte(`
+.class Main
+.method static main ( ) void
+    goto L
+    iconst 1
+    pop
+    return
+L:  return
+.end
+.end
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "tracelint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, prog).CombinedOutput(); err != nil {
+		t.Fatalf("want exit 0 without -strict, got %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-strict", prog).CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("want exit 1 under -strict, got %v\n%s", err, out)
+	}
+}
+
+func TestLintValueFlowFacts(t *testing.T) {
+	// A branch on a known constant: the value-flow dump must report the
+	// decided branch, the arm it kills, and the program-level summary.
+	ok, out := run(t, "const.jasm", `
+.class Main
+.method static main ( ) void
+.locals 1
+    iconst 7
+    istore 0
+    iload 0
+    ifeq DEAD
+    return
+DEAD:
+    return
+.end
+.end
+.entry Main main
+`, false)
+	if !ok {
+		t.Fatalf("valid program rejected:\n%s", out)
+	}
+	if !strings.Contains(out, "decided branches at pc") {
+		t.Fatalf("missing decided-branch facts:\n%s", out)
+	}
+	if !strings.Contains(out, "unreachable blocks at pc") {
+		t.Fatalf("missing value-flow unreachable facts:\n%s", out)
+	}
+	if !strings.Contains(out, "value-flow:") {
+		t.Fatalf("missing value-flow summary:\n%s", out)
+	}
+}
+
+func TestLintValueFlowJSON(t *testing.T) {
+	ok, out := run(t, "const.jasm", `
+.class Main
+.method static main ( ) void
+.locals 1
+    iconst 7
+    istore 0
+    iload 0
+    ifeq DEAD
+    return
+DEAD:
+    return
+.end
+.end
+.entry Main main
+`, true)
+	if !ok {
+		t.Fatalf("valid program rejected:\n%s", out)
+	}
+	var res struct {
+		OK    bool `json:"ok"`
+		Facts []struct {
+			Method         string   `json:"method"`
+			DecidedPCs     []uint32 `json:"decidedBranchPCs"`
+			UnreachablePCs []uint32 `json:"unreachablePCs"`
+		} `json:"facts"`
+		ValueFlow *struct {
+			Decided     int  `json:"Decided"`
+			Unreachable int  `json:"Unreachable"`
+			Top         bool `json:"Top"`
+		} `json:"valueflow"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if !res.OK || res.ValueFlow == nil {
+		t.Fatalf("missing valueflow block: %+v\n%s", res, out)
+	}
+	if res.ValueFlow.Top || res.ValueFlow.Decided == 0 || res.ValueFlow.Unreachable == 0 {
+		t.Fatalf("unexpected valueflow stats: %+v", res.ValueFlow)
+	}
+	found := false
+	for _, mf := range res.Facts {
+		if len(mf.DecidedPCs) > 0 && len(mf.UnreachablePCs) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no method reported decided+unreachable PCs: %s", out)
 	}
 }
 

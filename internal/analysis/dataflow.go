@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"repro/internal/analysis/valueflow"
 	"repro/internal/bytecode"
 	"repro/internal/cfg"
 )
@@ -59,6 +60,15 @@ func (h *Hints) UniqueBlocks() []cfg.BlockID {
 // loop headers (back edges b→h where h dominates b), and static successor
 // classification.
 func ComputeHints(p *cfg.ProgramCFG) *Hints {
+	return ComputeHintsWithFacts(p, nil)
+}
+
+// ComputeHintsWithFacts is ComputeHints with a value-flow fact table: a
+// conditional or switch block whose outcome the facts decided is classified
+// unique-successor even though it has several static successors, so the
+// profiler seeds its BCG node directly in the unique state. A nil or top
+// table reduces to the purely structural classification.
+func ComputeHintsWithFacts(p *cfg.ProgramCFG, f *valueflow.Facts) *Hints {
 	n := p.NumBlocks()
 	h := &Hints{
 		UniqueSucc: make([]cfg.BlockID, n),
@@ -73,7 +83,7 @@ func ComputeHints(p *cfg.ProgramCFG) *Hints {
 		if mc == nil {
 			continue
 		}
-		hintMethod(h, mc)
+		hintMethod(h, mc, f)
 	}
 	return h
 }
@@ -86,7 +96,7 @@ const (
 	domVRoot = -1
 )
 
-func hintMethod(h *Hints, mc *cfg.MethodCFG) {
+func hintMethod(h *Hints, mc *cfg.MethodCFG, f *valueflow.Facts) {
 	nb := len(mc.Blocks)
 	base := mc.Blocks[0].ID
 	local := func(id cfg.BlockID) int { return int(id - base) }
@@ -120,8 +130,10 @@ func hintMethod(h *Hints, mc *cfg.MethodCFG) {
 
 	isRoot := make([]bool, nb)
 	isRoot[0] = true
+	handlerEntry := make([]bool, nb)
 	for _, b := range mc.HandlerEntries() {
 		isRoot[local(b.ID)] = true
+		handlerEntry[local(b.ID)] = true
 	}
 
 	// Reverse postorder from all roots.
@@ -231,14 +243,19 @@ func hintMethod(h *Hints, mc *cfg.MethodCFG) {
 		}
 		// Static-successor classification: only intraprocedural terminator
 		// kinds qualify; calls, returns, halts, and throws dispatch
-		// dynamically, as does anything under an exception handler.
+		// dynamically, as does anything under an exception handler. Handler
+		// entries are excluded too: they are reached by a dynamic edge, so
+		// their BCG nodes must observe real successors before committing.
 		switch b.Kind {
 		case bytecode.FlowNext, bytecode.FlowGoto, bytecode.FlowCond, bytecode.FlowSwitch:
-			if covered[i] {
+			if covered[i] || handlerEntry[i] {
 				break
 			}
 			if ss := b.StaticSuccessors(); len(ss) == 1 {
 				h.UniqueSucc[b.ID] = ss[0]
+			} else if d := f.DecidedSucc(b.ID); d != cfg.NoBlock {
+				// The fact table proved the branch one-way: pre-seed it.
+				h.UniqueSucc[b.ID] = d
 			}
 		}
 	}

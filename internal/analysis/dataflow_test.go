@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/valueflow"
 	"repro/internal/bytecode"
 	"repro/internal/cfg"
 	"repro/internal/jasm"
@@ -194,5 +195,89 @@ E:  return
 	}
 	if h.Idom[he[0].ID] != cfg.NoBlock {
 		t.Fatalf("handler entry has idom %d, want none", h.Idom[he[0].ID])
+	}
+}
+
+func TestHintsWithFactsSeedsDecidedBranch(t *testing.T) {
+	// Slot 0 is the constant 7, so the ifeq can never fall to DEAD's arm:
+	// the value-flow table decides the branch, and the fact-aware hint pass
+	// must classify the conditional unique even though it has two static
+	// successors. The plain structural pass must not.
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+    .locals 1
+    iconst 7
+    istore 0
+    iload 0
+    ifeq DEAD
+    return
+DEAD: return
+.end
+.end
+.entry Main main
+`)
+	f := valueflow.Compute(pcfg)
+	mc := pcfg.Methods[pcfg.Program.Main.ID]
+	var cond *cfg.Block
+	for _, b := range mc.Blocks {
+		if b.Kind == bytecode.FlowCond {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no conditional block in fixture")
+	}
+	d := f.DecidedSucc(cond.ID)
+	if d == cfg.NoBlock {
+		t.Fatal("value-flow did not decide the constant branch")
+	}
+	if h := analysis.ComputeHints(pcfg); h.UniqueSucc[cond.ID] != cfg.NoBlock {
+		t.Fatalf("structural pass classified a two-successor conditional unique (%d)", h.UniqueSucc[cond.ID])
+	}
+	h := analysis.ComputeHintsWithFacts(pcfg, f)
+	if got := h.UniqueSucc[cond.ID]; got != d {
+		t.Fatalf("fact-aware pass seeded %d, want decided successor %d", got, d)
+	}
+}
+
+func TestHintsWithFactsExcludesHandlerEntry(t *testing.T) {
+	// The handler entry (L1: astore, falling through to E) has exactly one
+	// static successor, but it is reached by a dynamic exception edge, so
+	// neither the structural nor the fact-aware pass may seed it.
+	pcfg := buildCFG(t, `
+.class Err
+.end
+.class Main
+.method static main ( ) void
+    .locals 1
+    iconst 1
+    istore 0
+L0: iconst 2
+    istore 0
+    goto E
+L1: astore 0
+E:  return
+    .catch Err from L0 to L1 using L1
+.end
+.end
+.entry Main main
+`)
+	mc := pcfg.Methods[pcfg.Program.Main.ID]
+	he := mc.HandlerEntries()
+	if len(he) != 1 {
+		t.Fatalf("want 1 handler entry, got %d", len(he))
+	}
+	if n := len(he[0].StaticSuccessors()); n != 1 {
+		t.Fatalf("fixture handler entry has %d static successors, want 1", n)
+	}
+	f := valueflow.Compute(pcfg)
+	for name, h := range map[string]*analysis.Hints{
+		"structural": analysis.ComputeHints(pcfg),
+		"fact-aware": analysis.ComputeHintsWithFacts(pcfg, f),
+	} {
+		if got := h.UniqueSucc[he[0].ID]; got != cfg.NoBlock {
+			t.Fatalf("%s pass seeded handler entry with successor %d", name, got)
+		}
 	}
 }

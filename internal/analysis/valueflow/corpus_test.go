@@ -1,0 +1,157 @@
+package valueflow_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/valueflow"
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+	"repro/internal/jasm"
+)
+
+// TestAdversarialCorpus runs Compute over committed hostile programs —
+// recursion cycles, never-returning callees, null-receiver dispatch,
+// handler self-loops, kind confusion, oversized frames — and pins the
+// degradation contract: "expect: facts" programs must produce a non-top,
+// internally consistent table; "expect: top" programs must degrade to the
+// claim-free fallback. Either way Compute must return, never panic.
+func TestAdversarialCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "adversarial", "*.jasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("corpus has %d programs, want >= 10", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			want := ""
+			for _, line := range strings.Split(src, "\n") {
+				if i := strings.Index(line, "expect:"); i >= 0 {
+					want = strings.TrimSpace(line[i+len("expect:"):])
+					break
+				}
+			}
+			if want != "facts" && want != "top" {
+				t.Fatalf("%s: missing or bad 'expect: facts|top' annotation", path)
+			}
+			prog, err := jasm.Assemble(src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			p, err := cfg.BuildProgram(prog)
+			if err != nil {
+				t.Fatalf("cfg: %v", err)
+			}
+			f := valueflow.Compute(p)
+			if f == nil {
+				t.Fatal("Compute returned nil")
+			}
+			if want == "top" {
+				if !f.Top() {
+					t.Fatalf("expected degradation to top, got %+v", f.Stats())
+				}
+				return
+			}
+			if f.Top() {
+				t.Fatal("analysis degraded to top, expected facts")
+			}
+			checkConsistent(t, p, f)
+			// Determinism: a second run must produce identical claims.
+			if a, b := f.Stats(), valueflow.Compute(p).Stats(); a != b {
+				t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestPostLinkCorruptionDegrades pins the strict-evaluator bail: code
+// mutated after linking (so the linker's stack verification never saw it)
+// underflows the abstract stack. The failure must stay local — the
+// corrupted method is degraded to claim-free reachability (zero consts,
+// zero decided branches, nothing analyzed) without discarding the table.
+// jasm cannot express this program because Assemble would reject it.
+func TestPostLinkCorruptionDegrades(t *testing.T) {
+	prog, err := jasm.Assemble(`
+.entry Main main
+.class Main
+.method static main ( ) void
+    return
+.end
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := bytecode.NewEncoder()
+	enc.Emit(bytecode.Instr{Op: bytecode.Pop})
+	enc.Emit(bytecode.Instr{Op: bytecode.ReturnVoid})
+	prog.Main.Code = enc.Bytes()
+	p, err := cfg.BuildProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := valueflow.Compute(p)
+	s := f.Stats()
+	if s.MethodsAnalyzed != 0 {
+		t.Fatalf("underflowing method counted as analyzed: %+v", s)
+	}
+	if s.IntConsts+s.FloatConsts+s.NonNull+s.StackConsts+s.Decided != 0 {
+		t.Fatalf("underflowing code produced claims: %+v", s)
+	}
+	if s.Unreachable != 0 {
+		t.Fatalf("degraded method's blocks must stay reachable: %+v", s)
+	}
+}
+
+// checkConsistent validates the structural invariants every non-top table
+// must satisfy regardless of input.
+func checkConsistent(t *testing.T, p *cfg.ProgramCFG, f *valueflow.Facts) {
+	t.Helper()
+	if f.NumBlocks() != p.NumBlocks() {
+		t.Fatalf("facts cover %d blocks, cfg has %d", f.NumBlocks(), p.NumBlocks())
+	}
+	if entry := p.MethodEntry(p.Program.Main); entry != nil {
+		if bf := f.Block(entry.ID); bf == nil || !bf.Reachable {
+			t.Fatal("main entry not reachable")
+		}
+	}
+	for id := 0; id < f.NumBlocks(); id++ {
+		bid := cfg.BlockID(id)
+		bf := f.Block(bid)
+		if !bf.Reachable {
+			if bf.Decided != cfg.NoBlock || len(bf.IntConsts) != 0 || len(bf.NonNull) != 0 {
+				t.Fatalf("block %d: claims on an unreachable block", id)
+			}
+			continue
+		}
+		if d := bf.Decided; d != cfg.NoBlock {
+			blk := p.Block(bid)
+			ok := false
+			for _, s := range blk.StaticSuccessors() {
+				if s == d {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("block %d: decided %v is not a static successor", id, d)
+			}
+		}
+		seen := map[int32]bool{}
+		for _, c := range bf.IntConsts {
+			if seen[c.Slot] {
+				t.Fatalf("block %d: duplicate const claim for slot %d", id, c.Slot)
+			}
+			seen[c.Slot] = true
+		}
+	}
+}

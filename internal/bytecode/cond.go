@@ -1,0 +1,15 @@
+package bytecode
+
+// CondArity returns the number of operand-stack values a conditional branch
+// pops: 2 for the compare families (IfICmp*, IfACmp*), 1 for the zero and
+// null tests. Non-conditional opcodes return 0.
+func CondArity(op Op) int {
+	switch op {
+	case IfICmpEq, IfICmpNe, IfICmpLt, IfICmpGe, IfICmpGt, IfICmpLe,
+		IfACmpEq, IfACmpNe:
+		return 2
+	case IfEq, IfNe, IfLt, IfGe, IfGt, IfLe, IfNull, IfNonNull:
+		return 1
+	}
+	return 0
+}

@@ -87,7 +87,26 @@ type Cache struct {
 	// events — a warm start is restored state, not churn, and must not trip
 	// churn-based breakers.
 	seeding bool
+
+	// prover, when set, stamps every newly built trace with static guard
+	// proofs (trace.GuardProofs) at registration.
+	prover GuardProver
 }
+
+// GuardProver proves side-exit guards of a block sequence dead: the result
+// (length len(blocks)-1, or nil) claims per inter-block position that no
+// execution following the trace can exit there. The interface is satisfied
+// by *valueflow.GuardOracle; core depends only on the contract so the
+// analysis layer stays optional. Implementations must be safe for
+// concurrent use.
+type GuardProver interface {
+	ProveGuards(blocks []cfg.BlockID) []bool
+}
+
+// SetProver attaches the static guard oracle consulted when new traces are
+// registered. Already registered traces are not re-proven; attach the
+// prover before profiling starts (or before SeedTraces on a warm start).
+func (c *Cache) SetProver(p GuardProver) { c.prover = p }
 
 // NewCache creates an empty trace cache. Bind must be called with the
 // profiler graph before the first signal arrives; the two-step construction
@@ -397,6 +416,9 @@ func (c *Cache) register(nodes []*profile.Node, prob float64) {
 	t := c.byKey[key]
 	if t == nil {
 		t = trace.New(c.nextID, blocks, prob)
+		if c.prover != nil {
+			t.GuardProofs = c.prover.ProveGuards(blocks)
+		}
 		c.nextID++
 		c.byKey[key] = t
 		c.blocks += len(blocks)

@@ -472,3 +472,56 @@ func TestLoopHeaderHintBoundsBacktracking(t *testing.T) {
 	hinted.check(t)
 	plain.check(t)
 }
+
+// markEveryOtherProver is a stub GuardProver: it proves the side exit after
+// every even-indexed block dead and records each query it answered.
+type markEveryOtherProver struct{ queries [][]cfg.BlockID }
+
+func (p *markEveryOtherProver) ProveGuards(blocks []cfg.BlockID) []bool {
+	p.queries = append(p.queries, append([]cfg.BlockID(nil), blocks...))
+	proofs := make([]bool, len(blocks)-1)
+	for i := range proofs {
+		proofs[i] = i%2 == 0
+	}
+	return proofs
+}
+
+func TestRegisterStampsGuardProofsFromProver(t *testing.T) {
+	d := newDriver(t, profile.Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 64})
+	prover := &markEveryOtherProver{}
+	d.c.SetProver(prover)
+	d.cycle(400, 1, 2, 3)
+	traces := d.c.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces built")
+	}
+	// The prover is consulted once per newly built trace (retired ones
+	// included), never for hash-consed reuses.
+	if len(prover.queries) < len(traces) {
+		t.Fatalf("prover consulted %d times for %d live traces", len(prover.queries), len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr.GuardProofs) != tr.Len()-1 {
+			t.Fatalf("trace %d: %d proofs for %d blocks", tr.ID, len(tr.GuardProofs), tr.Len())
+		}
+		for i, proven := range tr.GuardProofs {
+			if want := i%2 == 0; proven != want {
+				t.Fatalf("trace %d: proof %d = %v, want %v", tr.ID, i, proven, want)
+			}
+		}
+		if want := (tr.Len() - 1 + 1) / 2; tr.ProvenGuards() != want {
+			t.Fatalf("trace %d: ProvenGuards() = %d, want %d", tr.ID, tr.ProvenGuards(), want)
+		}
+	}
+	d.check(t)
+}
+
+func TestRegisterWithoutProverLeavesTracesUnproven(t *testing.T) {
+	d := newDriver(t, profile.Params{StartDelay: 1, Threshold: 0.9, DecayInterval: 64})
+	d.cycle(400, 1, 2, 3)
+	for _, tr := range d.c.Traces() {
+		if tr.GuardProofs != nil || tr.ProvenGuards() != 0 {
+			t.Fatalf("trace %d carries proofs with no prover attached", tr.ID)
+		}
+	}
+}

@@ -69,6 +69,10 @@ func (p *Profiler) SetSink(s obs.Sink) {
 	p.Cache.SetSink(s)
 }
 
+// SetProver attaches a static guard oracle to the cache: traces the shard
+// builds from here on carry proofs of never-firing side-exit guards.
+func (p *Profiler) SetProver(gp GuardProver) { p.Cache.SetProver(gp) }
+
 // Seeded reports whether the profiler holds any learned state yet; a fresh
 // shard seeds from a warm snapshot only while this is false.
 func (p *Profiler) Seeded() bool { return p.Graph.NumNodes() > 0 }

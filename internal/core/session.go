@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/valueflow"
 	"repro/internal/cfg"
 	"repro/internal/classfile"
 	"repro/internal/obs"
@@ -89,6 +90,17 @@ type SessionOptions struct {
 	// pre-classified unique, and loop headers bound trace-cache
 	// backtracking. Nil keeps the paper's purely dynamic baseline.
 	Hints *analysis.Hints
+	// Facts, if set, carries whole-program value-flow facts
+	// (valueflow.Compute): a guard oracle built from them stamps every
+	// newly registered trace with proofs of never-firing side-exit guards
+	// (trace.GuardProofs). Pair with ComputeHintsWithFacts-derived Hints to
+	// also pre-seed decided branches. Ignored when Profiler is set — a
+	// shard's prover persists with the shard (see serve's epoch manager).
+	Facts *valueflow.Facts
+	// Probe, if set, is called at every block entry with the live frame
+	// state (vm.Options.Probe). This is the differential-checking seam the
+	// value-flow soundness harness uses; production paths leave it nil.
+	Probe vm.Probe
 	// Sink, if set, receives the run's observability events: BCG node state
 	// transitions and trace build/reuse/retire/evict. An attached sink with
 	// no transitions in flight costs the dispatch path nothing.
@@ -124,6 +136,7 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 		Counters:  ctr,
 		MaxSteps:  opts.MaxSteps,
 		Interrupt: opts.Interrupt,
+		Probe:     opts.Probe,
 	}
 	if opts.Mode != ModePlain && opts.Mode != ModeInstr {
 		var g *profile.Graph
@@ -163,6 +176,9 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 			if opts.Sink != nil {
 				g.SetSink(opts.Sink)
 				cache.SetSink(opts.Sink)
+			}
+			if opts.Facts != nil && pcfg != nil {
+				cache.SetProver(valueflow.NewOracle(opts.Facts, pcfg))
 			}
 		}
 		s.Graph = g

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis/valueflow"
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/classfile"
@@ -66,6 +67,9 @@ type Suite struct {
 type compiled struct {
 	prog *classfile.Program
 	cfg  *cfg.ProgramCFG
+	// facts is the value-flow table, computed once per workload and shared
+	// by every session the suite builds from this entry.
+	facts *valueflow.Facts
 }
 
 // NewSuite creates an empty suite.
@@ -91,7 +95,7 @@ func (s *Suite) compileWorkload(name string) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &compiled{prog: prog, cfg: pcfg}
+	c := &compiled{prog: prog, cfg: pcfg, facts: valueflow.Compute(pcfg)}
 	s.programs[name] = c
 	return c, nil
 }
@@ -680,6 +684,7 @@ func (s *Suite) Optimizability() (Table, error) {
 			Mode:     core.ModeTrace,
 			Params:   profile.Params{StartDelay: DefaultDelay, Threshold: DefaultThreshold, DecayInterval: 256},
 			MaxSteps: s.MaxSteps,
+			Facts:    c.facts, // traces register with guard proofs attached
 		})
 		if err != nil {
 			return Table{}, err
@@ -692,11 +697,10 @@ func (s *Suite) Optimizability() (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		var fold, prop, guards, stores int
+		var fold, prop, stores int
 		for _, rep := range reports {
 			fold += rep.Foldable
 			prop += rep.Propagatable
-			guards += rep.RemovableGuards
 			stores += rep.DeadStores
 		}
 		rows = append(rows, []string{
@@ -704,15 +708,17 @@ func (s *Suite) Optimizability() (Table, error) {
 			fmt.Sprintf("%d", sum.Traces),
 			fmt.Sprintf("%d", fold),
 			fmt.Sprintf("%d", prop),
-			fmt.Sprintf("%d", guards),
+			fmt.Sprintf("%d", sum.RemovableGuards),
+			fmt.Sprintf("%d", sum.ProvenGuards),
+			fmt.Sprintf("%.0f%%", sum.ProvenShare()*100),
 			fmt.Sprintf("%d", stores),
 			fmt.Sprintf("%.1f%%", sum.Ratio()*100),
 		})
 		_ = r
 	}
 	return Table{
-		Title:   "Trace optimizability (future-work study; static counts, execution-weighted ratio)",
-		Columns: []string{"benchmark", "traces", "foldable", "propagatable", "guards", "dead stores", "weighted removable"},
+		Title:   "Trace optimizability (future-work study; static counts, execution-weighted ratio; proven = value-flow guard proofs)",
+		Columns: []string{"benchmark", "traces", "foldable", "propagatable", "guards", "proven", "proven share", "dead stores", "weighted removable"},
 		Rows:    rows,
 	}, nil
 }

@@ -1,0 +1,126 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/valueflow"
+	"repro/internal/cfg"
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// TestValueFlowSoundnessAllWorkloads is the differential gate: every claim
+// the analysis makes about the six workloads must hold on every executed
+// block entry, and no proven-dead guard may ever side-exit.
+func TestValueFlowSoundnessAllWorkloads(t *testing.T) {
+	s := harness.NewSuite()
+	s.MaxSteps = 2_000_000 // plenty of iterations past every start delay
+	var out strings.Builder
+	if err := s.VerifyValueFlowSoundness(&out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("no workload reported ok:\n%s", out.String())
+	}
+	t.Logf("\n%s", out.String())
+}
+
+// TestValueFlowSoundnessChecksSomething guards against the vacuous pass: at
+// least one workload must produce facts the checker actually compares, and
+// at least one must register traces with proven guards — otherwise the gate
+// is green because it tested nothing.
+func TestValueFlowSoundnessChecksSomething(t *testing.T) {
+	s := harness.NewSuite()
+	s.MaxSteps = 2_000_000
+	var checked, proven int64
+	for _, name := range s.Workloads {
+		res, err := s.ValueFlowSoundness(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked += res.Checks
+		proven += int64(res.ProvenGuards)
+		if res.Stats.Top {
+			t.Errorf("%s: analysis degraded to top on a production workload", name)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("checker compared zero block entries across all workloads")
+	}
+	if proven == 0 {
+		t.Fatal("no trace carried a proven guard on any workload")
+	}
+}
+
+// TestFactCheckerCatchesFalseClaims injects deliberately wrong claims and
+// requires the checker to flag every kind — proving the harness can fail.
+func TestFactCheckerCatchesFalseClaims(t *testing.T) {
+	// One block, ID 0. Claims: slot 0 == 99 (false), slot 1 non-null
+	// (false), stack bottom == 5 (false), and the block is unreachable
+	// (false: we probe it).
+	blocks := []valueflow.BlockFacts{{
+		Reachable:   false,
+		Decided:     cfg.NoBlock,
+		IntConsts:   []valueflow.IntConst{{Slot: 0, Val: 99}},
+		NonNull:     []int32{1},
+		StackConsts: []valueflow.StackConst{{Idx: 0, Val: 5}},
+	}}
+	f := valueflow.FactsFromBlocks(blocks)
+	c := harness.NewFactChecker(f)
+	b := &cfg.Block{ID: 0}
+	locals := []vm.Value{{N: 7}, {}} // slot 0 holds 7, slot 1 null
+	stack := []vm.Value{{N: 6}}
+	c.Probe(b, locals, stack)
+	v := c.Violations()
+	if len(v) != 4 {
+		t.Fatalf("want 4 violations (unreachable, const, non-null, stack), got %d: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{"unreachable", "proven 99", "non-null", "stack slot 0"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in violations:\n%s", want, joined)
+		}
+	}
+}
+
+// TestFactCheckerCatchesWrongDecidedSuccessor exercises the consecutive-
+// probe check: a decided branch whose execution takes the other arm.
+func TestFactCheckerCatchesWrongDecidedSuccessor(t *testing.T) {
+	blocks := []valueflow.BlockFacts{
+		{Reachable: true, Decided: 2},
+		{Reachable: true, Decided: cfg.NoBlock},
+		{Reachable: true, Decided: cfg.NoBlock},
+	}
+	f := valueflow.FactsFromBlocks(blocks)
+	c := harness.NewFactChecker(f)
+	c.Probe(&cfg.Block{ID: 0}, nil, nil)
+	c.Probe(&cfg.Block{ID: 1}, nil, nil) // decided said 2
+	v := c.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "decided successor") {
+		t.Fatalf("wrong-successor violation not raised: %v", v)
+	}
+	// Correct successor raises nothing.
+	c2 := harness.NewFactChecker(f)
+	c2.Probe(&cfg.Block{ID: 0}, nil, nil)
+	c2.Probe(&cfg.Block{ID: 2}, nil, nil)
+	if v := c2.Violations(); len(v) != 0 {
+		t.Fatalf("spurious violations: %v", v)
+	}
+}
+
+func TestCheckTracesFlagsFiredProvenGuard(t *testing.T) {
+	tr := trace.New(7, []cfg.BlockID{1, 2, 3}, 1)
+	tr.GuardProofs = []bool{true, false}
+	tr.SideExits[0] = 3 // proven guard fired
+	tr.SideExits[1] = 5 // unproven guard fired: fine
+	v := harness.CheckTraces([]*trace.Trace{tr})
+	if len(v) != 1 || !strings.Contains(v[0], "trace 7") {
+		t.Fatalf("want exactly the proven guard flagged, got %v", v)
+	}
+	tr.SideExits[0] = 0
+	if v := harness.CheckTraces([]*trace.Trace{tr}); len(v) != 0 {
+		t.Fatalf("quiet proven guard flagged: %v", v)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/valueflow"
 	"repro/internal/core"
 	"repro/internal/faultinject/crash"
 	"repro/internal/obs"
@@ -44,6 +45,7 @@ type shardSet struct {
 	key, name string
 	params    profile.Params
 	hints     *analysis.Hints
+	prover    core.GuardProver // static guard oracle; stamps shard-built traces
 	numBlocks int
 
 	shards []*workerShard
@@ -98,6 +100,9 @@ func (ec *epochCoordinator) acquire(comp *Compiled, params profile.Params, worke
 			hints:  comp.Hints,
 			shards: make([]*workerShard, ec.workers),
 		}
+		if comp.Facts != nil && comp.CFG != nil {
+			set.prover = valueflow.NewOracle(comp.Facts, comp.CFG)
+		}
 		for i := range set.shards {
 			set.shards[i] = &workerShard{}
 		}
@@ -120,6 +125,9 @@ func (ec *epochCoordinator) newShard(sh *workerShard, set *shardSet) (*core.Prof
 	prof, err := core.NewProfiler(set.params, ec.conf, set.hints, set.numBlocks)
 	if err != nil {
 		return nil, err
+	}
+	if set.prover != nil {
+		prof.SetProver(set.prover)
 	}
 	sh.prof = prof
 	ec.liveShards.Add(1)
@@ -154,7 +162,11 @@ func (ec *epochCoordinator) discard(sh *workerShard) {
 
 // release unlocks a shard after a run and, when the program's epoch quota is
 // reached, performs the merge. The merging request pays the (amortized 1 in
-// EpochRuns) phase-boundary cost; the dispatch hot path never does.
+// EpochRuns) phase-boundary cost; the dispatch hot path never does. The
+// quota check itself runs after every profiled request, so it must not
+// allocate (the merge it occasionally triggers is the sanctioned cold path).
+//
+//tracevm:hotpath
 func (ec *epochCoordinator) release(sh *workerShard, set *shardSet) {
 	sh.runs++
 	sh.mu.Unlock()
@@ -178,6 +190,11 @@ func (ec *epochCoordinator) merge(set *shardSet, wait bool) *snapshot.Snapshot {
 	merged, err := core.NewProfiler(set.params, ec.conf, set.hints, set.numBlocks)
 	if err != nil {
 		return nil
+	}
+	if set.prover != nil {
+		// Traces the merged cache promotes carry guard proofs too — they
+		// seed fresh shards and the snapshot writer serializes them.
+		merged.SetProver(set.prover)
 	}
 	absorbed := 0
 	for _, sh := range set.shards {

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/valueflow"
 	"repro/internal/cfg"
 	"repro/internal/classfile"
 	"repro/internal/jasm"
@@ -61,6 +62,12 @@ type Compiled struct {
 	// shared by every session that runs the program (sessions only read
 	// them).
 	Hints *analysis.Hints
+	// Facts are the whole-program value-flow facts (constants, decided
+	// branches, nullness), computed once at registration alongside Hints.
+	// They feed the Hints' decided-branch seeding and the guard oracle that
+	// stamps traces with side-exit proofs; like Hints, they are immutable
+	// and shared by every session.
+	Facts *valueflow.Facts
 }
 
 const regShards = 16
@@ -149,7 +156,8 @@ func (r *Registry) resolve(key, name string, compile func() (*classfile.Program,
 		}
 		c := &Compiled{Key: key, Name: name, Prog: prog, CFG: pcfg}
 		if pcfg != nil {
-			c.Hints = analysis.ComputeHints(pcfg)
+			c.Facts = valueflow.Compute(pcfg)
+			c.Hints = analysis.ComputeHintsWithFacts(pcfg, c.Facts)
 		}
 		e.c = c
 	})

@@ -629,6 +629,7 @@ func (s *Service) runJob(j *job, mode core.Mode, demoted bool, workerID int) (re
 		MaxSteps:  maxSteps,
 		Interrupt: &j.interrupt,
 		Hints:     j.comp.Hints,
+		Facts:     j.comp.Facts,
 	}
 	if s.cfg.Injector != nil {
 		sopts.WrapHook = s.cfg.Injector.WrapDispatch

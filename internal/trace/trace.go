@@ -38,6 +38,30 @@ type Trace struct {
 	// resolution. Valid only for the ProgramCFG the trace was built against
 	// (a trace never outlives its session).
 	Prepared []*cfg.Block
+
+	// GuardProofs marks side-exit guards proven dead by static value-flow
+	// analysis: GuardProofs[i] claims SideExits[i] can never fire, so a
+	// specializer may drop the guard after Blocks[i]. Nil when no oracle
+	// was attached; otherwise len(Blocks)-1, set once at registration and
+	// immutable afterwards.
+	GuardProofs []bool
+}
+
+// ProvenGuards counts the side-exit guards proven dead.
+func (t *Trace) ProvenGuards() int {
+	n := 0
+	for _, p := range t.GuardProofs {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// GuardProven reports whether the side-exit guard after Blocks[i] is proven
+// dead.
+func (t *Trace) GuardProven(i int) bool {
+	return i >= 0 && i < len(t.GuardProofs) && t.GuardProofs[i]
 }
 
 // New creates a trace over the given block sequence.

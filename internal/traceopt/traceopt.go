@@ -67,6 +67,15 @@ type Report struct {
 	RemovableGuards int // internal branches statically resolved
 	DeadStores      int // stores overwritten before any read or guard
 	Barriers        int // calls/returns that cleared the symbolic state
+
+	// ProvenGuards is the subset of the trace's internal conditional/switch
+	// guards whose side exit the whole-program value-flow oracle proved can
+	// never fire (trace.GuardProofs, stamped at registration). Unlike
+	// RemovableGuards — an estimate from symbolic execution of the recorded
+	// path — a proven guard is backed by a static proof that holds for every
+	// execution, so removing it needs no deoptimization fallback. Zero when
+	// the trace carries no proofs.
+	ProvenGuards int
 }
 
 // Removable returns the number of instructions the modeled optimizations
@@ -85,8 +94,8 @@ func (r Report) Ratio() float64 {
 
 // String renders the report.
 func (r Report) String() string {
-	return fmt.Sprintf("trace %d: %d instrs, %d foldable, %d propagatable, %d guards removable, %d dead stores (%.1f%%)",
-		r.TraceID, r.Instrs, r.Foldable, r.Propagatable, r.RemovableGuards, r.DeadStores, r.Ratio()*100)
+	return fmt.Sprintf("trace %d: %d instrs, %d foldable, %d propagatable, %d guards removable (%d proven), %d dead stores (%.1f%%)",
+		r.TraceID, r.Instrs, r.Foldable, r.Propagatable, r.RemovableGuards, r.ProvenGuards, r.DeadStores, r.Ratio()*100)
 }
 
 // Analyzer analyzes traces against a program's CFGs.
@@ -171,6 +180,12 @@ func (a *Analyzer) Analyze(t *trace.Trace) (Report, error) {
 			a.step(in, st, &rep, dead, idx, isTerm, b, next)
 			idx++
 		}
+		if next != cfg.NoBlock && t.GuardProven(bi) {
+			switch b.Kind {
+			case bytecode.FlowCond, bytecode.FlowSwitch:
+				rep.ProvenGuards++
+			}
+		}
 	}
 	for range dead {
 		rep.DeadStores++
@@ -194,7 +209,7 @@ func (a *Analyzer) step(in bytecode.Instr, st *state, rep *Report, dead map[int]
 		st.guard() // conservative: block boundary may still exit via trap
 		return
 	case bytecode.FlowCond:
-		v := st.popN(condArity(op))
+		v := st.popN(bytecode.CondArity(op))
 		if allConst(v) {
 			rep.RemovableGuards++
 		} else {
@@ -368,15 +383,6 @@ func (a *Analyzer) step(in bytecode.Instr, st *state, rep *Report, dead map[int]
 	}
 }
 
-func condArity(op bytecode.Op) int {
-	switch op {
-	case bytecode.IfICmpEq, bytecode.IfICmpNe, bytecode.IfICmpLt, bytecode.IfICmpGe,
-		bytecode.IfICmpGt, bytecode.IfICmpLe, bytecode.IfACmpEq, bytecode.IfACmpNe:
-		return 2
-	}
-	return 1
-}
-
 func allConst(vs []absVal) bool {
 	for _, v := range vs {
 		if v.kind == unknown {
@@ -444,11 +450,17 @@ func foldFloat(op bytecode.Op, a, b float64) float64 {
 
 // Summary aggregates reports weighted by how often each trace completed,
 // estimating the share of the executed trace instruction stream that the
-// modeled optimizations would remove.
+// modeled optimizations would remove, and splitting guard removal into the
+// estimated total and the statically proven subset.
 type Summary struct {
 	Traces            int
 	WeightedInstrs    int64
 	WeightedRemovable int64
+
+	// Static guard totals across traces: RemovableGuards is the symbolic
+	// estimate, ProvenGuards the subset backed by value-flow proofs.
+	RemovableGuards int64
+	ProvenGuards    int64
 }
 
 // Add accumulates one trace's report with its completion count as weight.
@@ -456,6 +468,8 @@ func (s *Summary) Add(r Report, completions int64) {
 	s.Traces++
 	s.WeightedInstrs += int64(r.Instrs) * completions
 	s.WeightedRemovable += int64(r.Removable()) * completions
+	s.RemovableGuards += int64(r.RemovableGuards)
+	s.ProvenGuards += int64(r.ProvenGuards)
 }
 
 // Ratio returns the weighted removable fraction.
@@ -464,6 +478,15 @@ func (s *Summary) Ratio() float64 {
 		return 0
 	}
 	return float64(s.WeightedRemovable) / float64(s.WeightedInstrs)
+}
+
+// ProvenShare returns the fraction of removable guards that carry a static
+// proof (0 when no guards are removable).
+func (s *Summary) ProvenShare() float64 {
+	if s.RemovableGuards == 0 {
+		return 0
+	}
+	return float64(s.ProvenGuards) / float64(s.RemovableGuards)
 }
 
 // AnalyzeAll analyzes a set of traces and aggregates them by their observed

@@ -179,6 +179,57 @@ func TestSummaryWeighting(t *testing.T) {
 	}
 }
 
+func TestSummaryProvenShare(t *testing.T) {
+	var s traceopt.Summary
+	s.Add(traceopt.Report{Instrs: 10, RemovableGuards: 3, ProvenGuards: 2}, 1)
+	s.Add(traceopt.Report{Instrs: 10, RemovableGuards: 1}, 1)
+	if got := s.ProvenShare(); got != 0.5 {
+		t.Errorf("proven share = %v, want 0.5", got)
+	}
+	var empty traceopt.Summary
+	if got := empty.ProvenShare(); got != 0 {
+		t.Errorf("empty proven share = %v, want 0", got)
+	}
+}
+
+func TestProvenGuardsFromTraceProofs(t *testing.T) {
+	pcfg := buildCFG(t, `
+.class Main
+.method static main ( ) void
+    iconst 0
+    ifeq done
+    nop
+done:
+    return
+.end
+.end
+.entry Main main
+`)
+	// Same shape as TestGuardRemovableWhenConstant, but the trace carries a
+	// registration-time proof for its single internal guard.
+	tr := trace.New(0, []cfg.BlockID{0, 2}, 1)
+	tr.GuardProofs = []bool{true}
+	r, err := traceopt.New(pcfg).Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProvenGuards != 1 {
+		t.Errorf("proven guard not counted: %s", r)
+	}
+	// Without proofs the same trace reports an estimate only.
+	bare := trace.New(1, []cfg.BlockID{0, 2}, 1)
+	r, err = traceopt.New(pcfg).Analyze(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProvenGuards != 0 {
+		t.Errorf("unproven trace reported proven guards: %s", r)
+	}
+	if r.RemovableGuards != 1 {
+		t.Errorf("estimate lost: %s", r)
+	}
+}
+
 func TestAnalyzeRealWorkloadTraces(t *testing.T) {
 	// End-to-end: run a MiniJava program under trace mode, then analyze the
 	// cache's traces.

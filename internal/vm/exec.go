@@ -33,6 +33,9 @@ func (m *Machine) stepBlock(b *cfg.Block) (next *cfg.Block, halted bool, err err
 	}()
 
 	f := m.top()
+	if m.probe != nil {
+		m.probe(b, f.locals, f.stack)
+	}
 	n := len(b.Instrs)
 	m.ctr.Instrs += int64(n)
 	if m.interrupt != nil && m.interrupt.Load() {

@@ -46,7 +46,17 @@ type Options struct {
 	// This is how a serving layer cancels a runaway program without killing
 	// the process; the flag may be set from any goroutine.
 	Interrupt *atomic.Bool
+	// Probe, if set, is called at the entry of every executed block —
+	// ordinary dispatch and trace dispatch alike — with the live frame
+	// state. It exists for differential checkers (the value-flow soundness
+	// harness compares static claims against these observations); the
+	// slices alias the running frame and must not be mutated or retained.
+	// A nil probe costs the block loop a single predictable branch.
+	Probe Probe
 }
+
+// Probe observes one block entry. See Options.Probe for the contract.
+type Probe func(b *cfg.Block, locals, stack []Value)
 
 // Machine executes one program. A machine is single-threaded and not safe
 // for concurrent use; run each program on its own machine.
@@ -62,6 +72,7 @@ type Machine struct {
 	maxSteps         int64
 	maxFrames        int
 	interrupt        *atomic.Bool
+	probe            Probe
 
 	// traceIx is the concrete dense index behind traces when the source
 	// implements trace.IndexedSource; the dispatch loop calls it directly,
@@ -116,6 +127,7 @@ func New(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts Options) (*Machine,
 		maxSteps:         opts.MaxSteps,
 		maxFrames:        opts.MaxFrames,
 		interrupt:        opts.Interrupt,
+		probe:            opts.Probe,
 		natives:          builtinNatives(),
 	}
 	if is, ok := opts.Traces.(trace.IndexedSource); ok {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the analyzer golden files from current output")
+
+// goldenCases maps each committed fixture to the analyzer that runs over it
+// and the import path it is typechecked as (statsatomic's verdict depends on
+// whether the package is in the counter-owner set).
+var goldenCases = []struct {
+	name       string
+	analyzer   *Analyzer
+	importPath string
+}{
+	{"hotpathalloc", hotpathAlloc, "example.com/p"},
+	{"statsatomic", statsAtomic, "example.com/outside"},
+}
+
+// TestAnalyzerGoldenFiles runs each analyzer over its committed fixture and
+// compares the full diagnostic listing — positions and messages — against
+// testdata/<name>.golden. A drift in either direction (new, lost, moved, or
+// reworded diagnostics) fails without anyone hand-running vet; regenerate
+// deliberately with `go test ./tools/analyzers -run Golden -update`.
+func TestAnalyzerGoldenFiles(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			srcPath := filepath.Join("testdata", tc.name+".src")
+			src, err := os.ReadFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := analyze(t, tc.analyzer, tc.importPath, tc.name+".src", string(src))
+			got := strings.Join(diags, "\n") + "\n"
+			if len(diags) == 0 {
+				t.Fatalf("fixture %s produced no diagnostics; the golden test would be vacuous", srcPath)
+			}
+
+			goldenPath := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics drifted from %s (run with -update to accept):\n--- want\n%s--- got\n%s",
+					goldenPath, want, got)
+			}
+		})
+	}
+}
