@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/analysis/valueflow"
 	"repro/internal/baseline"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -27,8 +28,9 @@ import (
 var compiledCache = map[string]*benchProg{}
 
 type benchProg struct {
-	prog *repro.Program
-	cfg  *cfg.ProgramCFG
+	prog  *repro.Program
+	cfg   *cfg.ProgramCFG
+	facts *valueflow.Facts
 }
 
 func compiled(b *testing.B, name string) *benchProg {
@@ -44,7 +46,7 @@ func compiled(b *testing.B, name string) *benchProg {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c := &benchProg{prog: prog, cfg: pcfg}
+	c := &benchProg{prog: prog, cfg: pcfg, facts: valueflow.Compute(pcfg)}
 	compiledCache[name] = c
 	return c
 }
@@ -212,6 +214,55 @@ func BenchmarkTableVII(b *testing.B) {
 			b.ReportMetric(float64(traceDisp)/1e6, "Mtrace-dispatches")
 			b.ReportMetric(float64(profiled)/1e6, "Mprofiled-dispatches")
 		})
+	}
+}
+
+// BenchmarkTraceThroughput times in-trace execution at both tiers: the
+// tier-1 block-by-block trace walk against the tier-2 superinstruction
+// forms compiled from the same traces. The reported metric is nanoseconds
+// per block executed inside traces — runCompiled mirrors runTrace
+// counter-for-counter, so both tiers share the denominator and the delta is
+// the compiled form's per-trace-block saving. This is the regression
+// benchmark behind the tier rules of harness.CompareBenchReports.
+func BenchmarkTraceThroughput(b *testing.B) {
+	tiers := []struct {
+		label  string
+		config core.Config
+	}{
+		{"tier1", core.Config{}},
+		{"tier2", core.Config{CompileTraces: true, TierUpDispatches: 4}},
+	}
+	for _, name := range workload.Names() {
+		for _, tier := range tiers {
+			b.Run(name+"/"+tier.label, func(b *testing.B) {
+				c := compiled(b, name)
+				var traceBlocks, compiledDisp, traceDisp int64
+				for i := 0; i < b.N; i++ {
+					s, err := core.NewSession(c.prog, c.cfg, core.SessionOptions{
+						Mode:   core.ModeTrace,
+						Params: profile.DefaultParams(),
+						Config: tier.config,
+						Facts:  c.facts,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := s.Run(); err != nil {
+						b.Fatal(err)
+					}
+					traceBlocks = s.Counters.BlocksInTraces
+					compiledDisp = s.Counters.CompiledDispatches
+					traceDisp = s.Counters.TraceDispatches
+				}
+				if traceBlocks == 0 {
+					b.Fatalf("%s executed no blocks inside traces; ns/trace-block is undefined", name)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(traceBlocks), "ns/trace-block")
+				if traceDisp > 0 {
+					b.ReportMetric(float64(compiledDisp)/float64(traceDisp)*100, "compiled-share-%")
+				}
+			})
+		}
 	}
 }
 

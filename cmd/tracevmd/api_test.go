@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/api"
+	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/stats"
 )
@@ -35,7 +36,7 @@ func TestV1LegacyParity(t *testing.T) {
 	if _, m := postRun(t, srv.URL, `{"workload":"soot","mode":"trace"}`); m["output"] == "" {
 		t.Fatal("seed run failed")
 	}
-	for _, path := range []string{"/stats", "/metrics", "/events", "/healthz", "/readyz"} {
+	for _, path := range []string{"/stats", "/traces", "/metrics", "/events", "/healthz", "/readyz"} {
 		vCode, vBody, _ := get(t, srv.URL+"/v1"+path)
 		lCode, lBody, _ := get(t, srv.URL+path)
 		if vCode != lCode || vBody != lBody {
@@ -110,6 +111,70 @@ func TestMetricsEndpointPinsEveryCounter(t *testing.T) {
 	if !strings.Contains(body, "tracevm_instrs_total ") ||
 		strings.Contains(body, "tracevm_instrs_total 0\n") {
 		t.Error("tracevm_instrs_total missing or zero after a run")
+	}
+}
+
+// TestTracesEndpoint drives a tier-2-enabled daemon and reads the trace
+// inventory back over the wire: schema tag, per-program grouping, the
+// proven/estimated guard split, and a promoted trace with a nonzero
+// compiled-dispatch share.
+func TestTracesEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{
+		Workers:    1,
+		TraceCache: core.Config{CompileTraces: true, TierUpDispatches: 4},
+	})
+
+	// Before any traffic the endpoint answers with an empty inventory, not
+	// null.
+	_, body, _ := get(t, srv.URL+"/v1/traces")
+	var empty api.TracesResponse
+	if err := json.Unmarshal([]byte(body), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Schema != api.SchemaTraces || empty.Programs == nil || len(empty.Programs) != 0 {
+		t.Fatalf("cold inventory: %+v (programs must be [], not null)", empty)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, m := postRun(t, srv.URL, `{"workload":"soot","mode":"trace"}`); m["output"] == "" {
+			t.Fatal("seed run failed")
+		}
+	}
+	code, body, ctype := get(t, srv.URL+"/v1/traces")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("status %d, content type %q", code, ctype)
+	}
+	var tr api.TracesResponse
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != api.SchemaTraces {
+		t.Errorf("schema %q, want %q", tr.Schema, api.SchemaTraces)
+	}
+	if len(tr.Programs) != 1 || tr.Programs[0].Program != "soot" {
+		t.Fatalf("programs = %+v, want exactly soot", tr.Programs)
+	}
+	traces := tr.Programs[0].Traces
+	if len(traces) == 0 {
+		t.Fatal("no traces reported after 4 traced runs")
+	}
+	var promoted bool
+	for i, e := range traces {
+		if e.Key == "" || e.Blocks < 2 || e.Entered < e.Completed {
+			t.Errorf("malformed entry: %+v", e)
+		}
+		if e.ProvenGuards+e.EstimatedGuards != e.Blocks-1 {
+			t.Errorf("guard split %d+%d != %d positions", e.ProvenGuards, e.EstimatedGuards, e.Blocks-1)
+		}
+		if i > 0 && e.Entered > traces[i-1].Entered {
+			t.Error("inventory not sorted hottest first")
+		}
+		if e.Tier == 2 && e.CompiledShare > 0 {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Error("no tier-2 trace with a compiled-dispatch share")
 	}
 }
 

@@ -18,6 +18,8 @@
 //	POST /v1/run     {"workload":"compress","mode":"trace"} or
 //	                 {"source":"class Main {...}","kind":"minijava",...}
 //	GET  /v1/stats   aggregated service + execution metrics snapshot
+//	GET  /v1/traces  per-program live trace inventory: tier, guard split,
+//	                 compiled-dispatch share (sharded profiling only)
 //	GET  /v1/metrics Prometheus text exposition of the same snapshot
 //	GET  /v1/events  JSON tail of the event ring (?n=256&type=breaker&program=x)
 //	GET  /v1/snapshot?workload=x (or ?key=h) learned-profile snapshot download
@@ -108,6 +110,9 @@ func main() {
 
 		maxTraces   = flag.Int("max-traces", 512, "per-session live trace budget (0 = unbounded)")
 		maxTrBlocks = flag.Int("max-trace-blocks", 8192, "per-session cached trace block budget (0 = unbounded)")
+		compileTr   = flag.Bool("compile-traces", false, "enable tier-2 execution: hot traces compile to superinstruction form")
+		tierUp      = flag.Int64("tier-up", 0, "trace dispatch count that promotes a hot trace to its compiled form (0 = 16 default)")
+		tierDown    = flag.Int64("tier-down", 0, "compiled guard-exit count that demotes a trace back to tier 1 (0 = 8 default)")
 		brkChurn    = flag.Float64("breaker-churn", 8, "churn breaker threshold in trace build+retire events per 1k dispatches (0 = disabled)")
 		brkAfter    = flag.Int("breaker-after", 3, "consecutive churny runs before the breaker opens")
 		brkCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker demotes a program before probing")
@@ -142,8 +147,11 @@ func main() {
 			MaxSteps:       *maxSteps,
 			EventTrace:     *events,
 			TraceCache: core.Config{
-				MaxTraces:       *maxTraces,
-				MaxCachedBlocks: *maxTrBlocks,
+				MaxTraces:          *maxTraces,
+				MaxCachedBlocks:    *maxTrBlocks,
+				CompileTraces:      *compileTr,
+				TierUpDispatches:   *tierUp,
+				TierDownGuardExits: *tierDown,
 			},
 			Breaker: serve.BreakerConfig{
 				ChurnPerK: *brkChurn,
@@ -226,6 +234,10 @@ func newMux(svc *serve.Service) *http.ServeMux {
 			Schema:   api.SchemaStats,
 			Snapshot: svc.Stats(),
 		})
+	})
+
+	handle("GET", "/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, api.TracesResponseFrom(svc.TraceInventory()))
 	})
 
 	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -10,10 +10,13 @@ func ResolvedParams(opts ...Option) Params {
 		o(&c)
 	}
 	return Params{
-		Threshold:       c.params.Threshold,
-		StartDelay:      c.params.StartDelay,
-		DecayInterval:   c.params.DecayInterval,
-		MaxTraces:       c.cache.MaxTraces,
-		MaxCachedBlocks: c.cache.MaxCachedBlocks,
+		Threshold:          c.params.Threshold,
+		StartDelay:         c.params.StartDelay,
+		DecayInterval:      c.params.DecayInterval,
+		MaxTraces:          c.cache.MaxTraces,
+		MaxCachedBlocks:    c.cache.MaxCachedBlocks,
+		CompileTraces:      c.cache.CompileTraces,
+		TierUpDispatches:   c.cache.TierUpDispatches,
+		TierDownGuardExits: c.cache.TierDownGuardExits,
 	}
 }

@@ -180,6 +180,9 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 			if opts.Facts != nil && pcfg != nil {
 				cache.SetProver(valueflow.NewOracle(opts.Facts, pcfg))
 			}
+			if pcfg != nil && cache.Config().CompileTraces {
+				cache.SetCompileEnv(pcfg, opts.Facts)
+			}
 		}
 		s.Graph = g
 		s.Cache = cache
@@ -192,6 +195,9 @@ func NewSession(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts SessionOptio
 		if opts.Mode == ModeTrace || opts.Mode == ModeTraceDeploy {
 			mopts.Traces = cache
 			mopts.HookInsideTraces = opts.Mode == ModeTrace
+			if cache.CompileEnabled() {
+				mopts.Tiering = cache
+			}
 		}
 	}
 	if opts.WrapHook != nil {

@@ -1,0 +1,150 @@
+// Tiered execution policy: when CompileTraces is enabled the cache doubles
+// as the engine's trace.Tiering — it decides when a cached trace is promoted
+// to its compiled superinstruction form (after TierUpDispatches dispatches)
+// and records demotions (after TierDownGuardExits compiled guard exits, the
+// engine discards the form and reports back here). Compiled programs are
+// memoized in a CompiledStore keyed by block sequence, so a trace that is
+// hash-consed, evicted and rebuilt — or the same trace materializing in
+// several per-worker views of one program — compiles once.
+package core
+
+import (
+	"sync"
+
+	"repro/internal/analysis/valueflow"
+	"repro/internal/cfg"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Default promotion/demotion thresholds applied by Config.fillDefaults when
+// CompileTraces is set and the knobs are left zero.
+const (
+	DefaultTierUpDispatches   = 16
+	DefaultTierDownGuardExits = 8
+)
+
+// CompiledStore memoizes compiled trace programs by block-sequence key. It
+// is safe for concurrent use: in the serving layer one store is shared by
+// all of a program's worker shards and their merged views, so the compiled
+// form is per-merged-view state — never duplicated per shard — and survives
+// epoch merges, which rebuild traces but preserve block sequences.
+type CompiledStore struct {
+	mu sync.Mutex
+	m  map[string]*trace.Program
+}
+
+// NewCompiledStore returns an empty memo store.
+func NewCompiledStore() *CompiledStore {
+	return &CompiledStore{m: make(map[string]*trace.Program)}
+}
+
+// Get returns the memoized program for a block sequence, or nil.
+func (s *CompiledStore) Get(key string) *trace.Program {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[key]
+}
+
+// Put memoizes a compiled program.
+func (s *CompiledStore) Put(key string, p *trace.Program) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.m[key] = p
+	s.mu.Unlock()
+}
+
+// Len returns the number of memoized programs.
+func (s *CompiledStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// SetCompileEnv attaches the structures the trace compiler consumes: the
+// program CFG (canonical block pointers — the same resolver the engine
+// dispatches on) and, optionally, whole-program value-flow facts whose
+// block-entry constants seed const-folding. Compilation stays disabled until
+// both CompileTraces is configured and a CFG is attached.
+func (c *Cache) SetCompileEnv(pcfg *cfg.ProgramCFG, facts *valueflow.Facts) {
+	c.pcfg = pcfg
+	c.facts = facts
+}
+
+// SetCompiledStore shares a compiled-program memo across caches (the serving
+// layer passes one store per program). Without one the cache uses a private
+// store.
+func (c *Cache) SetCompiledStore(s *CompiledStore) { c.compiled = s }
+
+// CompileEnabled reports whether this cache can serve as the engine's
+// tiering policy.
+func (c *Cache) CompileEnabled() bool {
+	return c.conf.CompileTraces && c.pcfg != nil
+}
+
+// Compile implements trace.Tiering: lower a hot trace to its
+// superinstruction form, or return nil to bar the trace from tier 2. Counts
+// and emits even on a memo hit — the event records this trace's promotion,
+// not the compilation work.
+func (c *Cache) Compile(t *trace.Trace) *trace.Program {
+	if !c.CompileEnabled() {
+		return nil
+	}
+	key := trace.Key(t.Blocks)
+	p := c.compiled.Get(key)
+	if p == nil {
+		env := &trace.CompileEnv{
+			Blocks:      make([]*cfg.Block, len(t.Blocks)),
+			Resolve:     c.pcfg.Block,
+			GuardProofs: t.GuardProofs,
+		}
+		for i, id := range t.Blocks {
+			if env.Blocks[i] = c.pcfg.Block(id); env.Blocks[i] == nil {
+				return nil
+			}
+		}
+		if !c.facts.Top() {
+			env.EntryInts = make([][]trace.SlotConst, len(t.Blocks))
+			env.EntryFloats = make([][]trace.SlotBits, len(t.Blocks))
+			for i, id := range t.Blocks {
+				bf := c.facts.Block(id)
+				if bf == nil || !bf.Reachable {
+					continue
+				}
+				for _, ic := range bf.IntConsts {
+					env.EntryInts[i] = append(env.EntryInts[i], trace.SlotConst{Slot: ic.Slot, Val: ic.Val})
+				}
+				for _, fc := range bf.FloatConsts {
+					env.EntryFloats[i] = append(env.EntryFloats[i], trace.SlotBits{Slot: fc.Slot, Bits: fc.Bits})
+				}
+			}
+		}
+		if p = trace.Compile(env); p == nil {
+			return nil
+		}
+		if c.compiled == nil {
+			c.compiled = NewCompiledStore()
+		}
+		c.compiled.Put(key, p)
+	}
+	c.ctr.TracesCompiled++
+	c.emit(obs.EvTraceCompiled, t, int64(p.DroppedGuards))
+	return p
+}
+
+// TierDown implements trace.Tiering: the engine discarded t's compiled form
+// after a guard-exit storm. The memoized program is kept — the storm is a
+// property of this trace's current traffic, not of the lowering — but the
+// trace itself stays barred until it is rebuilt.
+func (c *Cache) TierDown(t *trace.Trace) {
+	c.ctr.TierDowns++
+	c.emit(obs.EvTraceTierDown, t, t.CompiledGuardExits)
+}

@@ -206,6 +206,42 @@ func (d *Delay) Wrap(h vm.DispatchHook) vm.DispatchHook {
 	})
 }
 
+// Misdirect poisons the profiler's view of one branch: every dispatch
+// leaving From is reported as going to To, regardless of where execution
+// actually went. The profiler then learns a perfectly correlated path
+// through a successor the program never takes, the cache builds (and, under
+// tiered execution, compiles) a trace along it, and real execution
+// guard-exits out of that trace on every entry — the deterministic
+// guard-exit storm the tier-down policy must absorb. Plug the method value
+// Wrap into core.SessionOptions.WrapHook or the serve.Injector seam.
+type Misdirect struct {
+	// From is the branch block whose reported successor is replaced.
+	From cfg.BlockID
+	// To is the successor the profiler is told about.
+	To cfg.BlockID
+
+	lies atomic.Int64
+}
+
+// Lies returns how many dispatch reports were rewritten to a successor that
+// differed from the real one.
+func (m *Misdirect) Lies() int64 { return m.lies.Load() }
+
+// Wrap implements the dispatch-wrapping hook.
+func (m *Misdirect) Wrap(h vm.DispatchHook) vm.DispatchHook {
+	return vm.HookFunc(func(from, to cfg.BlockID) {
+		if from == m.From {
+			if to != m.To {
+				m.lies.Add(1)
+			}
+			to = m.To
+		}
+		if h != nil {
+			h.OnDispatch(from, to)
+		}
+	})
+}
+
 // Faults bundles the injectors into one serve.Injector; nil fields inject
 // nothing.
 type Faults struct {

@@ -9,10 +9,12 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/stats"
 )
 
 // BenchSchema identifies the JSON layout of BenchReport. Bump on any
@@ -38,6 +40,21 @@ type BenchWorkload struct {
 	// AllocsPerDispatch is heap allocations per block dispatch over a
 	// whole profiled run (includes VM frame churn and BCG warm-up).
 	AllocsPerDispatch float64 `json:"allocs_per_dispatch"`
+
+	// Tier throughput: wall clock of a full trace-mode run divided by the
+	// blocks executed inside traces, at tier 1 (block-by-block trace walk)
+	// and tier 2 (superinstruction forms compiled for hot traces). The
+	// denominator is identical at both tiers — runCompiled mirrors runTrace
+	// counter-for-counter — so the difference is the compiled form's
+	// per-trace-block saving. Additive fields; the schema version stays.
+	Tier1NsPerTraceBlock float64 `json:"tier1_ns_per_trace_block,omitempty"`
+	Tier2NsPerTraceBlock float64 `json:"tier2_ns_per_trace_block,omitempty"`
+	// TierSpeedupPct is the relative in-trace dispatch cost drop tier 2
+	// buys: (tier1 − tier2) / tier1 × 100. Negative means tier 2 lost.
+	TierSpeedupPct float64 `json:"tier_speedup_pct,omitempty"`
+	// CompiledShare is the fraction of the tier-2 run's trace dispatches
+	// served by a compiled form (how much of the run the claim covers).
+	CompiledShare float64 `json:"compiled_share,omitempty"`
 }
 
 // BenchReport is the full benchmark trajectory record.
@@ -90,9 +107,120 @@ func (s *Suite) BenchReport() (BenchReport, error) {
 				w.OverheadPct = w.OverheadNsPerDispatch / w.PlainNsPerDispatch * 100
 			}
 		}
+		tt, err := s.MeasureTierThroughput(name)
+		if err != nil {
+			return BenchReport{}, err
+		}
+		w.Tier1NsPerTraceBlock = tt.Tier1NsPerBlock
+		w.Tier2NsPerTraceBlock = tt.Tier2NsPerBlock
+		w.TierSpeedupPct = tt.SpeedupPct
+		w.CompiledShare = tt.CompiledShare
 		rep.Workloads = append(rep.Workloads, w)
 	}
 	return rep, nil
+}
+
+// BenchTierUpDispatches is the promotion threshold the tier-throughput
+// measurement runs with: low enough that hot traces compile early in a
+// step-bounded run, so the compiled forms serve most trace dispatches and
+// the tier-2 leg measures compiled execution rather than warm-up.
+const BenchTierUpDispatches = 4
+
+// TierThroughput is one workload's in-trace dispatch cost at each execution
+// tier: minimum-of-N wall clock of a full trace-mode run divided by the
+// blocks executed inside traces, without and with superinstruction
+// compilation of hot traces.
+type TierThroughput struct {
+	Workload    string
+	Tier1Wall   time.Duration
+	Tier2Wall   time.Duration
+	TraceBlocks int64 // blocks executed inside traces (tier-1 run)
+	// Tier1NsPerBlock and Tier2NsPerBlock are wall nanoseconds per
+	// in-trace block at each tier; SpeedupPct is the relative drop
+	// (negative when tier 2 lost).
+	Tier1NsPerBlock float64
+	Tier2NsPerBlock float64
+	SpeedupPct      float64
+	// CompiledShare is the fraction of tier-2 trace dispatches served by a
+	// compiled form.
+	CompiledShare float64
+}
+
+// MeasureTierThroughput times one workload's trace-mode run at tier 1
+// (compilation off) and tier 2 (hot traces promoted to superinstruction
+// form after BenchTierUpDispatches dispatches). Both legs run with
+// value-flow facts attached so tier 2 gets its guard proofs, and both use
+// the same profiler parameters — the config tier knobs are the only
+// difference. Repeats are interleaved (tier1, tier2, tier1, ...) so
+// machine-load drift biases both tiers equally; the minimum wall per tier
+// is kept.
+func (s *Suite) MeasureTierThroughput(name string) (TierThroughput, error) {
+	c, err := s.compileWorkload(name)
+	if err != nil {
+		return TierThroughput{}, err
+	}
+	repeats := s.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+
+	timedOnce := func(config core.Config) (time.Duration, *stats.Counters, error) {
+		sess, err := core.NewSession(c.prog, c.cfg, core.SessionOptions{
+			Mode:     core.ModeTrace,
+			Params:   profile.Params{StartDelay: DefaultDelay, Threshold: DefaultThreshold, DecayInterval: 256},
+			Config:   config,
+			Facts:    c.facts,
+			MaxSteps: s.MaxSteps,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		runtime.GC()
+		start := time.Now()
+		if err := sess.Run(); err != nil && !stepLimited(err) {
+			return 0, nil, err
+		}
+		return time.Since(start), sess.Counters, nil
+	}
+
+	configs := []core.Config{
+		{},
+		{CompileTraces: true, TierUpDispatches: BenchTierUpDispatches},
+	}
+	walls := make([]time.Duration, len(configs))
+	ctrs := make([]*stats.Counters, len(configs))
+	for i := 0; i < repeats; i++ {
+		for ci, config := range configs {
+			w, ctr, err := timedOnce(config)
+			if err != nil {
+				return TierThroughput{}, err
+			}
+			if ctrs[ci] == nil || w < walls[ci] {
+				walls[ci] = w
+				ctrs[ci] = ctr
+			}
+		}
+	}
+
+	tt := TierThroughput{
+		Workload:    name,
+		Tier1Wall:   walls[0],
+		Tier2Wall:   walls[1],
+		TraceBlocks: ctrs[0].BlocksInTraces,
+	}
+	if tt.TraceBlocks > 0 {
+		tt.Tier1NsPerBlock = float64(walls[0].Nanoseconds()) / float64(tt.TraceBlocks)
+	}
+	if b2 := ctrs[1].BlocksInTraces; b2 > 0 {
+		tt.Tier2NsPerBlock = float64(walls[1].Nanoseconds()) / float64(b2)
+	}
+	if tt.Tier1NsPerBlock > 0 {
+		tt.SpeedupPct = (tt.Tier1NsPerBlock - tt.Tier2NsPerBlock) / tt.Tier1NsPerBlock * 100
+	}
+	if td := ctrs[1].TraceDispatches; td > 0 {
+		tt.CompiledShare = float64(ctrs[1].CompiledDispatches) / float64(td)
+	}
+	return tt, nil
 }
 
 // measureRunAllocs counts heap allocations per block dispatch over one
@@ -171,6 +299,15 @@ type GateOptions struct {
 	RelAllocs float64
 	// AbsAllocs is the absolute allocs/dispatch slack under RelAllocs.
 	AbsAllocs float64
+	// MinTierWins is the number of workloads on which the tier-2 compiled
+	// form must beat tier-1 in-trace dispatch cost outright (speedup > 0).
+	// Applied whenever the current report carries tier data; 0 disables.
+	MinTierWins int
+	// TierSpeedupSlackPp is the allowed per-workload drop, in percentage
+	// points, of the tier-2 speedup below the baseline report's. Generous
+	// for the same reason AbsOverheadPct is: single-workload wall clock on
+	// a shared runner is noisy; MinTierWins is the structural floor.
+	TierSpeedupSlackPp float64
 }
 
 // DefaultGateOptions returns the thresholds the CI job uses: >10% relative
@@ -185,6 +322,8 @@ func DefaultGateOptions() GateOptions {
 		MeanAbsOverheadPct: 3.0,
 		RelAllocs:          0.10,
 		AbsAllocs:          0.005,
+		MinTierWins:        3,
+		TierSpeedupSlackPp: 15.0,
 	}
 }
 
@@ -231,6 +370,18 @@ func CompareBenchReports(base, cur BenchReport, opt GateOptions) []string {
 				"%s: %.4f allocs/dispatch exceeds gate %.4f (baseline %.4f)",
 				w.Name, w.AllocsPerDispatch, allocLimit, b.AllocsPerDispatch))
 		}
+		// Per-workload tier regression: the compiled tier's relative win
+		// must not collapse below the baseline's minus the slack. Only when
+		// both reports measured this workload's tiers (a pre-tier baseline
+		// has no claim to compare against).
+		if b.Tier1NsPerTraceBlock > 0 && w.Tier1NsPerTraceBlock > 0 {
+			if floor := b.TierSpeedupPct - opt.TierSpeedupSlackPp; w.TierSpeedupPct < floor {
+				violations = append(violations, fmt.Sprintf(
+					"%s: tier-2 in-trace speedup %.1f%% fell below gate %.1f%% (baseline %.1f%%; %.1f vs %.1f ns/trace-block at tier 2)",
+					w.Name, w.TierSpeedupPct, floor, b.TierSpeedupPct,
+					w.Tier2NsPerTraceBlock, b.Tier2NsPerTraceBlock))
+			}
+		}
 	}
 	if meanN > 0 {
 		baseMean := baseMeanSum / float64(meanN)
@@ -245,7 +396,42 @@ func CompareBenchReports(base, cur BenchReport, opt GateOptions) []string {
 	for name := range baseByName {
 		violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from current report", name))
 	}
+
+	// Structural tier floor: with tier data present, the compiled form must
+	// beat the block-by-block trace walk outright on at least MinTierWins
+	// workloads — the central claim of the second tier, independent of any
+	// baseline numbers. A current report that dropped the tier measurement
+	// while the baseline carries it is itself a violation: silently losing
+	// the gate's teeth must not read as a pass.
+	baseHasTier, curHasTier := reportHasTier(base), reportHasTier(cur)
+	if baseHasTier && !curHasTier {
+		violations = append(violations, "baseline carries tier-throughput data but the current report measured none")
+	}
+	if curHasTier && opt.MinTierWins > 0 {
+		wins := 0
+		for _, w := range cur.Workloads {
+			if w.Tier1NsPerTraceBlock > 0 && w.TierSpeedupPct > 0 {
+				wins++
+			}
+		}
+		if wins < opt.MinTierWins {
+			violations = append(violations, fmt.Sprintf(
+				"tier-2 compiled traces beat tier-1 on only %d of %d workloads, want at least %d",
+				wins, len(cur.Workloads), opt.MinTierWins))
+		}
+	}
 	return violations
+}
+
+// reportHasTier reports whether any workload in rep carries a tier
+// throughput measurement (pre-tier reports decode with the fields zero).
+func reportHasTier(rep BenchReport) bool {
+	for _, w := range rep.Workloads {
+		if w.Tier1NsPerTraceBlock > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // FormatBenchReport renders the report as an aligned table for stdout.
@@ -253,9 +439,16 @@ func FormatBenchReport(rep BenchReport) string {
 	t := Table{
 		Title: fmt.Sprintf("Benchmark report (%s, %s/%s, repeats %d, maxsteps %d, hook allocs %.4f)",
 			rep.GoVersion, rep.GOOS, rep.GOARCH, rep.Repeats, rep.MaxSteps, rep.HookFastPathAllocs),
-		Columns: []string{"benchmark", "dispatches (M)", "plain ns/disp", "profiled ns/disp", "overhead ns", "overhead %", "allocs/disp"},
+		Columns: []string{"benchmark", "dispatches (M)", "plain ns/disp", "profiled ns/disp", "overhead ns", "overhead %", "allocs/disp", "t1 ns/tblock", "t2 ns/tblock", "tier2 gain", "compiled share"},
 	}
 	for _, w := range rep.Workloads {
+		tier1, tier2, gain, share := "-", "-", "-", "-"
+		if w.Tier1NsPerTraceBlock > 0 {
+			tier1 = fmt.Sprintf("%.1f", w.Tier1NsPerTraceBlock)
+			tier2 = fmt.Sprintf("%.1f", w.Tier2NsPerTraceBlock)
+			gain = fmt.Sprintf("%.1f%%", w.TierSpeedupPct)
+			share = fmt.Sprintf("%.0f%%", w.CompiledShare*100)
+		}
 		t.Rows = append(t.Rows, []string{
 			w.Name,
 			fmt.Sprintf("%.2f", float64(w.Dispatches)/1e6),
@@ -264,6 +457,7 @@ func FormatBenchReport(rep BenchReport) string {
 			fmt.Sprintf("%.1f", w.OverheadNsPerDispatch),
 			fmt.Sprintf("%.1f%%", w.OverheadPct),
 			fmt.Sprintf("%.3f", w.AllocsPerDispatch),
+			tier1, tier2, gain, share,
 		})
 	}
 	return t.Format()

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tierReport builds a minimal two-sided report pair for gate tests: every
+// workload at 5% profiler overhead, zero allocs, with the given tier-2
+// speedups (a zero speedup still carries tier data; NaN-free).
+func tierReport(speedups map[string]float64) BenchReport {
+	rep := BenchReport{Schema: BenchSchema, Repeats: 1}
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		w := BenchWorkload{
+			Name:                  name,
+			Dispatches:            1_000_000,
+			PlainNsPerDispatch:    100,
+			ProfiledNsPerDispatch: 105,
+			OverheadNsPerDispatch: 5,
+			OverheadPct:           5,
+		}
+		if sp, ok := speedups[name]; ok {
+			w.Tier1NsPerTraceBlock = 100
+			w.Tier2NsPerTraceBlock = 100 * (1 - sp/100)
+			w.TierSpeedupPct = sp
+			w.CompiledShare = 0.9
+		}
+		rep.Workloads = append(rep.Workloads, w)
+	}
+	return rep
+}
+
+func allTiers(sp float64) map[string]float64 {
+	m := make(map[string]float64)
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		m[name] = sp
+	}
+	return m
+}
+
+func TestBenchGateTierWinFloor(t *testing.T) {
+	base := tierReport(allTiers(20))
+	opt := DefaultGateOptions()
+
+	// Healthy: every workload keeps its 20% speedup.
+	if v := CompareBenchReports(base, tierReport(allTiers(20)), opt); len(v) != 0 {
+		t.Errorf("healthy tier report flagged: %v", v)
+	}
+
+	// Only two of six workloads beat tier 1: below the structural floor.
+	// Use speedups within the per-workload slack of the baseline so the
+	// win-count rule is the one that fires.
+	weak := allTiers(6)
+	weak["a"], weak["b"] = 20, 20
+	weak["c"], weak["d"], weak["e"], weak["f"] = -1, 6, -2, 6
+	// d and f still win; a, b win; that's 4 — adjust to exactly 2 wins.
+	weak["d"], weak["f"] = -3, -4
+	v := CompareBenchReports(base, tierReport(weak), opt)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "beat tier-1 on only 2 of 6 workloads") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("2-win report passed the %d-win floor: %v", opt.MinTierWins, v)
+	}
+}
+
+func TestBenchGateTierSpeedupRegression(t *testing.T) {
+	base := tierReport(allTiers(30))
+	opt := DefaultGateOptions()
+
+	// One workload's speedup collapses from 30% to 5%: past the slack.
+	cur := allTiers(30)
+	cur["c"] = 5
+	v := CompareBenchReports(base, tierReport(cur), opt)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "c: tier-2 in-trace speedup") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("25pp speedup collapse passed the %vpp slack gate: %v", opt.TierSpeedupSlackPp, v)
+	}
+
+	// A drop within the slack passes.
+	cur["c"] = 30 - opt.TierSpeedupSlackPp + 1
+	if v := CompareBenchReports(base, tierReport(cur), opt); len(v) != 0 {
+		t.Errorf("in-slack speedup drop flagged: %v", v)
+	}
+}
+
+func TestBenchGateTierDataPresence(t *testing.T) {
+	opt := DefaultGateOptions()
+	withTier := tierReport(allTiers(20))
+	noTier := tierReport(nil)
+
+	// Current report silently dropped the tier measurement: violation.
+	v := CompareBenchReports(withTier, noTier, opt)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "measured none") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tierless current report against a tiered baseline passed: %v", v)
+	}
+
+	// Pre-tier baseline: the relative rules are moot, but a tier-carrying
+	// current report still answers to the structural win floor.
+	if v := CompareBenchReports(noTier, withTier, opt); len(v) != 0 {
+		t.Errorf("tiered report against pre-tier baseline flagged: %v", v)
+	}
+	losing := tierReport(allTiers(-5))
+	v = CompareBenchReports(noTier, losing, opt)
+	if len(v) == 0 {
+		t.Error("all-losing tier report passed the win floor against a pre-tier baseline")
+	}
+
+	// Two pre-tier reports: the tier rules stay out of the way entirely.
+	if v := CompareBenchReports(noTier, noTier, opt); len(v) != 0 {
+		t.Errorf("pre-tier vs pre-tier flagged: %v", v)
+	}
+}
+
+// TestMeasureTierThroughput smoke-tests the measurement itself on one
+// workload with a small step budget: both tiers produce a defined
+// ns/trace-block figure and the tier-2 leg actually ran compiled forms
+// (otherwise the speedup claim is vacuous).
+func TestMeasureTierThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a workload twice per repeat")
+	}
+	s := NewSuite()
+	s.Repeats = 1
+	s.MaxSteps = 400_000
+	tt, err := s.MeasureTierThroughput("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.TraceBlocks == 0 || tt.Tier1NsPerBlock <= 0 || tt.Tier2NsPerBlock <= 0 {
+		t.Fatalf("undefined throughput measurement: %+v", tt)
+	}
+	if tt.CompiledShare <= 0 {
+		t.Fatalf("tier-2 leg served no compiled dispatches: %+v", tt)
+	}
+}

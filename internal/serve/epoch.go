@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/valueflow"
+	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/faultinject/crash"
 	"repro/internal/obs"
@@ -47,6 +48,16 @@ type shardSet struct {
 	hints     *analysis.Hints
 	prover    core.GuardProver // static guard oracle; stamps shard-built traces
 	numBlocks int
+
+	// Tier-2 compilation state. cfgp/facts feed each shard's compile
+	// environment; compiled is the program-wide memo of lowered trace
+	// programs, shared by every shard so a block sequence compiles at most
+	// once and the compiled form is per-merged-view — a trace rebuilt from
+	// the merged snapshot in any shard rebinds to the same immutable
+	// Program. Nil when the trace-cache config leaves CompileTraces off.
+	cfgp     *cfg.ProgramCFG
+	facts    *valueflow.Facts
+	compiled *core.CompiledStore
 
 	shards []*workerShard
 
@@ -103,6 +114,11 @@ func (ec *epochCoordinator) acquire(comp *Compiled, params profile.Params, worke
 		if comp.Facts != nil && comp.CFG != nil {
 			set.prover = valueflow.NewOracle(comp.Facts, comp.CFG)
 		}
+		if ec.conf.CompileTraces && comp.CFG != nil {
+			set.cfgp = comp.CFG
+			set.facts = comp.Facts
+			set.compiled = core.NewCompiledStore()
+		}
 		for i := range set.shards {
 			set.shards[i] = &workerShard{}
 		}
@@ -128,6 +144,9 @@ func (ec *epochCoordinator) newShard(sh *workerShard, set *shardSet) (*core.Prof
 	}
 	if set.prover != nil {
 		prof.SetProver(set.prover)
+	}
+	if set.compiled != nil {
+		prof.EnableCompile(set.cfgp, set.facts, set.compiled)
 	}
 	sh.prof = prof
 	ec.liveShards.Add(1)

@@ -48,6 +48,11 @@ type Counters struct {
 	TracesEvicted   int64 // traces retired by cache budget eviction (also in TracesRetired)
 	BudgetPressure  int64 // trace registrations that forced at least one eviction
 
+	// Tiered-execution counters.
+	TracesCompiled     int64 // traces promoted to a compiled superinstruction form
+	TierDowns          int64 // compiled forms discarded after guard-exit storms
+	CompiledDispatches int64 // trace dispatches served by a compiled form
+
 	// Snapshot (profile persistence) counters.
 	SnapshotsSaved           int64 // snapshots committed to durable storage
 	SnapshotsLoaded          int64 // sessions seeded from a snapshot
@@ -160,6 +165,9 @@ func (c *Counters) Add(o *Counters) {
 	c.RebuildRequests += o.RebuildRequests
 	c.TracesEvicted += o.TracesEvicted
 	c.BudgetPressure += o.BudgetPressure
+	c.TracesCompiled += o.TracesCompiled
+	c.TierDowns += o.TierDowns
+	c.CompiledDispatches += o.CompiledDispatches
 	c.SnapshotsSaved += o.SnapshotsSaved
 	c.SnapshotsLoaded += o.SnapshotsLoaded
 	c.SnapshotsRejected += o.SnapshotsRejected

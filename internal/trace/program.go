@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+)
+
+// Program is a trace's tier-2 form: the block sequence lowered into
+// superinstruction segments. A Program is immutable after Compile and holds
+// no run state, so one Program may back many traces (the compiled store
+// hash-conses them per merged view) and be executed concurrently by any
+// number of machines.
+//
+// The contract with the tier-1 path is exact state equivalence: running a
+// Program advances the operand stack, locals, heap, statics, trace
+// accounting, and stats.Counters precisely as the Prepared block path would
+// — same trap kinds at the same PCs, same hook-edge stream — differing only
+// in the new tiered-execution counters. That is what makes deopt safe: a
+// guard exit mid-trace leaves the frame in exactly the state the
+// interpreter would have left it in.
+type Program struct {
+	// Segs mirror the trace's Blocks one-to-one.
+	Segs []Segment
+
+	// TotalInstrs is the bytecode instruction count over all segments, used
+	// to pre-check the step budget at trace entry: if the whole trace fits,
+	// no per-block limit checks are needed.
+	TotalInstrs int64
+
+	// Compile-time accounting for inventory reports.
+	FusedOps      int // bytecodes absorbed into multi-op superinstructions
+	FoldedOps     int // bytecodes evaluated away at compile time
+	DroppedGuards int // proven side-exit guards lowered to static jumps
+}
+
+// Segment is the compiled form of one block in the trace: a superinstruction
+// sequence plus a lowered terminator.
+type Segment struct {
+	// Block is the resolved source block; side exits and TGeneric
+	// terminators hand it back to the interpreter paths unchanged.
+	Block *cfg.Block
+	// NInstrs is the block's bytecode instruction count, bulk-added to
+	// Counters.Instrs at segment entry exactly as stepBlock does.
+	NInstrs int64
+	Ops     []SOp
+	Term    Term
+}
+
+// SOpKind selects a superinstruction executor.
+type SOpKind uint8
+
+const (
+	// SExec runs Block.Instrs[A] through the interpreter's single-op
+	// executor — the universal fallback for ops the compiler does not
+	// specialize.
+	SExec SOpKind = iota
+	// SPushConst pushes Value{N: Val} (an int, float bit pattern, or null
+	// — the machine's Value is untyped).
+	SPushConst
+	// SPushLocal pushes locals[A].
+	SPushLocal
+	// SStoreLocal pops into locals[A].
+	SStoreLocal
+	// SStoreConst stores Value{N: Val} to locals[A] without stack traffic:
+	// a fused const+store.
+	SStoreConst
+	// SMove copies locals[B] to locals[A] without stack traffic: a fused
+	// load+store.
+	SMove
+	// SIncLocal adds Val to locals[A].N (iinc).
+	SIncLocal
+	// SBin is a specialized arithmetic op: operand sources per Mode, result
+	// stored to locals[Dst] when Dst >= 0 (a fused load+load+binop+store)
+	// or pushed when Dst < 0.
+	SBin
+)
+
+// Operand-source modes for SBin and TCondII, packed in Mode.
+const (
+	// SrcLL: a = locals[A], b = locals[B].
+	SrcLL uint8 = iota
+	// SrcLC: a = locals[A], b = Value{N: Val}.
+	SrcLC
+	// SrcCL: a = Value{N: Val}, b = locals[B].
+	SrcCL
+	// SrcL: unary, a = locals[A].
+	SrcL
+)
+
+// SOp is one superinstruction. Operand meaning depends on Kind; PC is the
+// source instruction's PC for trap attribution.
+type SOp struct {
+	Kind SOpKind
+	Op   bytecode.Op
+	Mode uint8
+	A    int32
+	B    int32
+	// Dst is the destination local for SBin, or -1 to push.
+	Dst int32
+	Val int64
+	PC  uint32
+}
+
+// TermKind selects a lowered terminator executor.
+type TermKind uint8
+
+const (
+	// TGeneric delegates to the interpreter's terminator executor —
+	// branches with unspecialized operands, switches, calls, returns,
+	// halt, throw.
+	TGeneric TermKind = iota
+	// TStatic continues to Static with zero runtime work: gotos,
+	// fallthroughs, branches decided at compile time, and proven guards
+	// whose operands were fully consumed symbolically.
+	TStatic
+	// TPopStatic pops PopN values then continues to Static: proven guards
+	// whose condition operands are runtime values the compiler could not
+	// absorb.
+	TPopStatic
+	// TCondI is a one-operand int conditional (ifeq..ifle) whose operand
+	// the compiler specialized: a = locals[A] (Mode SrcL) or Value{N: Val}
+	// is never needed — a constant operand folds to TStatic.
+	TCondI
+	// TCondII is a two-operand int compare (if_icmp*) with sources per
+	// Mode, as in SBin.
+	TCondII
+)
+
+// Term is a segment's lowered terminator. Taken/Fall are the resolved branch
+// targets for the conditional kinds; Static is the sole successor for
+// TStatic/TPopStatic.
+type Term struct {
+	Kind   TermKind
+	Op     bytecode.Op
+	Mode   uint8
+	A      int32
+	B      int32
+	Val    int64
+	PopN   int32
+	Static *cfg.Block
+	Taken  *cfg.Block
+	Fall   *cfg.Block
+}
+
+// Tiering is the promotion policy the dispatch engine consults: Compile is
+// called once a cached trace's dispatch count crosses its tier-up threshold
+// (nil means the trace cannot be compiled and is barred from retrying), and
+// TierDown is notified after the engine discards a compiled form following
+// a guard-exit storm. Implemented by the trace cache in internal/core.
+type Tiering interface {
+	Compile(t *Trace) *Program
+	TierDown(t *Trace)
+}
+
+// String summarizes the program for diagnostics.
+func (p *Program) String() string {
+	ops := 0
+	for i := range p.Segs {
+		ops += len(p.Segs[i].Ops)
+	}
+	return fmt.Sprintf("compiled %d segs %d ops (%d instrs, fused=%d folded=%d droppedGuards=%d)",
+		len(p.Segs), ops, p.TotalInstrs, p.FusedOps, p.FoldedOps, p.DroppedGuards)
+}

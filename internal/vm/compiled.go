@@ -1,0 +1,264 @@
+package vm
+
+import (
+	"math"
+
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+	"repro/internal/trace"
+)
+
+// runCompiled executes a trace's tier-2 superinstruction form. It mirrors
+// runTrace counter-for-counter and hook-edge-for-hook-edge: the only
+// observable differences from the block-by-block path are the tiered
+// counters (CompiledDispatches and the per-trace compiled accounting) and
+// the time it takes. Checks the block path performs per block — interrupt
+// polling and the step budget — are hoisted to trace entry; whenever one of
+// them could fire mid-trace, the whole dispatch deopts to runTrace, which
+// reproduces the exact tier-1 trap point.
+func (m *Machine) runCompiled(t *trace.Trace, p *trace.Program) (next *cfg.Block, last cfg.BlockID, halted bool, err error) {
+	if len(p.Segs) == 0 {
+		return m.runTrace(t)
+	}
+	if m.interrupt != nil && m.interrupt.Load() {
+		return m.runTrace(t)
+	}
+	if m.maxSteps > 0 && m.steps+p.TotalInstrs > m.maxSteps {
+		return m.runTrace(t)
+	}
+
+	t.Entered++
+	t.CompiledEntered++
+	m.ctr.TracesEntered++
+	m.ctr.TraceDispatches++ // the whole trace costs one dispatch
+	m.ctr.CompiledDispatches++
+	instrsBefore := m.ctr.Instrs
+
+	// One recovery frame for the whole trace (the block path pays one per
+	// block); cur tracks the executing segment so a panic is attributed to
+	// the same block tier 1 would name.
+	cur := p.Segs[0].Block
+	defer func() {
+		if r := recover(); r != nil {
+			err = m.trap(TrapBadProgram, cur.StartPC(), "execution panic: %v", r)
+			next, halted = nil, false
+		}
+	}()
+
+	segs := p.Segs
+	blocksRun := 0
+	completed := false
+	last = cfg.NoBlock
+	for i := 0; i < len(segs); i++ {
+		seg := &segs[i]
+		b := seg.Block
+		cur = b
+		f := m.top() // re-fetch: call/return segments switch frames
+		m.ctr.Instrs += seg.NInstrs
+		if m.maxSteps > 0 {
+			m.steps += seg.NInstrs
+		}
+		for j := range seg.Ops {
+			if err := m.execSOp(f, seg, &seg.Ops[j]); err != nil {
+				return nil, last, false, err
+			}
+		}
+		nxt, h, err := m.execTerm(f, seg)
+		if err != nil {
+			return nil, last, false, err
+		}
+		m.ctr.BlockDispatches++
+		blocksRun++
+		last = b.ID
+		if h {
+			completed = i == len(segs)-1
+			m.accountTrace(t, blocksRun, m.ctr.Instrs-instrsBefore, completed)
+			return nil, last, true, nil
+		}
+		if m.hookInsideTraces && m.hook != nil {
+			m.ctr.ProfiledDispatches++
+			m.hook.OnDispatch(b.ID, nxt.ID)
+		}
+		if i == len(segs)-1 {
+			completed = true
+			next = nxt
+			break
+		}
+		if nxt != segs[i+1].Block {
+			t.SideExits[i]++
+			t.CompiledGuardExits++
+			next = nxt
+			break
+		}
+	}
+	if !m.hookInsideTraces && m.hook != nil && next != nil {
+		m.ctr.ProfiledDispatches++
+		m.hook.OnDispatch(last, next.ID)
+	}
+	m.accountTrace(t, blocksRun, m.ctr.Instrs-instrsBefore, completed)
+	if !completed && t.TierDownAt > 0 && t.CompiledGuardExits >= t.TierDownAt {
+		// Guard-exit storm: discard the compiled form and pin the trace at
+		// tier 1. The trace itself (and its accounting) survives; only a
+		// rebuilt trace gets a fresh shot at tier 2.
+		t.Compiled = nil
+		t.CompileBarred = true
+		if m.tiering != nil {
+			m.tiering.TierDown(t)
+		}
+	}
+	return next, last, false, nil
+}
+
+// execSOp executes one superinstruction in frame f.
+func (m *Machine) execSOp(f *frame, seg *trace.Segment, op *trace.SOp) error {
+	switch op.Kind {
+	case trace.SExec:
+		return m.execInstr(f, seg.Block.Instrs[op.A])
+	case trace.SPushConst:
+		f.push(Value{N: op.Val})
+	case trace.SPushLocal:
+		f.push(f.locals[op.A])
+	case trace.SStoreLocal:
+		f.locals[op.A] = f.pop()
+	case trace.SStoreConst:
+		f.locals[op.A] = Value{N: op.Val}
+	case trace.SMove:
+		f.locals[op.A] = f.locals[op.B]
+	case trace.SIncLocal:
+		f.locals[op.A].N += op.Val
+	case trace.SBin:
+		return m.execSBin(f, op)
+	}
+	return nil
+}
+
+// execSBin executes a specialized arithmetic superinstruction, reproducing
+// execInstr's semantics (wrapping int64, division traps, masked shifts,
+// IEEE float ops, NaN-aware compares) on operands read straight from
+// locals or baked-in constants.
+func (m *Machine) execSBin(f *frame, op *trace.SOp) error {
+	var a, b Value
+	switch op.Mode {
+	case trace.SrcLL:
+		a, b = f.locals[op.A], f.locals[op.B]
+	case trace.SrcLC:
+		a, b = f.locals[op.A], Value{N: op.Val}
+	case trace.SrcCL:
+		a, b = Value{N: op.Val}, f.locals[op.B]
+	default: // SrcL: unary
+		a = f.locals[op.A]
+	}
+	var r Value
+	switch op.Op {
+	case bytecode.IAdd:
+		r = IntVal(a.N + b.N)
+	case bytecode.ISub:
+		r = IntVal(a.N - b.N)
+	case bytecode.IMul:
+		r = IntVal(a.N * b.N)
+	case bytecode.IDiv:
+		if b.N == 0 {
+			return m.trap(TrapDivByZero, op.PC, "%d / 0", a.N)
+		}
+		if b.N == -1 {
+			r = IntVal(-a.N)
+		} else {
+			r = IntVal(a.N / b.N)
+		}
+	case bytecode.IRem:
+		if b.N == 0 {
+			return m.trap(TrapDivByZero, op.PC, "%d %% 0", a.N)
+		}
+		if b.N == -1 {
+			r = IntVal(0)
+		} else {
+			r = IntVal(a.N % b.N)
+		}
+	case bytecode.IShl:
+		r = IntVal(a.N << (uint64(b.N) & 63))
+	case bytecode.IShr:
+		r = IntVal(a.N >> (uint64(b.N) & 63))
+	case bytecode.IUshr:
+		r = IntVal(int64(uint64(a.N) >> (uint64(b.N) & 63)))
+	case bytecode.IAnd:
+		r = IntVal(a.N & b.N)
+	case bytecode.IOr:
+		r = IntVal(a.N | b.N)
+	case bytecode.IXor:
+		r = IntVal(a.N ^ b.N)
+	case bytecode.FAdd:
+		r = FloatVal(a.Float() + b.Float())
+	case bytecode.FSub:
+		r = FloatVal(a.Float() - b.Float())
+	case bytecode.FMul:
+		r = FloatVal(a.Float() * b.Float())
+	case bytecode.FDiv:
+		r = FloatVal(a.Float() / b.Float())
+	case bytecode.FRem:
+		r = FloatVal(math.Mod(a.Float(), b.Float()))
+	case bytecode.FCmpL, bytecode.FCmpG:
+		x, y := a.Float(), b.Float()
+		switch {
+		case x < y:
+			r = IntVal(-1)
+		case x > y:
+			r = IntVal(1)
+		case x == y:
+			r = IntVal(0)
+		default: // NaN involved
+			if op.Op == bytecode.FCmpL {
+				r = IntVal(-1)
+			} else {
+				r = IntVal(1)
+			}
+		}
+	case bytecode.INeg:
+		r = IntVal(-a.N)
+	case bytecode.FNeg:
+		r = FloatVal(-a.Float())
+	case bytecode.I2F:
+		r = FloatVal(float64(a.N))
+	case bytecode.F2I:
+		r = IntVal(int64(a.Float()))
+	default:
+		return m.trap(TrapBadProgram, op.PC, "opcode %s is not a compiled arithmetic op", op.Op)
+	}
+	if op.Dst >= 0 {
+		f.locals[op.Dst] = r
+	} else {
+		f.push(r)
+	}
+	return nil
+}
+
+// execTerm applies a segment's lowered terminator.
+func (m *Machine) execTerm(f *frame, seg *trace.Segment) (*cfg.Block, bool, error) {
+	t := &seg.Term
+	switch t.Kind {
+	case trace.TStatic:
+		return t.Static, false, nil
+	case trace.TPopStatic:
+		f.stack = f.stack[:len(f.stack)-int(t.PopN)]
+		return t.Static, false, nil
+	case trace.TCondI:
+		if trace.EvalCond1(t.Op, f.locals[t.A].N) {
+			return t.Taken, false, nil
+		}
+		return t.Fall, false, nil
+	case trace.TCondII:
+		var a, b int64
+		switch t.Mode {
+		case trace.SrcLL:
+			a, b = f.locals[t.A].N, f.locals[t.B].N
+		case trace.SrcLC:
+			a, b = f.locals[t.A].N, t.Val
+		default: // SrcCL
+			a, b = t.Val, f.locals[t.B].N
+		}
+		if trace.EvalCond2(t.Op, a, b) {
+			return t.Taken, false, nil
+		}
+		return t.Fall, false, nil
+	}
+	return m.execTerminator(f, seg.Block)
+}

@@ -52,8 +52,15 @@ func (m *Machine) stepBlock(b *cfg.Block) (next *cfg.Block, halted bool, err err
 			return nil, false, err
 		}
 	}
+	return m.execTerminator(f, b)
+}
 
-	term := b.Instrs[n-1]
+// execTerminator executes a block's final instruction and applies its
+// control transfer. It is shared by stepBlock and by the compiled-trace
+// path (which lowers what it can and delegates the rest here); callers are
+// responsible for panic recovery.
+func (m *Machine) execTerminator(f *frame, b *cfg.Block) (next *cfg.Block, halted bool, err error) {
+	term := b.Terminator()
 	switch bytecode.InfoOf(term.Op).Flow {
 	case bytecode.FlowNext:
 		// Block split by a following leader: the last instruction is an

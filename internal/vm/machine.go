@@ -28,6 +28,12 @@ type Options struct {
 	// Traces, if set, enables trace dispatch: at every block boundary the
 	// engine consults the source and executes a registered trace as a unit.
 	Traces trace.Source
+	// Tiering, if set alongside Traces, enables tier-2 dispatch: once a
+	// trace's dispatch count reaches its tier-up threshold the engine asks
+	// the policy to compile it, runs the compiled superinstruction form
+	// while it holds, and discards it again (notifying the policy) after a
+	// guard-exit storm. Nil keeps every trace on the block-by-block path.
+	Tiering trace.Tiering
 	// HookInsideTraces controls profiling fidelity during trace execution.
 	// True (measurement mode) runs the hook on every intra-trace edge, so
 	// the branch correlation graph sees the full execution stream — this is
@@ -67,6 +73,7 @@ type Machine struct {
 	out              io.Writer
 	hook             DispatchHook
 	traces           trace.Source
+	tiering          trace.Tiering
 	hookInsideTraces bool
 	ctr              *stats.Counters
 	maxSteps         int64
@@ -122,6 +129,7 @@ func New(prog *classfile.Program, pcfg *cfg.ProgramCFG, opts Options) (*Machine,
 		out:              opts.Out,
 		hook:             opts.Hook,
 		traces:           opts.Traces,
+		tiering:          opts.Tiering,
 		hookInsideTraces: opts.HookInsideTraces,
 		ctr:              opts.Counters,
 		maxSteps:         opts.MaxSteps,
@@ -175,7 +183,22 @@ func (m *Machine) Run() error {
 				t = m.traces.Lookup(prev, cur.ID)
 			}
 			if t != nil && !t.Retired {
-				next, last, halted, err := m.runTrace(t)
+				if m.tiering != nil && t.Compiled == nil && !t.CompileBarred && t.TierUpAt > 0 && t.Entered >= t.TierUpAt {
+					if t.Compiled = m.tiering.Compile(t); t.Compiled == nil {
+						t.CompileBarred = true
+					}
+				}
+				var (
+					next   *cfg.Block
+					last   cfg.BlockID
+					halted bool
+					err    error
+				)
+				if p := t.Compiled; p != nil && m.probe == nil {
+					next, last, halted, err = m.runCompiled(t, p)
+				} else {
+					next, last, halted, err = m.runTrace(t)
+				}
 				if err != nil {
 					return err
 				}

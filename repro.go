@@ -120,6 +120,17 @@ type Params struct {
 	// MaxCachedBlocks bounds the total blocks held by live traces per
 	// session (default 0 = unbounded).
 	MaxCachedBlocks int
+	// CompileTraces enables tier-2 execution: hot traces are compiled into
+	// superinstruction form and dispatched as fused units (default off).
+	CompileTraces bool
+	// TierUpDispatches is the dispatch count at which a cached trace is
+	// promoted to its compiled form (default 16 when CompileTraces is set;
+	// 0 keeps the default).
+	TierUpDispatches int64
+	// TierDownGuardExits is the compiled-guard-exit count at which a
+	// trace's compiled form is discarded again (default 8 when
+	// CompileTraces is set; 0 keeps the default).
+	TierDownGuardExits int64
 	// Breaker tunes the per-program churn circuit breaker. It only takes
 	// effect through ServiceConfig (a single VM has no breaker).
 	Breaker BreakerConfig
@@ -144,8 +155,14 @@ func DefaultParams() Params {
 // (threshold, delay, decay) travel on each ServiceRequest instead.
 func (p Params) ServiceConfig() ServiceConfig {
 	return ServiceConfig{
-		TraceCache: core.Config{MaxTraces: p.MaxTraces, MaxCachedBlocks: p.MaxCachedBlocks},
-		Breaker:    p.Breaker,
+		TraceCache: core.Config{
+			MaxTraces:          p.MaxTraces,
+			MaxCachedBlocks:    p.MaxCachedBlocks,
+			CompileTraces:      p.CompileTraces,
+			TierUpDispatches:   p.TierUpDispatches,
+			TierDownGuardExits: p.TierDownGuardExits,
+		},
+		Breaker: p.Breaker,
 	}
 }
 
@@ -185,26 +202,20 @@ func WithParams(p Params) Option {
 		if p.MaxCachedBlocks != 0 {
 			c.cache.MaxCachedBlocks = p.MaxCachedBlocks
 		}
+		if p.CompileTraces {
+			c.cache.CompileTraces = true
+		}
+		if p.TierUpDispatches != 0 {
+			c.cache.TierUpDispatches = p.TierUpDispatches
+		}
+		if p.TierDownGuardExits != 0 {
+			c.cache.TierDownGuardExits = p.TierDownGuardExits
+		}
 		if p.SnapshotPath != "" {
 			c.snapPath = p.SnapshotPath
 		}
 	}
 }
-
-// WithThreshold sets the trace completion threshold (default 0.97).
-//
-// Deprecated: Use WithParams.
-func WithThreshold(t float64) Option { return WithParams(Params{Threshold: t}) }
-
-// WithStartDelay sets the start-state delay (default 64).
-//
-// Deprecated: Use WithParams.
-func WithStartDelay(d int32) Option { return WithParams(Params{StartDelay: d}) }
-
-// WithDecayInterval sets the decay period in node executions (default 256).
-//
-// Deprecated: Use WithParams.
-func WithDecayInterval(n uint32) Option { return WithParams(Params{DecayInterval: n}) }
 
 // WithOutput directs program output (default: discarded).
 func WithOutput(w io.Writer) Option { return func(c *config) { c.out = w } }
@@ -347,6 +358,15 @@ type TraceInfo struct {
 	ExpectedCompletion float64
 	Entered            int64
 	Completed          int64
+	// Tier is the trace's current execution tier: 1 (block-by-block) or 2
+	// (compiled superinstruction form).
+	Tier int
+	// ProvenGuards counts side-exit guards statically proven dead.
+	ProvenGuards int
+	// CompiledEntered counts dispatches served by the compiled form.
+	CompiledEntered int64
+	// CompiledGuardExits counts guard exits taken out of the compiled form.
+	CompiledGuardExits int64
 }
 
 // Traces lists the live traces in the cache (nil in ModePlain).
@@ -362,6 +382,10 @@ func (v *VM) Traces() []TraceInfo {
 			ExpectedCompletion: t.ExpectedCompletion,
 			Entered:            t.Entered,
 			Completed:          t.Completed,
+			Tier:               t.Tier(),
+			ProvenGuards:       t.ProvenGuards(),
+			CompiledEntered:    t.CompiledEntered,
+			CompiledGuardExits: t.CompiledGuardExits,
 		})
 	}
 	return out

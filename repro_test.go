@@ -50,8 +50,8 @@ func TestFacadeCompileAndRun(t *testing.T) {
 	}
 }
 
-// TestFacadeOptions deliberately exercises the deprecated per-field option
-// wrappers: they must keep working as thin aliases of WithParams.
+// TestFacadeOptions exercises the composed option surface: WithParams is
+// the single way to tune the profiler (the per-field wrappers are gone).
 func TestFacadeOptions(t *testing.T) {
 	prog, err := repro.CompileMiniJava(fib)
 	if err != nil {
@@ -59,9 +59,7 @@ func TestFacadeOptions(t *testing.T) {
 	}
 	vm, err := repro.NewVM(prog,
 		repro.WithMode(repro.ModePlain),
-		repro.WithThreshold(0.95),
-		repro.WithStartDelay(1),
-		repro.WithDecayInterval(128),
+		repro.WithParams(repro.Params{Threshold: 0.95, StartDelay: 1, DecayInterval: 128}),
 		repro.WithMaxSteps(100_000_000),
 	)
 	if err != nil {
@@ -201,27 +199,42 @@ func TestParamsDefaultsAndOverrideOrder(t *testing.T) {
 		t.Errorf("override order: %+v", got)
 	}
 
-	// The deprecated wrappers are exact aliases of single-field WithParams,
-	// composing in either direction.
-	a := repro.ResolvedParams(repro.WithThreshold(0.5), repro.WithParams(repro.Params{Threshold: 0.9}))
-	b := repro.ResolvedParams(repro.WithParams(repro.Params{Threshold: 0.5}), repro.WithThreshold(0.9))
-	if a.Threshold != 0.9 || b.Threshold != 0.9 {
-		t.Errorf("wrapper/WithParams composition: %v %v", a.Threshold, b.Threshold)
+	// Tier-2 knobs merge field-wise like everything else: CompileTraces is
+	// sticky once set, thresholds override only when named.
+	got = repro.ResolvedParams(
+		repro.WithParams(repro.Params{CompileTraces: true, TierUpDispatches: 32}),
+		repro.WithParams(repro.Params{TierDownGuardExits: 5}),
+	)
+	if !got.CompileTraces || got.TierUpDispatches != 32 || got.TierDownGuardExits != 5 {
+		t.Errorf("tier knobs: %+v", got)
 	}
-	if got := repro.ResolvedParams(repro.WithStartDelay(7), repro.WithDecayInterval(99)); got.StartDelay != 7 || got.DecayInterval != 99 {
-		t.Errorf("deprecated wrappers: %+v", got)
+	got = repro.ResolvedParams(
+		repro.WithParams(repro.Params{CompileTraces: true}),
+		repro.WithParams(repro.Params{Threshold: 0.9}),
+	)
+	if !got.CompileTraces {
+		t.Error("CompileTraces dropped by a later unrelated override")
+	}
+	if def.CompileTraces || def.TierUpDispatches != 0 || def.TierDownGuardExits != 0 {
+		t.Errorf("tier-2 not off by default: %+v", def)
 	}
 }
 
 func TestParamsServiceConfig(t *testing.T) {
 	p := repro.Params{
-		MaxTraces:       5,
-		MaxCachedBlocks: 100,
-		Breaker:         repro.BreakerConfig{ChurnPerK: 8},
+		MaxTraces:          5,
+		MaxCachedBlocks:    100,
+		CompileTraces:      true,
+		TierUpDispatches:   12,
+		TierDownGuardExits: 3,
+		Breaker:            repro.BreakerConfig{ChurnPerK: 8},
 	}
 	cfg := p.ServiceConfig()
 	if cfg.TraceCache.MaxTraces != 5 || cfg.TraceCache.MaxCachedBlocks != 100 {
 		t.Errorf("budgets not mapped: %+v", cfg.TraceCache)
+	}
+	if !cfg.TraceCache.CompileTraces || cfg.TraceCache.TierUpDispatches != 12 || cfg.TraceCache.TierDownGuardExits != 3 {
+		t.Errorf("tier knobs not mapped: %+v", cfg.TraceCache)
 	}
 	if cfg.Breaker.ChurnPerK != 8 {
 		t.Errorf("breaker not mapped: %+v", cfg.Breaker)
